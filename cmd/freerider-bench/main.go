@@ -1,0 +1,325 @@
+// Command freerider-bench regenerates the paper's evaluation: every table
+// and figure of §4 plus the §3 design studies and this reproduction's
+// extension experiments. Each subcommand prints the rows/series the
+// corresponding figure plots (or JSON with -json).
+//
+// Usage:
+//
+//	freerider-bench [-quick] [-seed N] [-json] <experiment|all>
+//
+// Experiments: fig3 fig4 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
+// fig17sim power plmrate redundancy pilots baselines collision quaternary
+// cfo waterfall table1 all
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/decoder"
+	"repro/internal/experiments"
+)
+
+// result is one experiment's output: a title plus its data rows. Rows
+// either implement fmt.Stringer element-wise (slices) or carry their own
+// rendering via the lines field.
+type result struct {
+	Title string `json:"title"`
+	Rows  any    `json:"rows"`
+	lines []string
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample counts for a fast pass")
+	seed := flag.Int64("seed", 1, "RNG seed for every experiment")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+
+	opt := experiments.DefaultOptions()
+	samples, windows, rounds, messages := 1000000, 300, 12, 20000
+	if *quick {
+		opt = experiments.QuickOptions()
+		samples, windows, rounds, messages = 100000, 100, 8, 2000
+	}
+	opt.Seed = *seed
+
+	runners := map[string]func() (result, error){
+		"fig3": func() (result, error) {
+			res, err := experiments.Fig3AmbientDurations(samples, opt.Seed)
+			if err != nil {
+				return result{}, err
+			}
+			lines := []string{
+				fmt.Sprintf("<500us fraction: %.1f%% (paper ~78%%)", res.ShortFraction*100),
+				fmt.Sprintf("1.5-2.7ms fraction: %.1f%% (paper ~18%%)", res.LongFraction*100),
+				fmt.Sprintf("PLM alias probability (±25us): %.4f%% (paper ~0.03%%)", res.AliasProbability*100),
+				"duration PDF (ms -> density):",
+			}
+			for i := range res.BinCentresMs {
+				lines = append(lines, fmt.Sprintf("  %5.2f %8.1f", res.BinCentresMs[i], res.Density[i]))
+			}
+			return result{Title: "Fig 3 — ambient packet durations on channel 6", Rows: res, lines: lines}, nil
+		},
+		"fig4": func() (result, error) {
+			pts, err := experiments.Fig4PLMAccuracy(messages, opt.Seed)
+			return result{Title: "Fig 4 — PLM scheduling-message delivery vs distance (15 dBm)", Rows: pts}, err
+		},
+		"fig10": linkRunner("Fig 10 — WiFi LOS backscatter vs distance", experiments.Fig10WiFiLOS, opt),
+		"fig11": linkRunner("Fig 11 — WiFi NLOS backscatter vs distance", experiments.Fig11WiFiNLOS, opt),
+		"fig12": linkRunner("Fig 12 — ZigBee LOS backscatter vs distance", experiments.Fig12ZigBeeLOS, opt),
+		"fig13": linkRunner("Fig 13 — Bluetooth LOS backscatter vs distance", experiments.Fig13BluetoothLOS, opt),
+		"fig14": func() (result, error) {
+			pts, err := experiments.Fig14OperatingRegime(opt)
+			return result{Title: "Fig 14 — operating regime: max RX-to-tag vs TX-to-tag distance", Rows: pts}, err
+		},
+		"fig15": func() (result, error) {
+			rows, err := experiments.Fig15WiFiCoexistence(windows, opt.Seed)
+			return result{Title: "Fig 15 — WiFi throughput with and without backscatter", Rows: rows}, err
+		},
+		"fig16": func() (result, error) {
+			rows, err := experiments.Fig16BackscatterUnderWiFi(windows, opt.Seed)
+			return result{Title: "Fig 16 — backscatter throughput with WiFi traffic present/absent", Rows: rows}, err
+		},
+		"fig17": func() (result, error) {
+			pts, err := experiments.Fig17MultiTag(rounds, opt.Seed)
+			return result{Title: "Fig 17 — multi-tag aggregate throughput and Jain fairness", Rows: pts}, err
+		},
+		"fig17sim": func() (result, error) {
+			pts, err := experiments.Fig17FirmwareLevel(rounds, opt.Seed)
+			return result{Title: "Fig 17 (firmware-level) — per-pulse PLM losses through real tag state machines", Rows: pts}, err
+		},
+		"power": func() (result, error) {
+			return result{Title: "§3.3 — tag power budget", Rows: experiments.PowerBudget()}, nil
+		},
+		"plmrate": func() (result, error) {
+			rate := experiments.PLMRateBps()
+			return result{
+				Title: "§2.4.2 — PLM downlink rate",
+				Rows:  map[string]float64{"rate_bps": rate},
+				lines: []string{fmt.Sprintf("%.0f bps (paper ~500 bps)", rate)},
+			}, nil
+		},
+		"redundancy": func() (result, error) {
+			pts, err := experiments.RedundancySweep(opt)
+			return result{Title: "§3.2.1 — OFDM symbols per tag bit (redundancy study)", Rows: pts}, err
+		},
+		"pilots": func() (result, error) {
+			without, with, err := experiments.PilotTrackingAblation(opt)
+			if err != nil {
+				return result{}, err
+			}
+			return result{
+				Title: "§3.2.1 — pilot phase tracking ablation",
+				Rows:  map[string]float64{"ber_tracking_off": without, "ber_tracking_on": with},
+				lines: []string{
+					fmt.Sprintf("tag BER without tracking: %.4f", without),
+					fmt.Sprintf("tag BER with tracking:    %.4f (tracking erases the tag's phase)", with),
+				},
+			}, nil
+		},
+		"baselines": func() (result, error) {
+			pts, err := experiments.BaselineAvailability(opt)
+			return result{Title: "§1 motivation — FreeRider vs HitchHike [25] on mixed traffic", Rows: pts}, err
+		},
+		"collision": func() (result, error) {
+			pts, err := experiments.CollisionStudy(opt)
+			return result{Title: "§2.4.1 — slot-collision physics (superposed tags at sample level)", Rows: pts}, err
+		},
+		"quaternary": func() (result, error) {
+			pts, err := experiments.QuaternaryStudy(opt)
+			return result{Title: "eq. 4 vs eq. 5 — binary vs quaternary phase translation (12 Mbps QPSK)", Rows: pts}, err
+		},
+		"cfo": func() (result, error) {
+			pts, err := experiments.CFOStudy(opt)
+			return result{Title: "carrier-frequency-offset robustness (pilot-free tracking)", Rows: pts}, err
+		},
+		"waterfall": func() (result, error) {
+			frames := 20
+			if *quick {
+				frames = 6
+			}
+			type radioCurve struct {
+				Radio  string                       `json:"radio"`
+				Points []experiments.WaterfallPoint `json:"points"`
+			}
+			var rows []radioCurve
+			var lines []string
+			for _, radio := range []core.Radio{core.WiFi, core.ZigBee, core.Bluetooth} {
+				pts, err := experiments.Waterfall(radio,
+					[]float64{-4, -2, 0, 2, 4, 6, 8, 12}, frames, opt.Seed)
+				if err != nil {
+					return result{}, err
+				}
+				rows = append(rows, radioCurve{Radio: radio.String(), Points: pts})
+				lines = append(lines, radio.String()+":")
+				for _, p := range pts {
+					lines = append(lines, "  "+p.String())
+				}
+			}
+			return result{Title: "PHY sensitivity waterfalls (native links)", Rows: rows, lines: lines}, nil
+		},
+		"table1": func() (result, error) {
+			type row struct {
+				Decoded    string `json:"decoded"`
+				Excitation string `json:"excitation"`
+				TagBit     byte   `json:"tag_bit"`
+			}
+			var rows []row
+			var lines []string
+			lines = append(lines, "decoded  excitation  tag-bit")
+			for _, c := range [][2]byte{{2, 1}, {1, 2}, {1, 1}, {2, 2}} {
+				bit := decoder.XORDecode(c[1], c[0])
+				rows = append(rows, row{
+					Decoded:    fmt.Sprintf("C%d", c[0]),
+					Excitation: fmt.Sprintf("C%d", c[1]),
+					TagBit:     bit,
+				})
+				lines = append(lines, fmt.Sprintf("   C%d        C%d         %d", c[0], c[1], bit))
+			}
+			return result{Title: "Table 1 — codeword translation logic", Rows: rows, lines: lines}, nil
+		},
+	}
+
+	names := []string{flag.Arg(0)}
+	if flag.Arg(0) == "all" {
+		names = names[:0]
+		for k := range runners {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+	}
+
+	var jsonOut []result
+	for _, name := range names {
+		run, ok := runners[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			usage()
+			os.Exit(2)
+		}
+		res, err := run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *asJSON {
+			jsonOut = append(jsonOut, res)
+			continue
+		}
+		printText(res)
+		fmt.Println()
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// printText renders a result: bespoke lines if provided, otherwise one
+// String() per row element.
+func printText(r result) {
+	fmt.Println(r.Title)
+	if r.lines != nil {
+		for _, l := range r.lines {
+			fmt.Println("  " + l)
+		}
+		return
+	}
+	switch rows := r.Rows.(type) {
+	case []experiments.LinkPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.PLMPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.RegimePoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.Fig15Row:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.Fig16Row:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.MultiTagPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.PowerRow:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.RedundancyPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.BaselinePoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.CollisionPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.QuaternaryPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	case []experiments.CFOPoint:
+		for _, p := range rows {
+			fmt.Println("  " + p.String())
+		}
+	default:
+		fmt.Printf("  %+v\n", r.Rows)
+	}
+}
+
+func linkRunner(title string, f func(experiments.Options) ([]experiments.LinkPoint, error),
+	opt experiments.Options) func() (result, error) {
+	return func() (result, error) {
+		pts, err := f(opt)
+		return result{Title: title, Rows: pts}, err
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-json] <experiment>
+experiments:
+  fig3        ambient packet-duration PDF + PLM aliasing (Fig 3)
+  fig4        PLM scheduling accuracy vs distance (Fig 4)
+  fig10-13    single-link throughput/BER/RSSI sweeps (Figs 10-13)
+  fig14       operating regime (Fig 14)
+  fig15       WiFi throughput under backscatter (Fig 15)
+  fig16       backscatter throughput under WiFi (Fig 16)
+  fig17       multi-tag throughput + fairness (Fig 17)
+  fig17sim    Fig 17 re-run through the firmware-level event simulator
+  power       tag power budget (§3.3)
+  plmrate     PLM downlink rate (§2.4.2)
+  redundancy  OFDM symbols per tag bit (§3.2.1)
+  pilots      pilot-tracking ablation (§3.2.1)
+  baselines   FreeRider vs HitchHike traffic-availability study (§1)
+  collision   slot-collision physics at sample level (§2.4.1)
+  quaternary  eq. 4 binary vs eq. 5 quaternary phase translation
+  cfo         carrier-frequency-offset robustness sweep
+  waterfall   native PHY sensitivity curves (BER/packet rate vs SNR)
+  table1      codeword translation logic table (Table 1)
+  all         everything above`)
+}

@@ -1,0 +1,112 @@
+// Command freerider-calibrate re-derives the receiver detection-quality
+// curves the link calibration rests on: for each radio it sweeps SNR,
+// measures the mean preamble-detection quality and frame success on the
+// native link, and prints the quality value at a chosen sensitivity point.
+// The thresholds baked into internal/core (0.72 WiFi periodicity, 0.85
+// ZigBee correlation, 0.81 Bluetooth sync correlation) come from exactly
+// this procedure; re-run it after changing any receiver internals.
+//
+// Usage:
+//
+//	freerider-calibrate [-trials N] [-seed N] [-fail-snr dB]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bluetooth"
+	"repro/internal/channel"
+	"repro/internal/wifi"
+	"repro/internal/zigbee"
+)
+
+func main() {
+	trials := flag.Int("trials", 20, "frames per SNR point")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	failSNR := flag.Float64("fail-snr", 4, "SNR (dB) below which a commodity chip should miss packets")
+	flag.Parse()
+
+	snrs := []float64{0, 2, 4, 6, 8, 10, 14, 20}
+
+	fmt.Println("WiFi (LTF periodicity quality):")
+	wifiQ := map[float64]float64{}
+	for _, snr := range snrs {
+		var qSum float64
+		for tr := 0; tr < *trials; tr++ {
+			sig, err := wifi.NewTransmitter().Transmit(wifi.AppendFCS(make([]byte, 300)), wifi.Rates[6])
+			if err != nil {
+				fatal(err)
+			}
+			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			rx := wifi.NewReceiver()
+			rx.DetectionThreshold = 0.99 // disable early accept, measure raw q
+			_, q := rx.DetectPreamble(cap, 0)
+			qSum += q
+		}
+		wifiQ[snr] = qSum / float64(*trials)
+		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, wifiQ[snr])
+	}
+	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n\n", *failSNR, interp(wifiQ, snrs, *failSNR))
+
+	fmt.Println("ZigBee (preamble correlation quality):")
+	zbQ := map[float64]float64{}
+	for _, snr := range snrs {
+		var qSum float64
+		for tr := 0; tr < *trials; tr++ {
+			sig, err := zigbee.NewTransmitter().Transmit(make([]byte, 60))
+			if err != nil {
+				fatal(err)
+			}
+			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			rx := zigbee.NewReceiver()
+			rx.DetectionThreshold = 0.99
+			_, q := rx.Detect(cap)
+			qSum += q
+		}
+		zbQ[snr] = qSum / float64(*trials)
+		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, zbQ[snr])
+	}
+	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n\n", *failSNR, interp(zbQ, snrs, *failSNR))
+
+	fmt.Println("Bluetooth (sync-word correlation quality):")
+	btQ := map[float64]float64{}
+	for _, snr := range snrs {
+		var qSum float64
+		for tr := 0; tr < *trials; tr++ {
+			sig, err := bluetooth.NewTransmitter().Transmit(make([]byte, 60))
+			if err != nil {
+				fatal(err)
+			}
+			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			rx := bluetooth.NewReceiver()
+			rx.DetectionThreshold = 0.99
+			_, q := rx.Detect(cap)
+			qSum += q
+		}
+		btQ[snr] = qSum / float64(*trials)
+		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, btQ[snr])
+	}
+	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n", *failSNR, interp(btQ, snrs, *failSNR))
+}
+
+// interp linearly interpolates the measured quality curve at snr.
+func interp(q map[float64]float64, snrs []float64, snr float64) float64 {
+	if snr <= snrs[0] {
+		return q[snrs[0]]
+	}
+	for i := 1; i < len(snrs); i++ {
+		if snr <= snrs[i] {
+			lo, hi := snrs[i-1], snrs[i]
+			frac := (snr - lo) / (hi - lo)
+			return q[lo]*(1-frac) + q[hi]*frac
+		}
+	}
+	return q[snrs[len(snrs)-1]]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,192 @@
+// Package freerider is a faithful, simulation-backed reproduction of
+// "FreeRider: Backscatter Communication Using Commodity Radios"
+// (Zhang, Josephson, Bharadia, Katti — CoNEXT 2017).
+//
+// FreeRider lets an ultra-low-power tag piggyback its own data onto
+// *productive* commodity traffic — 802.11g/n WiFi, ZigBee, or Bluetooth —
+// by codeword translation: the tag transforms each over-the-air codeword
+// into another valid codeword of the same codebook (a phase rotation for
+// OFDM and OQPSK, a frequency hop for FSK), so an unmodified commodity
+// receiver on an adjacent channel decodes the backscattered packet and the
+// tag data falls out of the XOR of the two bit streams.
+//
+// The public API wraps three layers:
+//
+//   - Session: one end-to-end backscatter link (excitation transmitter →
+//     tag → channel → adjacent-channel receiver → differential decoder),
+//     simulated at complex-baseband sample level.
+//   - Network: the multi-tag system of §2.4 — Framed Slotted Aloha rounds
+//     coordinated over the packet-length-modulation downlink.
+//   - The experiment harness regenerating every figure of the paper's
+//     evaluation lives in internal/experiments and is exposed through
+//     cmd/freerider-bench.
+//
+// Everything is deterministic under an explicit seed. See DESIGN.md for
+// the system inventory and EXPERIMENTS.md for paper-vs-measured results.
+package freerider
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/mac"
+	"repro/internal/plm"
+	"repro/internal/sim"
+	"repro/internal/tag"
+)
+
+// bit helpers re-exported for example programs and API users.
+var (
+	bitsFromBytes = bits.FromBytes
+	bytesFromBits = bits.ToBytes
+)
+
+// Radio identifies the excitation technology a tag rides on.
+type Radio = core.Radio
+
+// Supported excitation radios.
+const (
+	WiFi      = core.WiFi
+	ZigBee    = core.ZigBee
+	Bluetooth = core.Bluetooth
+)
+
+// Config describes one backscatter link end to end; see core.Config.
+type Config = core.Config
+
+// Session runs excitation packets over one configured link.
+type Session = core.Session
+
+// PacketResult reports one packet's backscatter outcome.
+type PacketResult = core.PacketResult
+
+// SessionResult aggregates a multi-packet run.
+type SessionResult = core.SessionResult
+
+// Link is the radio-link budget and geometry.
+type Link = channel.Link
+
+// Deployment is a propagation environment; LOS and NLOS reproduce Fig 9.
+type Deployment = channel.Deployment
+
+// Propagation environments from the paper's evaluation (Fig 9).
+var (
+	LOS  = channel.LOS
+	NLOS = channel.NLOS
+)
+
+// DefaultConfig returns the calibrated configuration for a radio with the
+// receiver at the given distance from the tag (transmitter 1 m away, LOS).
+func DefaultConfig(r Radio, tagToRxMetres float64) Config {
+	return core.DefaultConfig(r, tagToRxMetres)
+}
+
+// NewSession validates a configuration and prepares a link session.
+func NewSession(cfg Config) (*Session, error) { return core.NewSession(cfg) }
+
+// Send is the quickstart helper: it backscatters the given tag bits over a
+// default link of the chosen radio and distance, using as many excitation
+// packets as needed, and returns the decoded bits. Bits must be 0/1 values.
+func Send(r Radio, tagToRxMetres float64, bits []byte, seed int64) ([]byte, error) {
+	for i, b := range bits {
+		if b > 1 {
+			return nil, fmt.Errorf("freerider: bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	cfg := DefaultConfig(r, tagToRxMetres)
+	cfg.Seed = seed
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	capacity := s.Capacity()
+	if capacity == 0 {
+		return nil, fmt.Errorf("freerider: excitation packets carry no tag bits")
+	}
+	out := make([]byte, 0, len(bits))
+	for off := 0; off < len(bits); off += capacity {
+		hi := off + capacity
+		if hi > len(bits) {
+			hi = len(bits)
+		}
+		pr, err := s.RunPacket(bits[off:hi])
+		if err != nil {
+			return nil, err
+		}
+		if !pr.Decoded {
+			return nil, fmt.Errorf("freerider: packet %d lost (link too weak at %.1f m?)", off/capacity, tagToRxMetres)
+		}
+		out = append(out, pr.DecodedTag...)
+	}
+	return out, nil
+}
+
+// MACScheme selects the multi-tag coordination discipline.
+type MACScheme = mac.Scheme
+
+// Coordination disciplines for multi-tag networks.
+const (
+	FramedSlottedAloha = mac.FramedSlottedAloha
+	TDM                = mac.TDM
+)
+
+// NetworkConfig parameterises a multi-tag network; see mac.Config.
+type NetworkConfig = mac.Config
+
+// NetworkResult aggregates a multi-tag run; see mac.Result.
+type NetworkResult = mac.Result
+
+// DefaultNetworkConfig returns the calibrated Fig 17 configuration for n
+// tags under the given scheme.
+func DefaultNetworkConfig(scheme MACScheme, n int) NetworkConfig {
+	return mac.DefaultConfig(scheme, n)
+}
+
+// RunNetwork simulates a multi-tag network for the given number of
+// coordination rounds.
+func RunNetwork(cfg NetworkConfig, rounds int) (NetworkResult, error) {
+	return mac.Run(cfg, rounds)
+}
+
+// RunNetworkFirmwareLevel simulates n tags for the given rounds through
+// the discrete-event model built from real tag firmware state machines:
+// PLM announcements are delivered pulse by pulse through each tag's lossy
+// envelope detector, so control losses emerge from the mechanism rather
+// than from an analytic probability. Use it to cross-validate RunNetwork.
+func RunNetworkFirmwareLevel(n, rounds int, seed int64) (NetworkResult, error) {
+	cfg := sim.DefaultConfig(n)
+	cfg.Seed = seed
+	return sim.Run(cfg, rounds)
+}
+
+// PLMScheme is the packet-length-modulation downlink alphabet (§2.4.2).
+type PLMScheme = plm.Scheme
+
+// DefaultPLMScheme returns the ~500 bps scheme used by the prototype.
+func DefaultPLMScheme() PLMScheme { return plm.DefaultScheme() }
+
+// BitsFromBytes expands bytes into the 0/1 bit slice a tag transmits,
+// least-significant bit first.
+func BitsFromBytes(data []byte) []byte { return bitsFromBytes(data) }
+
+// BytesFromBits packs a decoded 0/1 bit slice (length a multiple of 8,
+// LSB first) back into bytes.
+func BytesFromBits(bs []byte) ([]byte, error) { return bytesFromBits(bs) }
+
+// TagPowerProfile itemises the tag's microwatt budget (§3.3).
+type TagPowerProfile = tag.PowerProfile
+
+// TagPower returns the §3.3 power budget for a radio's translator with the
+// given channel-shift toggle frequency.
+func TagPower(r Radio, shiftHz float64) TagPowerProfile {
+	switch r {
+	case ZigBee:
+		return tag.PowerFor(tag.ExcitationZigBee, shiftHz)
+	case Bluetooth:
+		return tag.PowerFor(tag.ExcitationBluetooth, shiftHz)
+	default:
+		return tag.PowerFor(tag.ExcitationWiFi, shiftHz)
+	}
+}

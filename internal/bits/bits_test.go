@@ -1,0 +1,278 @@
+package bits
+
+import (
+	"bytes"
+	"hash/crc32"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromBytesToBytesRoundTrip(t *testing.T) {
+	in := []byte{0x00, 0xFF, 0xA5, 0x5A, 0x01, 0x80}
+	bs := FromBytes(in)
+	if len(bs) != len(in)*8 {
+		t.Fatalf("bit length = %d, want %d", len(bs), len(in)*8)
+	}
+	out, err := ToBytes(bs)
+	if err != nil {
+		t.Fatalf("ToBytes: %v", err)
+	}
+	if !bytes.Equal(in, out) {
+		t.Fatalf("round trip mismatch: %x vs %x", in, out)
+	}
+}
+
+func TestFromBytesLSBFirst(t *testing.T) {
+	bs := FromBytes([]byte{0x01})
+	want := []byte{1, 0, 0, 0, 0, 0, 0, 0}
+	if !bytes.Equal(bs, want) {
+		t.Fatalf("0x01 = %v, want %v (LSB first)", bs, want)
+	}
+	bs = FromBytes([]byte{0x80})
+	want = []byte{0, 0, 0, 0, 0, 0, 0, 1}
+	if !bytes.Equal(bs, want) {
+		t.Fatalf("0x80 = %v, want %v", bs, want)
+	}
+}
+
+func TestToBytesErrors(t *testing.T) {
+	if _, err := ToBytes(make([]byte, 7)); err == nil {
+		t.Error("ToBytes accepted a 7-bit slice")
+	}
+	if _, err := ToBytes([]byte{0, 1, 2, 0, 0, 0, 0, 0}); err == nil {
+		t.Error("ToBytes accepted a non-binary element")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := ToBytes(FromBytes(data))
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXOR(t *testing.T) {
+	a := []byte{0, 0, 1, 1}
+	b := []byte{0, 1, 0, 1}
+	got, err := XOR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0, 1, 1, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("XOR = %v, want %v", got, want)
+	}
+	if _, err := XOR(a, b[:3]); err == nil {
+		t.Error("XOR accepted mismatched lengths")
+	}
+}
+
+func TestXORSelfInverseProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		a := FromBytes(data)
+		b := make([]byte, len(a))
+		for i := range b {
+			b[i] = byte(i) & 1
+		}
+		x, err := XOR(a, b)
+		if err != nil {
+			return false
+		}
+		back, err := XOR(x, b)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(back, a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	in := []byte{1, 1, 0, 0, 0, 1, 1, 1, 0}
+	got := MajorityVote(in, 3)
+	want := []byte{1, 0, 1} // windows 110, 001, 110
+	if !bytes.Equal(got, want) {
+		t.Fatalf("MajorityVote = %v, want %v", got, want)
+	}
+	if out := MajorityVote(in, 0); out != nil {
+		t.Errorf("MajorityVote n=0 = %v, want nil", out)
+	}
+	// Even window tie resolves to 1.
+	if got := MajorityVote([]byte{1, 0}, 2); !bytes.Equal(got, []byte{1}) {
+		t.Errorf("tie vote = %v, want [1]", got)
+	}
+}
+
+func TestRepeatMajorityInverseProperty(t *testing.T) {
+	f := func(data []byte, nRaw uint8) bool {
+		n := int(nRaw%7) + 1
+		bs := FromBytes(data)
+		return bytes.Equal(MajorityVote(Repeat(bs, n), n), bs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHammingDistance(t *testing.T) {
+	d, err := HammingDistance([]byte{0, 1, 1, 0}, []byte{1, 1, 0, 0})
+	if err != nil || d != 2 {
+		t.Fatalf("HammingDistance = %d, %v; want 2, nil", d, err)
+	}
+	if _, err := HammingDistance([]byte{0}, []byte{0, 1}); err == nil {
+		t.Error("accepted mismatched lengths")
+	}
+}
+
+func TestOnes(t *testing.T) {
+	if n := Ones([]byte{1, 0, 1, 1, 0}); n != 3 {
+		t.Fatalf("Ones = %d, want 3", n)
+	}
+}
+
+func TestPRBS9Period(t *testing.T) {
+	p := NewPRBS9(0x1FF)
+	seen := map[uint32]bool{}
+	period := 0
+	for {
+		if seen[p.state] {
+			break
+		}
+		seen[p.state] = true
+		p.Next()
+		period++
+		if period > 1000 {
+			break
+		}
+	}
+	if period != 511 {
+		t.Fatalf("PRBS9 period = %d, want 511", period)
+	}
+}
+
+func TestPRBS15Period(t *testing.T) {
+	p := NewPRBS15(1)
+	start := p.state
+	p.Next()
+	period := 1
+	for p.state != start && period < 40000 {
+		p.Next()
+		period++
+	}
+	if period != 1<<15-1 {
+		t.Fatalf("PRBS15 period = %d, want %d", period, 1<<15-1)
+	}
+}
+
+func TestPRBSZeroSeedCorrected(t *testing.T) {
+	if NewPRBS9(0).state == 0 {
+		t.Error("PRBS9 zero seed left state zero (would lock up)")
+	}
+	if NewPRBS15(0).state == 0 {
+		t.Error("PRBS15 zero seed left state zero")
+	}
+}
+
+func TestPRBSBalanceProperty(t *testing.T) {
+	// A maximal-length LFSR emits 2^(n-1) ones per period.
+	p := NewPRBS9(0x0AB)
+	ones := 0
+	for i := 0; i < 511; i++ {
+		ones += int(p.Next())
+	}
+	if ones != 256 {
+		t.Fatalf("PRBS9 ones per period = %d, want 256", ones)
+	}
+}
+
+func TestPRBSBytesMatchesBits(t *testing.T) {
+	a := NewPRBS9(0x55)
+	b := NewPRBS9(0x55)
+	byteOut := a.Bytes(16)
+	bitOut := b.Bits(128)
+	packed, err := ToBytes(bitOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(byteOut, packed) {
+		t.Fatal("Bytes and Bits disagree")
+	}
+}
+
+func TestCRC32MatchesStdlib(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{0x00},
+		[]byte("123456789"),
+		[]byte("The quick brown fox jumps over the lazy dog"),
+	}
+	for _, c := range cases {
+		if got, want := CRC32IEEE(c), crc32.ChecksumIEEE(c); got != want {
+			t.Errorf("CRC32IEEE(%q) = %08x, want %08x", c, got, want)
+		}
+	}
+}
+
+func TestCRC32MatchesStdlibProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		return CRC32IEEE(data) == crc32.ChecksumIEEE(data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCRC16KnownVector(t *testing.T) {
+	// CRC-16/CCITT (Kermit variant as used by 802.15.4): "123456789" -> 0x2189.
+	if got := CRC16CCITT([]byte("123456789")); got != 0x2189 {
+		t.Fatalf("CRC16CCITT = %04x, want 2189", got)
+	}
+}
+
+func TestCRC16DetectsSingleBitErrors(t *testing.T) {
+	msg := []byte{0xDE, 0xAD, 0xBE, 0xEF, 0x42}
+	orig := CRC16CCITT(msg)
+	for i := range msg {
+		for b := 0; b < 8; b++ {
+			msg[i] ^= 1 << uint(b)
+			if CRC16CCITT(msg) == orig {
+				t.Fatalf("single-bit flip at byte %d bit %d undetected", i, b)
+			}
+			msg[i] ^= 1 << uint(b)
+		}
+	}
+}
+
+func TestCRC24DetectsErrors(t *testing.T) {
+	msg := []byte{0x01, 0x02, 0x03, 0x04}
+	orig := CRC24BLE(msg, 0x555555)
+	for i := range msg {
+		msg[i] ^= 0x10
+		if CRC24BLE(msg, 0x555555) == orig {
+			t.Fatalf("byte %d corruption undetected", i)
+		}
+		msg[i] ^= 0x10
+	}
+	if CRC24BLE(msg, 0x555555) != orig {
+		t.Fatal("CRC24 not deterministic")
+	}
+	if CRC24BLE(msg, 0x555555) == CRC24BLE(msg, 0xAAAAAA) {
+		t.Fatal("CRC24 ignores init value")
+	}
+}
+
+func TestRepeat(t *testing.T) {
+	got := Repeat([]byte{1, 0}, 3)
+	want := []byte{1, 1, 1, 0, 0, 0}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Repeat = %v, want %v", got, want)
+	}
+	if out := Repeat([]byte{1}, 0); out != nil {
+		t.Errorf("Repeat n=0 = %v, want nil", out)
+	}
+}

@@ -1,0 +1,53 @@
+package bits
+
+// CRC32IEEE computes the IEEE 802.3 CRC-32 used as the 802.11 FCS.
+// Polynomial 0x04C11DB7, reflected, init 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+func CRC32IEEE(data []byte) uint32 {
+	crc := uint32(0xFFFFFFFF)
+	for _, b := range data {
+		crc ^= uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0xEDB88320
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// CRC16CCITT computes the ITU-T CRC-16 used as the IEEE 802.15.4 FCS.
+// Polynomial 0x1021, reflected, init 0x0000.
+func CRC16CCITT(data []byte) uint16 {
+	crc := uint16(0)
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0x8408
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}
+
+// CRC24BLE computes the Bluetooth Low Energy CRC-24.
+// Polynomial x^24+x^10+x^9+x^6+x^4+x^3+x+1 (0x00065B), LSB-first,
+// init value supplied by the link layer (0x555555 for advertising).
+func CRC24BLE(data []byte, init uint32) uint32 {
+	crc := init & 0xFFFFFF
+	for _, b := range data {
+		for i := 0; i < 8; i++ {
+			inBit := (uint32(b) >> uint(i)) & 1
+			fb := (crc & 1) ^ inBit
+			crc >>= 1
+			if fb != 0 {
+				crc ^= 0xDA6000 // reflected 0x00065B << ... feedback taps
+			}
+		}
+	}
+	return crc & 0xFFFFFF
+}

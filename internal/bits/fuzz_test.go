@@ -1,0 +1,34 @@
+package bits
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzToBytes must reject malformed bit slices gracefully and round-trip
+// well-formed ones.
+func FuzzToBytes(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 0, 0})
+	f.Add([]byte{})
+	f.Add([]byte{2})
+	f.Fuzz(func(t *testing.T, bs []byte) {
+		out, err := ToBytes(bs)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(FromBytes(out), bs) {
+			t.Fatal("accepted bit slice does not round trip")
+		}
+	})
+}
+
+// FuzzCRC24 must be total over arbitrary input.
+func FuzzCRC24(f *testing.F) {
+	f.Add([]byte("seed"), uint32(0x555555))
+	f.Fuzz(func(t *testing.T, data []byte, init uint32) {
+		c := CRC24BLE(data, init)
+		if c > 0xFFFFFF {
+			t.Fatalf("CRC24 %x exceeds 24 bits", c)
+		}
+	})
+}

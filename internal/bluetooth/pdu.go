@@ -1,0 +1,48 @@
+package bluetooth
+
+import "fmt"
+
+// AdvPDU is a minimal BLE advertising-channel PDU (ADV_NONCONN_IND): a
+// 2-byte header (type + payload length), the 6-byte advertiser address,
+// and up to 31 bytes of advertising data. The link-layer CRC-24 is
+// appended by the PHY transmitter.
+type AdvPDU struct {
+	AdvAddr [6]byte
+	AdvData []byte
+}
+
+// pduTypeNonConn is the ADV_NONCONN_IND type code.
+const pduTypeNonConn byte = 0x02
+
+// MaxAdvData is the BLE limit on advertising data.
+const MaxAdvData = 31
+
+// Marshal serialises the PDU, ready for Transmit.
+func (p *AdvPDU) Marshal() ([]byte, error) {
+	if len(p.AdvData) > MaxAdvData {
+		return nil, fmt.Errorf("bluetooth: advertising data %d exceeds %d bytes", len(p.AdvData), MaxAdvData)
+	}
+	out := make([]byte, 2, 2+6+len(p.AdvData))
+	out[0] = pduTypeNonConn
+	out[1] = byte(6 + len(p.AdvData))
+	out = append(out, p.AdvAddr[:]...)
+	return append(out, p.AdvData...), nil
+}
+
+// ParseAdvPDU decodes a PDU produced by Marshal (CRC already verified by
+// the PHY receiver).
+func ParseAdvPDU(b []byte) (*AdvPDU, error) {
+	if len(b) < 8 {
+		return nil, fmt.Errorf("bluetooth: PDU %d bytes too short", len(b))
+	}
+	if b[0]&0x0F != pduTypeNonConn {
+		return nil, fmt.Errorf("bluetooth: unsupported PDU type %#02x", b[0]&0x0F)
+	}
+	n := int(b[1])
+	if n < 6 || 2+n > len(b) {
+		return nil, fmt.Errorf("bluetooth: PDU length field %d inconsistent with %d bytes", n, len(b))
+	}
+	p := &AdvPDU{AdvData: append([]byte(nil), b[8:2+n]...)}
+	copy(p.AdvAddr[:], b[2:8])
+	return p, nil
+}

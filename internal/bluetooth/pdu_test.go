@@ -1,0 +1,72 @@
+package bluetooth
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func TestAdvPDURoundTrip(t *testing.T) {
+	p := &AdvPDU{AdvAddr: [6]byte{1, 2, 3, 4, 5, 6}, AdvData: []byte("freerider tag")}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseAdvPDU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.AdvAddr != p.AdvAddr || !bytes.Equal(got.AdvData, p.AdvData) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestAdvPDUValidation(t *testing.T) {
+	p := &AdvPDU{AdvData: make([]byte, MaxAdvData+1)}
+	if _, err := p.Marshal(); err == nil {
+		t.Error("oversized AdvData accepted")
+	}
+	if _, err := ParseAdvPDU(make([]byte, 3)); err == nil {
+		t.Error("short PDU accepted")
+	}
+	good, _ := (&AdvPDU{}).Marshal()
+	good[0] = 0x07
+	if _, err := ParseAdvPDU(good); err == nil {
+		t.Error("wrong PDU type accepted")
+	}
+	bad, _ := (&AdvPDU{AdvData: []byte{1, 2}}).Marshal()
+	bad[1] = 200
+	if _, err := ParseAdvPDU(bad); err == nil {
+		t.Error("inconsistent length accepted")
+	}
+}
+
+func TestAdvPDUOverTheAir(t *testing.T) {
+	p := &AdvPDU{AdvAddr: [6]byte{0xA, 0xB, 0xC, 0xD, 0xE, 0xF},
+		AdvData: []byte("ble advert")}
+	b, err := p.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := NewTransmitter().Transmit(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+300)
+	copy(cap.Samples[100:], sig.Samples)
+	f, err := NewReceiver().Receive(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.CRCOK {
+		t.Fatal("CRC failed")
+	}
+	got, err := ParseAdvPDU(f.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.AdvData, p.AdvData) {
+		t.Fatal("AdvData corrupted over the air")
+	}
+}

@@ -1,0 +1,80 @@
+package bluetooth
+
+import (
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func TestReceiveTruncatedMidFrame(t *testing.T) {
+	sig, err := NewTransmitter().Transmit(make([]byte, 120))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(sig.Samples) / 3
+	cap := signal.New(SampleRate, cut+200)
+	copy(cap.Samples[100:], sig.Samples[:cut])
+	if f, err := NewReceiver().Receive(cap); err == nil && f.CRCOK {
+		t.Fatal("truncated frame decoded with good CRC")
+	}
+}
+
+func TestCorruptedBodyFailsCRC(t *testing.T) {
+	sig, err := NewTransmitter().Transmit([]byte("whitened body bits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Invert a run of body samples (frequency flip) to corrupt bits.
+	lo := (40 + 30) * SamplesPerBit
+	for i := lo; i < lo+20*SamplesPerBit && i < len(sig.Samples); i++ {
+		re, im := real(sig.Samples[i]), imag(sig.Samples[i])
+		sig.Samples[i] = complex(re, -im) // conjugate = negate frequency
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+300)
+	copy(cap.Samples[120:], sig.Samples)
+	f, err := NewReceiver().Receive(cap)
+	if err != nil {
+		t.Skip("frame lost entirely; acceptable")
+	}
+	if f.CRCOK {
+		t.Fatal("corrupted body passed CRC")
+	}
+}
+
+func TestWhitenSeedMismatchBreaksDecode(t *testing.T) {
+	tx := NewTransmitter()
+	tx.WhitenSeed = 0x1F
+	sig, err := tx.Transmit([]byte("seeded"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+300)
+	copy(cap.Samples[100:], sig.Samples)
+	rx := NewReceiver() // default seed 0x53 != 0x1F
+	if f, err := rx.Receive(cap); err == nil && f.CRCOK {
+		t.Fatal("mismatched whitening seed decoded cleanly")
+	}
+}
+
+// TestFMDemodToleratesCFO: frequency discrimination is inherently robust
+// to carrier offset — a CFO only adds a DC bias to the instantaneous-
+// frequency output, small against the ±250 kHz deviation.
+func TestFMDemodToleratesCFO(t *testing.T) {
+	p := []byte("fsk shrugs at 30 kHz")
+	sig, err := NewTransmitter().Transmit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfo := range []float64{10e3, -20e3, 30e3} {
+		cap := signal.New(SampleRate, len(sig.Samples)+300)
+		copy(cap.Samples[100:], sig.Samples)
+		cap.FrequencyShift(cfo)
+		f, err := NewReceiver().Receive(cap)
+		if err != nil {
+			t.Fatalf("cfo %g: %v", cfo, err)
+		}
+		if !f.CRCOK || string(f.Payload) != string(p) {
+			t.Fatalf("cfo %g: payload corrupted", cfo)
+		}
+	}
+}

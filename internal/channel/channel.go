@@ -1,0 +1,204 @@
+// Package channel models the 2.4 GHz indoor links of the paper's
+// evaluation: log-distance path loss for the LOS hallway and NLOS
+// multi-wall deployments of Fig 9, thermal noise floors per receiver
+// bandwidth, and the backscatter link budget
+//
+//	RSSI = Ptx + Gsys − PL(tx→tag) − TagLoss − PL(tag→rx)
+//
+// Path-loss exponents and the system gain constant are calibrated once
+// against the RSSI-vs-distance anchors the paper reports (Fig 10c, 11c,
+// 12c, 13c) and recorded in EXPERIMENTS.md; all throughput/BER behaviour
+// then emerges from running the real PHY chains at the resulting SNR.
+package channel
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"repro/internal/signal"
+)
+
+// Deployment describes one propagation environment.
+type Deployment struct {
+	Name string
+	// RefLossDB is the path loss at 1 m (free space at 2.4 GHz ≈ 40 dB).
+	RefLossDB float64
+	// Exponent is the log-distance path-loss exponent.
+	Exponent float64
+	// Walls lists wall positions: any link longer than a wall's Beyond
+	// distance pays its extra attenuation. Models Fig 9(b), where the
+	// backscatter signal crosses one more wall past 22 m.
+	Walls []Wall
+}
+
+// Wall is an attenuating obstacle crossed by links longer than Beyond.
+type Wall struct {
+	Beyond float64 // metres
+	LossDB float64
+}
+
+// LOS is the hallway line-of-sight deployment of Fig 9(a). The hallway
+// wave-guides slightly, giving a sub-free-space exponent.
+var LOS = Deployment{Name: "LOS", RefLossDB: 40, Exponent: 1.9}
+
+// NLOS is the through-the-wall deployment of Fig 9(b): one wall always and
+// a second wall beyond 22 m. The distance exponent is mild — the receiver
+// hallway wave-guides — and the walls carry the loss; Fig 11c's RSSI only
+// spans -72 to -84 dBm before the second wall kills the link.
+var NLOS = Deployment{
+	Name:      "NLOS",
+	RefLossDB: 40,
+	Exponent:  1.6,
+	Walls:     []Wall{{Beyond: 0, LossDB: 5}, {Beyond: 22, LossDB: 14}},
+}
+
+// PathLossDB returns the total path loss in dB over d metres.
+func (dep Deployment) PathLossDB(d float64) float64 {
+	if d < 0.1 {
+		d = 0.1
+	}
+	pl := dep.RefLossDB + 10*dep.Exponent*math.Log10(d)
+	for _, w := range dep.Walls {
+		if d > w.Beyond {
+			pl += w.LossDB
+		}
+	}
+	return pl
+}
+
+// Link is a fully-parameterised backscatter link.
+type Link struct {
+	Deployment Deployment
+	TxPowerDBm float64 // excitation transmitter power
+	SystemGain float64 // antenna gains + calibration, dB
+	TagLossDB  float64 // reflection efficiency + mixer conversion loss
+	TxToTag    float64 // metres
+	TagToRx    float64 // metres
+	NoiseFloor float64 // dBm at the receiver bandwidth
+	// FadingK is the Rician K factor (linear) of per-packet small-scale
+	// fading: the packet's channel gain is sqrt(K/(K+1)) + CN(0,1/(K+1)).
+	// Zero (the default) disables fading; use a small positive K (e.g.
+	// 0.01) for near-Rayleigh conditions.
+	FadingK float64
+	// CFOHz is the residual carrier frequency offset between the
+	// excitation transmitter (plus the tag's ring-oscillator shift) and
+	// the receiver's local oscillator. 802.11 allows ±20 ppm per side
+	// (up to ~±48 kHz at 2.4 GHz).
+	CFOHz float64
+	// Multipath lists delayed echo taps added to the direct path. Indoor
+	// delay spreads of tens to hundreds of nanoseconds fit inside the
+	// 800 ns OFDM cyclic prefix, where the LTF equaliser absorbs them —
+	// one reason wideband OFDM WiFi is the most robust excitation.
+	Multipath []Tap
+	Seed      int64 // RNG seed for AWGN, fading and tap phases
+}
+
+// Tap is one multipath echo relative to the direct path.
+type Tap struct {
+	Delay  float64 // seconds after the direct path
+	GainDB float64 // relative to the direct path (negative)
+}
+
+// Defaults calibrated in EXPERIMENTS.md §calibration.
+const (
+	DefaultSystemGainDB = 17.7
+	// DefaultTagLossDB = 6 dB reflection inefficiency + 3.9 dB square-wave
+	// mixer conversion loss (2/π amplitude).
+	DefaultTagLossDB = 9.9
+)
+
+// NoiseFloorFor returns the receiver noise floor for a bandwidth and noise
+// figure.
+func NoiseFloorFor(bandwidthHz, nfDB float64) float64 {
+	return signal.NoiseFloorDBm(bandwidthHz, nfDB)
+}
+
+// BackscatterRSSI returns the backscattered signal power at the receiver.
+func (l Link) BackscatterRSSI() float64 {
+	return l.TxPowerDBm + l.SystemGain -
+		l.Deployment.PathLossDB(l.TxToTag) - l.TagLossDB -
+		l.Deployment.PathLossDB(l.TagToRx)
+}
+
+// ExcitationRSSIAtTag returns the excitation power arriving at the tag,
+// which drives the envelope detector (PLM downlink, Fig 4).
+func (l Link) ExcitationRSSIAtTag() float64 {
+	return l.TxPowerDBm + l.SystemGain/2 - l.Deployment.PathLossDB(l.TxToTag)
+}
+
+// SNRdB returns the backscatter link SNR at the receiver.
+func (l Link) SNRdB() float64 { return l.BackscatterRSSI() - l.NoiseFloor }
+
+// Apply scales a unit-power baseband signal to the link's receive power and
+// adds thermal noise, returning a new capture with headroom samples of
+// leading and trailing noise. The tag-side losses must already be embedded
+// in the waveform (the tag model applies its own mixer), so callers pass
+// excludeTagLoss=true when the waveform was produced by the tag model.
+func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signal.Signal, error) {
+	if s == nil || len(s.Samples) == 0 {
+		return nil, fmt.Errorf("channel: empty input signal")
+	}
+	rssi := l.BackscatterRSSI()
+	if excludeTagLoss {
+		rssi += l.TagLossDB
+	}
+	amp := signal.AmplitudeForPowerDBm(rssi)
+	// Normalise the source to unit power first.
+	p := s.MeanPower()
+	if p <= 0 {
+		return nil, fmt.Errorf("channel: zero-power input signal")
+	}
+	out := signal.New(s.Rate, len(s.Samples)+2*headroom)
+	rng := rand.New(rand.NewSource(l.Seed))
+	g := complex(amp/math.Sqrt(p), 0) * l.fadeGain(rng)
+	for i, v := range s.Samples {
+		out.Samples[headroom+i] = v * g
+	}
+	for _, tap := range l.Multipath {
+		d := int(math.Round(tap.Delay * s.Rate))
+		tapGain := complex(signal.AmplitudeForPowerDBm(tap.GainDB), 0) *
+			cmplx.Exp(complex(0, 2*math.Pi*rng.Float64()))
+		for i, v := range s.Samples {
+			j := headroom + i + d
+			if j >= len(out.Samples) {
+				break
+			}
+			out.Samples[j] += v * g * tapGain
+		}
+	}
+	if l.CFOHz != 0 {
+		out.FrequencyShift(l.CFOHz)
+	}
+	out.AddAWGN(signal.DBToPower(l.NoiseFloor), rng)
+	return out, nil
+}
+
+// fadeGain draws one packet's small-scale fading gain (complex, mean square
+// 1) from the link's Rician distribution.
+func (l Link) fadeGain(rng *rand.Rand) complex128 {
+	if l.FadingK <= 0 {
+		return 1
+	}
+	k := l.FadingK
+	los := math.Sqrt(k / (k + 1))
+	sigma := math.Sqrt(1 / (k + 1) / 2) // per real dimension
+	return complex(los+rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+}
+
+// ApplySNR is a convenience that places the signal at an explicit SNR above
+// the unit noise floor: signal power is set to DBToPower(snrDB) and noise
+// power to 1. Useful for BER sweeps decoupled from geometry.
+func ApplySNR(s *signal.Signal, snrDB float64, headroom int, seed int64) *signal.Signal {
+	out := signal.New(s.Rate, len(s.Samples)+2*headroom)
+	p := s.MeanPower()
+	if p > 0 {
+		g := complex(math.Sqrt(signal.DBToPower(snrDB)/p), 0)
+		for i, v := range s.Samples {
+			out.Samples[headroom+i] = v * g
+		}
+	}
+	out.AddAWGN(1, rand.New(rand.NewSource(seed)))
+	return out
+}

@@ -1,0 +1,234 @@
+package channel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/signal"
+)
+
+func TestPathLossMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a = math.Abs(math.Mod(a, 50)) + 0.2
+		b = math.Abs(math.Mod(b, 50)) + 0.2
+		if a > b {
+			a, b = b, a
+		}
+		return LOS.PathLossDB(a) <= LOS.PathLossDB(b)+1e-9 &&
+			NLOS.PathLossDB(a) <= NLOS.PathLossDB(b)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathLossReference(t *testing.T) {
+	// At 1 m, LOS loss equals the reference loss (no walls).
+	if got := LOS.PathLossDB(1); math.Abs(got-40) > 1e-9 {
+		t.Fatalf("LOS PL(1m) = %g, want 40", got)
+	}
+	// 10x distance adds 10*exponent dB.
+	if d := LOS.PathLossDB(10) - LOS.PathLossDB(1); math.Abs(d-19) > 1e-9 {
+		t.Fatalf("LOS decade loss %g, want 19", d)
+	}
+}
+
+func TestNLOSWallSteps(t *testing.T) {
+	// One wall before 22 m, two after.
+	within := NLOS.PathLossDB(10) - (NLOS.RefLossDB + 10*NLOS.Exponent*math.Log10(10))
+	if math.Abs(within-5) > 1e-9 {
+		t.Fatalf("NLOS wall loss at 10m = %g, want 5", within)
+	}
+	beyond := NLOS.PathLossDB(25) - (NLOS.RefLossDB + 10*NLOS.Exponent*math.Log10(25))
+	if math.Abs(beyond-19) > 1e-9 {
+		t.Fatalf("NLOS wall loss at 25m = %g, want 19", beyond)
+	}
+}
+
+func TestPathLossClampsTinyDistance(t *testing.T) {
+	if LOS.PathLossDB(0) < 0 || math.IsInf(LOS.PathLossDB(0), -1) {
+		t.Fatal("zero distance produced nonsense loss")
+	}
+}
+
+func wifiLOSLink(d2 float64) Link {
+	return Link{
+		Deployment: LOS,
+		TxPowerDBm: 11,
+		SystemGain: DefaultSystemGainDB,
+		TagLossDB:  DefaultTagLossDB,
+		TxToTag:    1,
+		TagToRx:    d2,
+		NoiseFloor: NoiseFloorFor(20e6, 6),
+		Seed:       1,
+	}
+}
+
+func TestBackscatterRSSIAnchors(t *testing.T) {
+	// Calibration anchor: WiFi LOS at 42 m should sit near the paper's
+	// reported -92 dBm (Fig 10c), within a few dB.
+	got := wifiLOSLink(42).BackscatterRSSI()
+	if got < -96 || got > -88 {
+		t.Fatalf("RSSI(42m) = %.1f dBm, want about -92", got)
+	}
+	// Close range around -70 dBm (Fig 10c at ~2 m).
+	got = wifiLOSLink(2).BackscatterRSSI()
+	if got < -74 || got > -62 {
+		t.Fatalf("RSSI(2m) = %.1f dBm, want about -68", got)
+	}
+}
+
+func TestSNRPositiveInsideRange(t *testing.T) {
+	// The link must have positive SNR at 42 m (paper still decodes there)
+	// and strongly positive at 5 m.
+	if snr := wifiLOSLink(42).SNRdB(); snr < 0 || snr > 12 {
+		t.Fatalf("SNR(42m) = %.1f dB, want small positive", snr)
+	}
+	if snr := wifiLOSLink(5).SNRdB(); snr < 15 {
+		t.Fatalf("SNR(5m) = %.1f dB, want > 15", snr)
+	}
+}
+
+func TestApplySetsPowerAndNoise(t *testing.T) {
+	s := signal.New(1e6, 20000)
+	for i := range s.Samples {
+		s.Samples[i] = 2 // power 4, must be normalised away
+	}
+	l := wifiLOSLink(10)
+	out, err := l.Apply(s, 500, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Samples) != 21000 {
+		t.Fatalf("output length %d", len(out.Samples))
+	}
+	// Mid-section power = RSSI + noise floor power.
+	mid := &signal.Signal{Rate: out.Rate, Samples: out.Samples[500:20500]}
+	wantP := signal.DBToPower(l.BackscatterRSSI()) + signal.DBToPower(l.NoiseFloor)
+	if p := mid.MeanPower(); math.Abs(p-wantP) > 0.25*wantP {
+		t.Fatalf("mid power %g, want about %g", p, wantP)
+	}
+	// Headroom is noise only.
+	head := &signal.Signal{Rate: out.Rate, Samples: out.Samples[:500]}
+	floor := signal.DBToPower(l.NoiseFloor)
+	if p := head.MeanPower(); p > 10*floor {
+		t.Fatalf("headroom power %g way above noise floor %g", p, floor)
+	}
+}
+
+func TestApplyExcludeTagLoss(t *testing.T) {
+	s := signal.New(1e6, 5000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	l.NoiseFloor = -200 // effectively none, isolate the gain path
+	with, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := l.Apply(s, 0, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := without.MeanPowerDBm() - with.MeanPowerDBm()
+	if math.Abs(d-l.TagLossDB) > 0.1 {
+		t.Fatalf("excludeTagLoss difference %g dB, want %g", d, l.TagLossDB)
+	}
+}
+
+func TestApplyRejectsEmpty(t *testing.T) {
+	l := wifiLOSLink(5)
+	if _, err := l.Apply(signal.New(1e6, 0), 10, false); err == nil {
+		t.Error("empty signal accepted")
+	}
+	if _, err := l.Apply(signal.New(1e6, 100), 10, false); err == nil {
+		t.Error("zero-power signal accepted")
+	}
+}
+
+func TestApplySNR(t *testing.T) {
+	s := signal.New(1e6, 50000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	out := ApplySNR(s, 10, 0, 3)
+	// Total power = 10 (signal) + 1 (noise).
+	if p := out.MeanPower(); math.Abs(p-11) > 1 {
+		t.Fatalf("power %g, want about 11", p)
+	}
+}
+
+func TestExcitationRSSIAtTagDecaysWithDistance(t *testing.T) {
+	a := wifiLOSLink(5)
+	b := wifiLOSLink(5)
+	b.TxToTag = 4
+	if a.ExcitationRSSIAtTag() <= b.ExcitationRSSIAtTag() {
+		t.Fatal("farther tag should see less excitation power")
+	}
+}
+
+func TestDeterministicNoise(t *testing.T) {
+	s := signal.New(1e6, 100)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	a, _ := l.Apply(s, 10, false)
+	b, _ := l.Apply(s, 10, false)
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("same seed gave different captures")
+		}
+	}
+}
+
+func TestMultipathAddsEchoEnergy(t *testing.T) {
+	s := signal.New(20e6, 4000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	l.NoiseFloor = -200
+	l.Multipath = []Tap{{Delay: 400e-9, GainDB: -6}}
+	out, err := l.Apply(s, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Echo arrives 8 samples late: the tail beyond the direct path must
+	// carry energy at -6 dB relative to the passband.
+	direct := signal.DBToPower(l.BackscatterRSSI())
+	tail := out.Samples[100+4000 : 100+4008]
+	var tailP float64
+	for _, v := range tail {
+		tailP += real(v)*real(v) + imag(v)*imag(v)
+	}
+	tailP /= 8
+	want := direct * signal.DBToPower(-6)
+	if tailP < want/2 || tailP > want*2 {
+		t.Fatalf("echo tail power %g, want about %g", tailP, want)
+	}
+}
+
+func TestMultipathDeterministic(t *testing.T) {
+	s := signal.New(20e6, 500)
+	for i := range s.Samples {
+		s.Samples[i] = complex(float64(i%7), 1)
+	}
+	l := wifiLOSLink(5)
+	l.Multipath = []Tap{{Delay: 200e-9, GainDB: -3}, {Delay: 600e-9, GainDB: -9}}
+	a, err := l.Apply(s, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l.Apply(s, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i] != b.Samples[i] {
+			t.Fatal("multipath not deterministic under a fixed seed")
+		}
+	}
+}

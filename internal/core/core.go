@@ -1,0 +1,593 @@
+// Package core assembles the FreeRider system end to end: a commodity
+// excitation transmitter (802.11g/n WiFi, ZigBee, or Bluetooth), the tag's
+// codeword translator and channel shifter, the radio link, the
+// adjacent-channel commodity receiver, and the backscatter decoder that
+// compares the two bit streams. Everything runs at sample level, so
+// detection failures, bit errors and throughput all emerge from the PHY
+// chains rather than from closed-form approximations.
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bits"
+	"repro/internal/bluetooth"
+	"repro/internal/channel"
+	"repro/internal/decoder"
+	"repro/internal/tag"
+	"repro/internal/wifi"
+	"repro/internal/zigbee"
+)
+
+// Radio identifies the excitation technology.
+type Radio int
+
+// Supported excitation radios.
+const (
+	WiFi Radio = iota
+	ZigBee
+	Bluetooth
+)
+
+// String names the radio.
+func (r Radio) String() string {
+	switch r {
+	case WiFi:
+		return "802.11g/n WiFi"
+	case ZigBee:
+		return "ZigBee"
+	case Bluetooth:
+		return "Bluetooth"
+	}
+	return fmt.Sprintf("Radio(%d)", int(r))
+}
+
+// Config describes one backscatter link end to end.
+type Config struct {
+	Radio Radio
+	Link  channel.Link
+
+	// PayloadSize is the excitation packet payload in bytes.
+	PayloadSize int
+	// WiFiRateMbps selects the 802.11 rate (6/9/12/18; codeword translation
+	// by 180° phase needs BPSK or QPSK subcarriers).
+	WiFiRateMbps int
+	// Redundancy is the PHY units per tag bit: OFDM symbols (WiFi, paper
+	// uses 4), OQPSK symbols (ZigBee), or FSK bits (Bluetooth).
+	Redundancy int
+	// InterPacketGap is the idle time between excitation packets, seconds.
+	InterPacketGap float64
+	// Quaternary enables the eq. 5 scheme on WiFi: the tag steps its phase
+	// in 90° increments, carrying 2 bits per window instead of 1. Requires
+	// a QPSK rate (12/18 Mbps) and a monitor-mode decoder with access to
+	// raw demapped bits (rotations are invisible after Viterbi decoding).
+	Quaternary bool
+	// PilotPhaseTracking enables the receiver behaviour FreeRider must not
+	// have (ablation; see §3.2.1 on pilot tones).
+	PilotPhaseTracking bool
+	// SoftDecision upgrades the WiFi receiver to LLR-based Viterbi
+	// decoding (~2 dB coding gain), showing what a better-than-commodity
+	// decoder would buy the backscatter link. Off by default to keep the
+	// calibrated budgets comparable.
+	SoftDecision bool
+	// DetectionThreshold overrides the receiver's packet-detection
+	// threshold; zero selects the per-radio calibrated default, which
+	// mimics commodity-chip sensitivity (see EXPERIMENTS.md §calibration).
+	DetectionThreshold float64
+	// Seed drives every stochastic element of the session.
+	Seed int64
+}
+
+// Calibrated per-radio receiver detection thresholds: normalised preamble
+// correlation below which a commodity chip misses the packet.
+const (
+	wifiDetectionThreshold = 0.72 // periodicity metric; fails below ~4 dB instantaneous SNR
+	zbDetectionThreshold   = 0.85 // fails below ~4.3 dB
+	btDetectionThreshold   = 0.81 // fails below ~3 dB
+)
+
+func (c Config) detectionThreshold(def float64) float64 {
+	if c.DetectionThreshold > 0 {
+		return c.DetectionThreshold
+	}
+	return def
+}
+
+// DefaultConfig returns the calibrated defaults for a radio at the given
+// tag-to-receiver distance (TX-to-tag 1 m, LOS, as in §4.1).
+func DefaultConfig(r Radio, tagToRx float64) Config {
+	cfg := Config{Radio: r, Redundancy: 4, InterPacketGap: 100e-6, Seed: 1}
+	switch r {
+	case WiFi:
+		cfg.PayloadSize = 1500
+		cfg.WiFiRateMbps = 6
+		cfg.Link = channel.Link{
+			Deployment: channel.LOS,
+			TxPowerDBm: 11,
+			SystemGain: channel.DefaultSystemGainDB,
+			TagLossDB:  channel.DefaultTagLossDB,
+			TxToTag:    1,
+			TagToRx:    tagToRx,
+			NoiseFloor: channel.NoiseFloorFor(20e6, 6),
+			FadingK:    4, // Rician, strong LOS component
+			Seed:       1,
+		}
+	case ZigBee:
+		cfg.PayloadSize = 100
+		cfg.Redundancy = 4
+		cfg.InterPacketGap = 192e-6 // 802.15.4 turnaround
+		cfg.Link = channel.Link{
+			Deployment: channel.LOS,
+			TxPowerDBm: 5,
+			// 4 dB below the WiFi rig: the CC2650's PCB antenna path (the
+			// RSSI anchor is Fig 12c's -97 dBm at 22 m).
+			SystemGain: channel.DefaultSystemGainDB - 4,
+			TagLossDB:  channel.DefaultTagLossDB,
+			TxToTag:    1,
+			TagToRx:    tagToRx,
+			NoiseFloor: channel.NoiseFloorFor(2e6, 10),
+			FadingK:    4,
+			Seed:       1,
+		}
+	case Bluetooth:
+		cfg.PayloadSize = 255
+		cfg.Redundancy = 16
+		cfg.InterPacketGap = 150e-6 // T_IFS
+		cfg.Link = channel.Link{
+			Deployment: channel.LOS,
+			TxPowerDBm: 0,
+			// 7 dB below the WiFi rig (anchor: Fig 13c's -100 dBm at 12 m).
+			SystemGain: channel.DefaultSystemGainDB - 7,
+			TagLossDB:  channel.DefaultTagLossDB,
+			TxToTag:    1,
+			TagToRx:    tagToRx,
+			NoiseFloor: channel.NoiseFloorFor(1e6, 12),
+			FadingK:    4,
+			Seed:       1,
+		}
+	}
+	return cfg
+}
+
+// PacketResult reports one excitation packet's backscatter outcome.
+type PacketResult struct {
+	Detected   bool    // adjacent-channel receiver found the packet
+	Decoded    bool    // tag windows were extracted
+	TagBits    int     // tag bits embedded by the tag
+	BitErrors  int     // decoded tag bits differing from the sent bits
+	RSSI       float64 // backscatter RSSI at the receiver, dBm
+	AirTime    float64 // excitation packet duration, seconds
+	DecodedTag []byte  // the decoded tag bits (nil when not decoded)
+}
+
+// Session runs excitation packets through one link configuration.
+type Session struct {
+	cfg Config
+	rng *rand.Rand
+
+	wifiTX *wifi.Transmitter
+	zbTX   *zigbee.Transmitter
+	btTX   *bluetooth.Transmitter
+}
+
+// NewSession validates the configuration and prepares a session.
+func NewSession(cfg Config) (*Session, error) {
+	switch cfg.Radio {
+	case WiFi:
+		r, ok := wifi.Rates[cfg.WiFiRateMbps]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown wifi rate %d Mbps", cfg.WiFiRateMbps)
+		}
+		if r.Modulation != wifi.BPSK && r.Modulation != wifi.QPSK {
+			return nil, fmt.Errorf("core: 180° codeword translation needs BPSK/QPSK subcarriers; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
+		}
+		if cfg.Quaternary && r.Modulation != wifi.QPSK {
+			return nil, fmt.Errorf("core: quaternary (eq. 5) translation needs QPSK; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
+		}
+	case ZigBee, Bluetooth:
+		if cfg.Quaternary {
+			return nil, fmt.Errorf("core: quaternary translation is only implemented for WiFi")
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown radio %v", cfg.Radio)
+	}
+	if cfg.PayloadSize <= 0 {
+		return nil, fmt.Errorf("core: payload size %d must be positive", cfg.PayloadSize)
+	}
+	if cfg.Redundancy <= 0 {
+		return nil, fmt.Errorf("core: redundancy %d must be positive", cfg.Redundancy)
+	}
+	return &Session{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		wifiTX: wifi.NewTransmitter(),
+		zbTX:   zigbee.NewTransmitter(),
+		btTX:   bluetooth.NewTransmitter(),
+	}, nil
+}
+
+// Config returns the session's configuration.
+func (s *Session) Config() Config { return s.cfg }
+
+// Capacity returns how many tag bits one excitation packet carries.
+func (s *Session) Capacity() int {
+	return s.translator().Capacity(s.PacketDuration())
+}
+
+// PacketDuration returns the excitation packet airtime in seconds.
+func (s *Session) PacketDuration() float64 {
+	switch s.cfg.Radio {
+	case WiFi:
+		return wifi.PacketDuration(s.cfg.PayloadSize+4, wifi.Rates[s.cfg.WiFiRateMbps])
+	case ZigBee:
+		return zigbee.FrameDuration(s.cfg.PayloadSize)
+	case Bluetooth:
+		return bluetooth.FrameDuration(s.cfg.PayloadSize)
+	}
+	return 0
+}
+
+func (s *Session) translator() tag.Translator {
+	switch s.cfg.Radio {
+	case WiFi:
+		// Modulation starts after preamble + SIGNAL + the first DATA
+		// symbol: that symbol carries the SERVICE field, from which the
+		// receiver recovers the scrambler seed. Flipping it would corrupt
+		// descrambling of the whole packet (§3.2.1's scrambler discussion),
+		// so the tag leaves it untouched.
+		tr := &tag.PhaseTranslator{
+			DataStart:     float64(wifi.PreambleLen)/wifi.SampleRate + 2*wifi.SymbolTime,
+			SymbolPeriod:  wifi.SymbolTime,
+			SymbolsPerBit: s.cfg.Redundancy,
+			DeltaTheta:    math.Pi,
+			BitsPerStep:   1,
+			Latency:       tag.EnvelopeLatency,
+		}
+		if s.cfg.Quaternary {
+			tr.DeltaTheta = math.Pi / 2
+			tr.BitsPerStep = 2
+		}
+		return tr
+	case ZigBee:
+		hdrSymbols := float64(zigbee.PreambleSymbols + 2 + 2) // preamble + SFD + length
+		symPeriod := 1.0 / zigbee.SymbolRate
+		return &tag.PhaseTranslator{
+			DataStart:     hdrSymbols * symPeriod,
+			SymbolPeriod:  symPeriod,
+			SymbolsPerBit: s.cfg.Redundancy,
+			DeltaTheta:    math.Pi,
+			BitsPerStep:   1,
+			// The envelope latency (0.35 µs) is negligible against the
+			// 16 µs OQPSK symbol but is modelled anyway.
+			Latency: tag.EnvelopeLatency,
+		}
+	case Bluetooth:
+		return &tag.FreqTranslator{
+			DataStart:     40.0 / bluetooth.BitRate, // preamble + access address
+			BitPeriod:     1.0 / bluetooth.BitRate,
+			BitsPerTagBit: s.cfg.Redundancy,
+			ToggleHz:      bluetooth.CodewordDelta,
+			Latency:       tag.EnvelopeLatency,
+		}
+	}
+	return nil
+}
+
+// RunPacket transmits one excitation packet, backscatters tagBits onto it
+// and decodes them at the adjacent-channel receiver.
+func (s *Session) RunPacket(tagBits []byte) (PacketResult, error) {
+	switch s.cfg.Radio {
+	case WiFi:
+		return s.runWiFi(tagBits)
+	case ZigBee:
+		return s.runZigBee(tagBits)
+	case Bluetooth:
+		return s.runBluetooth(tagBits)
+	}
+	return PacketResult{}, fmt.Errorf("core: unknown radio %v", s.cfg.Radio)
+}
+
+func (s *Session) randomPayload(n int) []byte {
+	out := make([]byte, n)
+	s.rng.Read(out)
+	return out
+}
+
+// wifiPSDU builds a genuine 802.11 data MPDU whose total PSDU size equals
+// PayloadSize+4 (matching the raw-payload sizing the calibration uses).
+// The frame body is the productive traffic the excitation carries.
+func (s *Session) wifiPSDU() []byte {
+	bodyLen := s.cfg.PayloadSize - 24
+	if bodyLen < 0 {
+		bodyLen = 0
+	}
+	f := &wifi.DataFrame{
+		FrameControl: wifi.FrameControlData,
+		DurationID:   44,
+		Addr1:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		Addr2:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
+		Addr3:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x03},
+		SeqCtrl:      uint16(s.rng.Intn(1<<12) << 4),
+		Body:         s.randomPayload(bodyLen),
+	}
+	return f.Marshal()
+}
+
+// zigbeeMPDU builds a genuine 802.15.4 data MPDU (MHR + body) of
+// PayloadSize total bytes, carrying productive traffic.
+func (s *Session) zigbeeMPDU() []byte {
+	bodyLen := s.cfg.PayloadSize - 9
+	if bodyLen < 0 {
+		bodyLen = 0
+	}
+	f := &zigbee.DataFrame{
+		Seq:     byte(s.rng.Intn(256)),
+		DstPAN:  0x1234,
+		DstAddr: 0x0001,
+		SrcAddr: 0x0002,
+		Payload: s.randomPayload(bodyLen),
+	}
+	return f.Marshal()
+}
+
+func (s *Session) link() channel.Link {
+	l := s.cfg.Link
+	l.Seed = s.rng.Int63()
+	return l
+}
+
+func (s *Session) runWiFi(tagBits []byte) (PacketResult, error) {
+	rate := wifi.Rates[s.cfg.WiFiRateMbps]
+	psdu := s.wifiPSDU()
+	scramblerSeed := s.wifiTX.ScramblerSeed
+	exc, err := s.wifiTX.Transmit(psdu, rate)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res := PacketResult{AirTime: exc.Duration()}
+
+	// Reference stream: descrambled SERVICE + PSDU + tail + pad, which is
+	// what receiver 1 reports over the backhaul.
+	nSym := wifi.NumDataSymbols(len(psdu), rate)
+	ref := make([]byte, nSym*rate.NDBPS)
+	copy(ref[wifi.ServiceBits:], bits.FromBytes(psdu))
+
+	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res.TagBits = used
+
+	sh := tag.ChannelShifter{OffsetHz: 20e6, Mode: tag.ShiftEquivalentBaseband}
+	if _, err := sh.Shift(backscattered); err != nil {
+		return PacketResult{}, err
+	}
+	cap, err := s.link().Apply(backscattered, 400, false)
+	if err != nil {
+		return PacketResult{}, err
+	}
+
+	rx := wifi.NewReceiver()
+	rx.DetectionThreshold = s.cfg.detectionThreshold(wifiDetectionThreshold)
+	rx.PilotPhaseTracking = s.cfg.PilotPhaseTracking
+	rx.SoftDecision = s.cfg.SoftDecision
+	pkt, err := rx.Receive(cap)
+	if err != nil {
+		return res, nil // undetected: lost packet, not a session error
+	}
+	res.Detected = true
+	res.RSSI = s.cfg.Link.BackscatterRSSI()
+	if len(pkt.PSDU) != len(psdu) {
+		return res, nil // header decoded to a wrong length; treat as loss
+	}
+	// Tag windows start one OFDM symbol into the data (the SERVICE symbol
+	// is reflected unmodified; see translator()).
+	if s.cfg.Quaternary {
+		// eq. 5: rotation hypotheses on the raw demapped coded bits.
+		codedRef, err := wifi.CodedBits(psdu, rate, scramblerSeed)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		if len(pkt.DemappedBits) <= rate.NCBPS {
+			return res, nil
+		}
+		qws, err := decoder.DecodeQuaternaryWindows(
+			codedRef[rate.NCBPS:], pkt.DemappedBits[rate.NCBPS:],
+			s.cfg.Redundancy*rate.NCBPS)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		decoded := decoder.QuaternaryBits(qws)
+		if len(decoded) > used {
+			decoded = decoded[:used]
+		}
+		res.Decoded = true
+		res.DecodedTag = decoded
+		res.BitErrors, _ = decoder.BER(tagBits[:used], decoded)
+		return res, nil
+	}
+	window := s.cfg.Redundancy * rate.NDBPS
+	if len(pkt.RawBits) <= rate.NDBPS {
+		return res, nil
+	}
+	ws, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	if len(ws) > used {
+		ws = ws[:used]
+	}
+	res.Decoded = true
+	res.DecodedTag = decoder.Bits(ws)
+	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	return res, nil
+}
+
+func (s *Session) runZigBee(tagBits []byte) (PacketResult, error) {
+	payload := s.zigbeeMPDU()
+	exc, err := s.zbTX.Transmit(payload)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res := PacketResult{AirTime: exc.Duration()}
+
+	fcs := bits.CRC16CCITT(payload)
+	body := append(append([]byte(nil), payload...), byte(fcs), byte(fcs>>8))
+	ref := zigbee.SymbolsFromBytes(body)
+
+	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res.TagBits = used
+
+	sh := tag.ChannelShifter{OffsetHz: 16e6, Mode: tag.ShiftEquivalentBaseband}
+	if _, err := sh.Shift(backscattered); err != nil {
+		return PacketResult{}, err
+	}
+	cap, err := s.link().Apply(backscattered, 400, false)
+	if err != nil {
+		return PacketResult{}, err
+	}
+
+	zrx := zigbee.NewReceiver()
+	zrx.DetectionThreshold = s.cfg.detectionThreshold(zbDetectionThreshold)
+	frame, err := zrx.Receive(cap)
+	if err != nil {
+		return res, nil
+	}
+	res.Detected = true
+	res.RSSI = s.cfg.Link.BackscatterRSSI()
+	if len(frame.Symbols) != len(ref) {
+		return res, nil
+	}
+	ws, err := decoder.DecodeWindows(ref, frame.Symbols, s.cfg.Redundancy, 0.3)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	if len(ws) > used {
+		ws = ws[:used]
+	}
+	res.Decoded = true
+	res.DecodedTag = decoder.Bits(ws)
+	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	return res, nil
+}
+
+func (s *Session) runBluetooth(tagBits []byte) (PacketResult, error) {
+	payload := s.randomPayload(s.cfg.PayloadSize)
+	exc, err := s.btTX.Transmit(payload)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res := PacketResult{AirTime: exc.Duration()}
+
+	ref, err := s.btTX.FrameBits(payload)
+	if err != nil {
+		return PacketResult{}, err
+	}
+
+	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res.TagBits = used
+
+	// The Bluetooth tag's codeword toggle already runs through the real
+	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
+	// is folded into TagLossDB like the others.
+	cap, err := s.link().Apply(backscattered, 400, false)
+	if err != nil {
+		return PacketResult{}, err
+	}
+
+	rx := bluetooth.NewReceiver()
+	rx.DetectionThreshold = s.cfg.detectionThreshold(btDetectionThreshold)
+	start, q := rx.Detect(cap)
+	if start < 0 || q < rx.DetectionThreshold {
+		return res, nil
+	}
+	res.Detected = true
+	res.RSSI = s.cfg.Link.BackscatterRSSI()
+
+	raw := rx.RawBitsAt(cap, start, len(ref))
+	if len(raw) < len(ref) {
+		return res, nil
+	}
+	const hdr = 40 // tag modulation starts after preamble + access address
+	ws, err := decoder.DecodeWindows(ref[hdr:], raw[hdr:], s.cfg.Redundancy, 0.5)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	if len(ws) > used {
+		ws = ws[:used]
+	}
+	res.Decoded = true
+	res.DecodedTag = decoder.Bits(ws)
+	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	return res, nil
+}
+
+// SessionResult aggregates a multi-packet run.
+type SessionResult struct {
+	Packets        int
+	PacketsLost    int
+	TagBitsSent    int
+	TagBitsDecoded int
+	BitErrors      int
+	ElapsedSeconds float64
+}
+
+// ThroughputBps is the tag goodput: decoded tag bits over elapsed time.
+func (r SessionResult) ThroughputBps() float64 {
+	if r.ElapsedSeconds <= 0 {
+		return 0
+	}
+	return float64(r.TagBitsDecoded) / r.ElapsedSeconds
+}
+
+// BER is the tag bit error rate over decoded bits.
+func (r SessionResult) BER() float64 {
+	if r.TagBitsDecoded == 0 {
+		return 1
+	}
+	return float64(r.BitErrors) / float64(r.TagBitsDecoded)
+}
+
+// LossRate is the fraction of excitation packets whose backscatter copy was
+// not decoded.
+func (r SessionResult) LossRate() float64 {
+	if r.Packets == 0 {
+		return 0
+	}
+	return float64(r.PacketsLost) / float64(r.Packets)
+}
+
+// Run executes n excitation packets with fresh random tag data on each and
+// aggregates the results.
+func (s *Session) Run(n int) (SessionResult, error) {
+	var out SessionResult
+	capBits := s.Capacity()
+	for i := 0; i < n; i++ {
+		tagBits := make([]byte, capBits)
+		for j := range tagBits {
+			tagBits[j] = byte(s.rng.Intn(2))
+		}
+		pr, err := s.RunPacket(tagBits)
+		if err != nil {
+			return out, err
+		}
+		out.Packets++
+		out.TagBitsSent += pr.TagBits
+		out.ElapsedSeconds += pr.AirTime + s.cfg.InterPacketGap
+		if !pr.Decoded {
+			out.PacketsLost++
+			continue
+		}
+		out.TagBitsDecoded += len(pr.DecodedTag)
+		out.BitErrors += pr.BitErrors
+	}
+	return out, nil
+}

@@ -1,0 +1,61 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/tag"
+	"repro/internal/wifi"
+)
+
+// TestAmplitudeModulationFigure2 reproduces the paper's Figure 2 argument:
+// a tag's amplitude modification is frequency agnostic, so on OFDM it
+// scales every subcarrier at once — and while a BPSK subcarrier survives
+// (the sign is intact), QAM subcarriers land between constellation rings
+// and demap to *invalid codewords*, corrupting the packet. This is why the
+// WiFi translator only touches phase (§2.2.2, §2.3.1).
+func TestAmplitudeModulationFigure2(t *testing.T) {
+	run := func(mbps int) (fcsOK bool) {
+		tx := wifi.NewTransmitter()
+		psdu := wifi.AppendFCS(make([]byte, 400))
+		exc, err := tx.Transmit(psdu, wifi.Rates[mbps])
+		if err != nil {
+			t.Fatal(err)
+		}
+		at := &tag.AmplitudeTranslator{
+			DataStart:     float64(wifi.PreambleLen)/wifi.SampleRate + 2*wifi.SymbolTime,
+			SymbolPeriod:  wifi.SymbolTime,
+			SymbolsPerBit: 4,
+			HighGamma:     1.0,
+			LowGamma:      0.55, // between the 16-QAM rings
+			Latency:       tag.EnvelopeLatency,
+		}
+		tagBits := make([]byte, 40)
+		for i := range tagBits {
+			tagBits[i] = byte(i) & 1
+		}
+		mod, _, err := at.Translate(exc, tagBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := mod.Clone()
+		cap.DelaySamples(200)
+		rx := wifi.NewReceiver()
+		rx.DetectionThreshold = 0.01
+		pkt, err := rx.Receive(cap)
+		if err != nil {
+			return false
+		}
+		return pkt.FCSOK
+	}
+
+	// BPSK (6 Mbps): amplitude scaling leaves the sign — the only thing the
+	// demapper reads — untouched, so the packet still decodes.
+	if !run(6) {
+		t.Fatal("BPSK packet corrupted by amplitude scaling; signs should survive")
+	}
+	// 16-QAM (24 Mbps): the scaled constellation points are not valid
+	// codewords (Figure 2's subcarrier m) and the packet dies.
+	if run(24) {
+		t.Fatal("16-QAM packet survived amplitude modulation; Figure 2 says it must not")
+	}
+}

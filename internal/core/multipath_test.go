@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/channel"
+)
+
+// TestWiFiBackscatterSurvivesMultipath: indoor echoes within the 800 ns
+// cyclic prefix are absorbed by the LTF equaliser, so the tag's data rides
+// through a frequency-selective channel untouched. Note the interplay with
+// the envelope-detector latency: the tag's flips start 350 ns into each
+// symbol's CP, so echoes up to ~400 ns still keep every FFT window clean.
+func TestWiFiBackscatterSurvivesMultipath(t *testing.T) {
+	cfg := DefaultConfig(WiFi, 5)
+	cfg.Link.FadingK = 0
+	cfg.Link.Multipath = []channel.Tap{
+		{Delay: 150e-9, GainDB: -5},
+		{Delay: 400e-9, GainDB: -10},
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LossRate() > 0 {
+		t.Fatalf("multipath within the CP lost %.0f%% of packets", res.LossRate()*100)
+	}
+	if res.BER() > 0.01 {
+		t.Fatalf("multipath within the CP gave tag BER %.4f", res.BER())
+	}
+}
+
+// TestZigBeeDegradesUnderLongEcho: the narrowband single-carrier receivers
+// have no equaliser; a strong long echo smears chips and costs margin —
+// the contrast that makes OFDM WiFi the most robust excitation.
+func TestZigBeeDegradesUnderLongEcho(t *testing.T) {
+	clean := DefaultConfig(ZigBee, 18)
+	clean.Link.FadingK = 0
+	sc, err := NewSession(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resClean, err := sc.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	echo := DefaultConfig(ZigBee, 18)
+	echo.Link.FadingK = 0
+	echo.Link.Multipath = []channel.Tap{{Delay: 800e-9, GainDB: -3}}
+	se, err := NewSession(echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resEcho, err := se.Run(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The echo must cost something: either packets or bit errors.
+	if resEcho.TagBitsDecoded >= resClean.TagBitsDecoded && resEcho.BitErrors <= resClean.BitErrors {
+		t.Fatalf("strong 800 ns echo cost nothing: clean %d bits/%d errs, echo %d bits/%d errs",
+			resClean.TagBitsDecoded, resClean.BitErrors, resEcho.TagBitsDecoded, resEcho.BitErrors)
+	}
+}

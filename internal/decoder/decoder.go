@@ -1,0 +1,174 @@
+// Package decoder extracts tag data from a pair of decoded bit/symbol
+// streams: the excitation stream (known to the transmitter, or decoded by
+// receiver 1) and the backscattered stream decoded by receiver 2 on the
+// adjacent channel. Per Table 1 of the paper, the tag data is the XOR of
+// the two codeword streams; with redundancy (one tag bit spread over
+// several PHY symbols, §3.2.1–§3.2.2) each window is collapsed by majority
+// vote, which also absorbs the boundary errors the convolutional decoder
+// makes at tag-bit transitions.
+package decoder
+
+import "fmt"
+
+// XORDecode implements Table 1 for a single codeword pair: the tag bit is 1
+// exactly when the backscattered codeword differs from the excitation
+// codeword.
+func XORDecode(excitation, backscattered byte) byte {
+	if excitation == backscattered {
+		return 0
+	}
+	return 1
+}
+
+// WindowResult carries one decoded tag bit and its decision quality.
+type WindowResult struct {
+	Bit byte
+	// MismatchFraction is the fraction of positions in the window where the
+	// streams disagree: near 0 for tag bit 0, near 1 for tag bit 1 (WiFi/
+	// Bluetooth) or near the codebook's confusion floor (ZigBee). Values
+	// near 0.5 indicate an unreliable decision.
+	MismatchFraction float64
+}
+
+// DecodeWindows compares two aligned streams element-wise in windows of the
+// given size and returns one tag bit per complete window. Elements are
+// compared for equality, so the same routine serves bit streams (WiFi,
+// Bluetooth) and 4-bit symbol streams (ZigBee). The threshold is the
+// mismatch fraction above which a window decodes as tag bit 1; 0.5 suits
+// clean complementing translations, while ZigBee uses a lower threshold
+// because an inverted chip sequence decodes to a *different* symbol only
+// with the codebook's confusion margin.
+func DecodeWindows(ref, rx []byte, window int, threshold float64) ([]WindowResult, error) {
+	if window <= 0 {
+		return nil, fmt.Errorf("decoder: window %d must be positive", window)
+	}
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("decoder: threshold %g outside (0,1)", threshold)
+	}
+	n := len(ref)
+	if len(rx) < n {
+		n = len(rx)
+	}
+	out := make([]WindowResult, 0, n/window)
+	for lo := 0; lo+window <= n; lo += window {
+		mism := 0
+		for i := lo; i < lo+window; i++ {
+			if ref[i] != rx[i] {
+				mism++
+			}
+		}
+		frac := float64(mism) / float64(window)
+		bit := byte(0)
+		if frac > threshold {
+			bit = 1
+		}
+		out = append(out, WindowResult{Bit: bit, MismatchFraction: frac})
+	}
+	return out, nil
+}
+
+// Bits extracts just the tag bits from a window result slice.
+func Bits(ws []WindowResult) []byte {
+	out := make([]byte, len(ws))
+	for i, w := range ws {
+		out[i] = w.Bit
+	}
+	return out
+}
+
+// QuaternaryDecode recovers 2-bit tag symbols from the eq. 5 scheme, where
+// the tag applies k·Δθ (k = 0..3) per window: k's binary expansion is the
+// tag bit pair.
+func QuaternaryDecode(k int) ([]byte, error) {
+	if k < 0 || k > 3 {
+		return nil, fmt.Errorf("decoder: rotation index %d outside 0..3", k)
+	}
+	return []byte{byte(k >> 1), byte(k & 1)}, nil
+}
+
+// rotateGrayPair applies a 90°·k constellation rotation to a Gray-mapped
+// QPSK bit pair (b0 → I sign, b1 → Q sign): multiplying the point by j maps
+// (b0, b1) → (¬b1, b0).
+func rotateGrayPair(b0, b1 byte, k int) (byte, byte) {
+	for i := 0; i < k; i++ {
+		b0, b1 = b1^1, b0
+	}
+	return b0, b1
+}
+
+// QuaternaryWindowResult carries one decoded 2-bit tag symbol.
+type QuaternaryWindowResult struct {
+	Rotation int     // detected k (0..3)
+	Bits     [2]byte // eq. 5 tag bits for this window
+	// MatchFraction is the agreement of the winning hypothesis; values
+	// near 0.25 above the runner-up indicate a confident decision.
+	MatchFraction float64
+}
+
+// DecodeQuaternaryWindows implements the eq. 5 decoder for QPSK excitation:
+// ref and rx are *demapped coded* bit streams (subcarrier bit pairs, before
+// Viterbi decoding — convolutional decoding scrambles 90° rotations beyond
+// recognition, so this decoder needs monitor-mode access to raw coded
+// bits). For each window it tests the four rotation hypotheses against the
+// reference and emits the 2-bit tag symbol of the best match.
+func DecodeQuaternaryWindows(ref, rx []byte, windowBits int) ([]QuaternaryWindowResult, error) {
+	if windowBits <= 0 || windowBits%2 != 0 {
+		return nil, fmt.Errorf("decoder: window %d must be positive and even", windowBits)
+	}
+	n := len(ref)
+	if len(rx) < n {
+		n = len(rx)
+	}
+	out := make([]QuaternaryWindowResult, 0, n/windowBits)
+	for lo := 0; lo+windowBits <= n; lo += windowBits {
+		var matches [4]int
+		for i := lo; i+1 < lo+windowBits; i += 2 {
+			for k := 0; k < 4; k++ {
+				e0, e1 := rotateGrayPair(ref[i]&1, ref[i+1]&1, k)
+				if rx[i]&1 == e0 && rx[i+1]&1 == e1 {
+					matches[k]++
+				}
+			}
+		}
+		best := 0
+		for k := 1; k < 4; k++ {
+			if matches[k] > matches[best] {
+				best = k
+			}
+		}
+		bits, err := QuaternaryDecode(best)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, QuaternaryWindowResult{
+			Rotation:      best,
+			Bits:          [2]byte{bits[0], bits[1]},
+			MatchFraction: float64(matches[best]) / float64(windowBits/2),
+		})
+	}
+	return out, nil
+}
+
+// QuaternaryBits flattens window results into the tag bit stream.
+func QuaternaryBits(ws []QuaternaryWindowResult) []byte {
+	out := make([]byte, 0, 2*len(ws))
+	for _, w := range ws {
+		out = append(out, w.Bits[0], w.Bits[1])
+	}
+	return out
+}
+
+// BER compares sent and decoded tag bits, returning errors and total
+// compared (the shorter length).
+func BER(sent, decoded []byte) (errors, total int) {
+	n := len(sent)
+	if len(decoded) < n {
+		n = len(decoded)
+	}
+	for i := 0; i < n; i++ {
+		if sent[i]&1 != decoded[i]&1 {
+			errors++
+		}
+	}
+	return errors, n
+}

@@ -1,0 +1,179 @@
+package decoder
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// TestTable1LogicTable reproduces Table 1 of the paper exactly.
+func TestTable1LogicTable(t *testing.T) {
+	const c1, c2 = 1, 2 // two codewords from the same codebook
+	cases := []struct {
+		decoded, excitation byte
+		want                byte
+	}{
+		{c2, c1, 1},
+		{c1, c2, 1},
+		{c1, c1, 0},
+		{c2, c2, 0},
+	}
+	for _, c := range cases {
+		if got := XORDecode(c.excitation, c.decoded); got != c.want {
+			t.Errorf("XORDecode(exc=%d, dec=%d) = %d, want %d", c.excitation, c.decoded, got, c.want)
+		}
+	}
+}
+
+func TestDecodeWindowsCleanComplement(t *testing.T) {
+	ref := []byte{0, 1, 1, 0, 1, 0, 0, 1, 1, 1, 0, 0}
+	// Tag bits 1,0,1 over windows of 4: window flipped, same, flipped.
+	rx := make([]byte, len(ref))
+	copy(rx, ref)
+	for i := 0; i < 4; i++ {
+		rx[i] ^= 1
+	}
+	for i := 8; i < 12; i++ {
+		rx[i] ^= 1
+	}
+	ws, err := DecodeWindows(ref, rx, 4, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Bits(ws), []byte{1, 0, 1}) {
+		t.Fatalf("decoded %v, want [1 0 1]", Bits(ws))
+	}
+	if ws[0].MismatchFraction != 1 || ws[1].MismatchFraction != 0 {
+		t.Fatalf("mismatch fractions %v", ws)
+	}
+}
+
+func TestDecodeWindowsToleratesBoundaryErrors(t *testing.T) {
+	// 96-bit windows with 10 boundary errors leaking into each window must
+	// still decode correctly (the §3.2.1 scenario).
+	window := 96
+	ref := make([]byte, window*4)
+	for i := range ref {
+		ref[i] = byte((i * 7) % 2)
+	}
+	rx := make([]byte, len(ref))
+	copy(rx, ref)
+	tagBits := []byte{1, 0, 1, 0}
+	for w, b := range tagBits {
+		for i := 0; i < window; i++ {
+			idx := w*window + i
+			flip := b
+			// Corrupt the first 10 positions of every window.
+			if i < 10 {
+				flip ^= 1
+			}
+			rx[idx] ^= flip
+		}
+	}
+	ws, err := DecodeWindows(ref, rx, window, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Bits(ws), tagBits) {
+		t.Fatalf("decoded %v, want %v", Bits(ws), tagBits)
+	}
+}
+
+func TestDecodeWindowsLowThresholdForSymbolStreams(t *testing.T) {
+	// ZigBee-style: a tag-1 window replaces symbols with *different* ones
+	// (not complements); mismatch fraction is 1.0 there but a noisy tag-0
+	// window may show ~10% mismatch. A 0.3 threshold separates them.
+	ref := []byte{3, 7, 1, 15, 3, 7, 1, 15}
+	rx := []byte{9, 2, 4, 8, 3, 7, 2, 15} // first window all wrong, second has 1 error
+	ws, err := DecodeWindows(ref, rx, 4, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(Bits(ws), []byte{1, 0}) {
+		t.Fatalf("decoded %v, want [1 0]", Bits(ws))
+	}
+}
+
+func TestDecodeWindowsLengthHandling(t *testing.T) {
+	ref := make([]byte, 10)
+	rx := make([]byte, 7)
+	ws, err := DecodeWindows(ref, rx, 3, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 2 { // min(10,7)=7 -> 2 complete windows
+		t.Fatalf("windows %d, want 2", len(ws))
+	}
+}
+
+func TestDecodeWindowsValidation(t *testing.T) {
+	if _, err := DecodeWindows(nil, nil, 0, 0.5); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := DecodeWindows(nil, nil, 4, 1.5); err == nil {
+		t.Error("threshold 1.5 accepted")
+	}
+	if _, err := DecodeWindows(nil, nil, 4, 0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+}
+
+func TestDecodeWindowsRoundTripProperty(t *testing.T) {
+	// For any tag bit pattern and any reference stream, complementing the
+	// windows of a clean channel decodes back to the pattern.
+	f := func(refRaw []byte, tagRaw []byte) bool {
+		window := 8
+		if len(tagRaw) == 0 {
+			return true
+		}
+		tagBits := make([]byte, len(tagRaw)%16+1)
+		for i := range tagBits {
+			tagBits[i] = tagRaw[i%len(tagRaw)] & 1
+		}
+		ref := make([]byte, len(tagBits)*window)
+		for i := range ref {
+			if len(refRaw) > 0 {
+				ref[i] = refRaw[i%len(refRaw)] & 1
+			}
+		}
+		rx := make([]byte, len(ref))
+		for i := range ref {
+			rx[i] = ref[i] ^ tagBits[i/window]
+		}
+		ws, err := DecodeWindows(ref, rx, window, 0.5)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(Bits(ws), tagBits)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuaternaryDecode(t *testing.T) {
+	want := [][]byte{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	for k := 0; k <= 3; k++ {
+		got, err := QuaternaryDecode(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want[k]) {
+			t.Errorf("k=%d -> %v, want %v", k, got, want[k])
+		}
+	}
+	if _, err := QuaternaryDecode(4); err == nil {
+		t.Error("k=4 accepted")
+	}
+}
+
+func TestBER(t *testing.T) {
+	e, n := BER([]byte{1, 0, 1, 1}, []byte{1, 1, 1, 0})
+	if e != 2 || n != 4 {
+		t.Fatalf("BER = %d/%d, want 2/4", e, n)
+	}
+	e, n = BER([]byte{1, 0}, []byte{1})
+	if e != 0 || n != 1 {
+		t.Fatalf("short BER = %d/%d", e, n)
+	}
+}

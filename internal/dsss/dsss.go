@@ -1,0 +1,347 @@
+// Package dsss implements an IEEE 802.11b 1 Mbps DSSS PHY at complex
+// baseband — DBPSK with 11-chip Barker spreading — and the HitchHike [25]
+// codeword translation on top of it. HitchHike is the system FreeRider
+// generalises: it also flips the reflected signal's phase to translate
+// codewords, but only works on 802.11b, whose differential modulation
+// makes the translation trivial (a phase flip toggles exactly the bits at
+// the flip boundaries). The paper's motivation is that almost no modern
+// traffic is 802.11b, so a HitchHike tag starves; the baselines experiment
+// quantifies that with this package.
+package dsss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+	"repro/internal/signal"
+)
+
+// PHY constants for 1 Mbps 802.11b.
+const (
+	ChipRate       = 11e6
+	SamplesPerChip = 2
+	SampleRate     = ChipRate * SamplesPerChip
+	ChipsPerBit    = 11
+	BitRate        = 1e6
+	BitSamples     = ChipsPerBit * SamplesPerChip
+	// PreambleBits of scrambled ones precede the 16-bit SFD (shortened
+	// from the standard's 128 for simulation economy; the structure and
+	// the differential decoding are what matter here).
+	PreambleBits = 32
+	SFD          = 0xF3A0
+	MaxPayload   = 2047
+)
+
+// Barker is the 11-chip Barker sequence used by 802.11b.
+var Barker = [ChipsPerBit]float64{1, -1, 1, 1, -1, 1, 1, 1, -1, -1, -1}
+
+// Errors returned by the receiver.
+var (
+	ErrNoFrame   = errors.New("dsss: no frame found")
+	ErrTruncated = errors.New("dsss: capture truncated before frame end")
+)
+
+// Transmitter synthesises 802.11b DSSS frames at complex baseband.
+type Transmitter struct{}
+
+// NewTransmitter returns a DSSS transmitter.
+func NewTransmitter() *Transmitter { return &Transmitter{} }
+
+// FrameBits builds the over-the-air bit stream: preamble ones, SFD, 16-bit
+// length (bytes, LSB first), payload, CRC-16.
+func (t *Transmitter) FrameBits(payload []byte) ([]byte, error) {
+	if len(payload) > MaxPayload {
+		return nil, fmt.Errorf("dsss: payload %d exceeds %d", len(payload), MaxPayload)
+	}
+	out := make([]byte, 0, PreambleBits+16+16+len(payload)*8+16)
+	for i := 0; i < PreambleBits; i++ {
+		out = append(out, 1)
+	}
+	sfd := uint32(SFD)
+	for i := 0; i < 16; i++ {
+		out = append(out, byte(sfd>>uint(i))&1)
+	}
+	for i := 0; i < 16; i++ {
+		out = append(out, byte(len(payload)>>uint(i))&1)
+	}
+	out = append(out, bits.FromBytes(payload)...)
+	crc := bits.CRC16CCITT(payload)
+	for i := 0; i < 16; i++ {
+		out = append(out, byte(crc>>uint(i))&1)
+	}
+	return out, nil
+}
+
+// AirBits returns the scrambled over-the-air bit stream of a frame: the
+// logical FrameBits passed through the 802.11b self-synchronising
+// scrambler. This is the reference stream a HitchHike-style decoder
+// compares raw receptions against.
+func (t *Transmitter) AirBits(payload []byte) ([]byte, error) {
+	fb, err := t.FrameBits(payload)
+	if err != nil {
+		return nil, err
+	}
+	return Scramble(fb, ScramblerSeed), nil
+}
+
+// Transmit builds the DBPSK/Barker waveform of one frame (scrambled per
+// §16.2.4). Unit power.
+func (t *Transmitter) Transmit(payload []byte) (*signal.Signal, error) {
+	ab, err := t.AirBits(payload)
+	if err != nil {
+		return nil, err
+	}
+	return ModulateBits(ab), nil
+}
+
+// ModulateBits produces the DBPSK waveform: each data bit toggles (bit 1)
+// or keeps (bit 0) the phase of the Barker-spread symbol. Note 802.11b
+// encodes 1 as a 180° transition.
+func ModulateBits(b []byte) *signal.Signal {
+	s := signal.New(SampleRate, (len(b)+1)*BitSamples)
+	phase := 1.0
+	pos := 0
+	writeSymbol := func() {
+		for c := 0; c < ChipsPerBit; c++ {
+			v := complex(phase*Barker[c], 0)
+			for k := 0; k < SamplesPerChip; k++ {
+				s.Samples[pos] = v
+				pos++
+			}
+		}
+	}
+	writeSymbol() // phase reference symbol
+	for _, bit := range b {
+		if bit&1 == 1 {
+			phase = -phase
+		}
+		writeSymbol()
+	}
+	return s
+}
+
+// dqpskRotation maps a Gray-coded dibit to its differential phase step
+// (§16.4.6.5: {00:0°, 01:90°, 11:180°, 10:270°}).
+func dqpskRotation(b0, b1 byte) complex128 {
+	switch b0&1<<1 | b1&1 {
+	case 0b00:
+		return complex(1, 0)
+	case 0b01:
+		return complex(0, 1)
+	case 0b11:
+		return complex(-1, 0)
+	default: // 0b10
+		return complex(0, -1)
+	}
+}
+
+// ModulateBitsDQPSK produces the 2 Mbps DQPSK waveform: each *dibit*
+// rotates the Barker-spread symbol phase by a Gray-coded quadrant. An odd
+// trailing bit is zero-padded. HitchHike's higher-rate mode rides this
+// modulation the same way (a tag flip rotates the quadrant by 180°).
+func ModulateBitsDQPSK(b []byte) *signal.Signal {
+	if len(b)%2 != 0 {
+		b = append(append([]byte(nil), b...), 0)
+	}
+	nSym := len(b) / 2
+	s := signal.New(SampleRate, (nSym+1)*BitSamples)
+	phase := complex(1, 0)
+	pos := 0
+	writeSymbol := func() {
+		for c := 0; c < ChipsPerBit; c++ {
+			v := phase * complex(Barker[c], 0)
+			for k := 0; k < SamplesPerChip; k++ {
+				s.Samples[pos] = v
+				pos++
+			}
+		}
+	}
+	writeSymbol() // phase reference symbol
+	for i := 0; i < nSym; i++ {
+		phase *= dqpskRotation(b[2*i], b[2*i+1])
+		writeSymbol()
+	}
+	return s
+}
+
+// DemodulateDQPSK differentially decodes nDibits dibits starting at the
+// chip-aligned phase-reference symbol at start, quantising each symbol
+// pair's rotation to the nearest quadrant.
+func DemodulateDQPSK(cap *signal.Signal, start, nDibits int) []byte {
+	out := make([]byte, 0, 2*nDibits)
+	prev, ok := despread(cap.Samples, start)
+	if !ok {
+		return out
+	}
+	for i := 1; i <= nDibits; i++ {
+		cur, ok := despread(cap.Samples, start+i*BitSamples)
+		if !ok {
+			break
+		}
+		d := cur * cmplx.Conj(prev)
+		var b0, b1 byte
+		switch {
+		case real(d) >= 0 && math.Abs(real(d)) >= math.Abs(imag(d)):
+			b0, b1 = 0, 0 // ~0°
+		case imag(d) > 0 && math.Abs(imag(d)) > math.Abs(real(d)):
+			b0, b1 = 0, 1 // ~90°
+		case real(d) < 0 && math.Abs(real(d)) >= math.Abs(imag(d)):
+			b0, b1 = 1, 1 // ~180°
+		default:
+			b0, b1 = 1, 0 // ~270°
+		}
+		out = append(out, b0, b1)
+		prev = cur
+	}
+	return out
+}
+
+// RxFrame is one decoded 802.11b frame.
+type RxFrame struct {
+	Payload  []byte
+	RawBits  []byte // differential-decoded bit stream (SFD onward excluded)
+	StartIdx int
+	RSSI     float64
+	CRCOK    bool
+}
+
+// Receiver decodes DSSS frames by Barker correlation and differential
+// detection.
+type Receiver struct {
+	// DetectionThreshold is the minimum normalised preamble correlation.
+	DetectionThreshold float64
+}
+
+// NewReceiver returns a receiver with the default threshold.
+func NewReceiver() *Receiver { return &Receiver{DetectionThreshold: 0.5} }
+
+// despread correlates one Barker symbol starting at sample idx, returning
+// the complex symbol value.
+func despread(samples []complex128, idx int) (complex128, bool) {
+	if idx+BitSamples > len(samples) {
+		return 0, false
+	}
+	var acc complex128
+	for c := 0; c < ChipsPerBit; c++ {
+		acc += samples[idx+c*SamplesPerChip] * complex(Barker[c], 0)
+	}
+	return acc, true
+}
+
+// Detect finds the chip-aligned start of the first frame: it searches for
+// the alternating-phase preamble (all-ones data = phase toggles every
+// symbol) by maximising Barker correlation energy over a symbol of offsets.
+func (rx *Receiver) Detect(cap *signal.Signal) (int, float64) {
+	n := len(cap.Samples)
+	best, bestQ := -1, 0.0
+	for start := 0; start+8*BitSamples <= n; start++ {
+		var energy, power float64
+		for s := 0; s < 8; s++ {
+			acc, ok := despread(cap.Samples, start+s*BitSamples)
+			if !ok {
+				return best, bestQ
+			}
+			energy += cmplx.Abs(acc)
+		}
+		for i := start; i < start+8*BitSamples; i++ {
+			v := cap.Samples[i]
+			power += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if power <= 0 {
+			continue
+		}
+		// Normalised despreading quality: at chip alignment each symbol's
+		// correlator output reaches ChipsPerBit × the RMS amplitude, so q
+		// is ~1 aligned and ~1/sqrt(ChipsPerBit) otherwise.
+		ampEst := math.Sqrt(power / float64(8*BitSamples))
+		q := energy / (8 * ChipsPerBit * ampEst)
+		if q > bestQ {
+			best, bestQ = start, q
+		}
+		// Fixed internal gate, independent of the user's accept threshold.
+		if bestQ > 0.4 && start > best+BitSamples {
+			break
+		}
+	}
+	return best, bestQ
+}
+
+// RawBitsAt differentially decodes nBits starting at the symbol boundary
+// given by start (the detected frame start, i.e. the phase-reference
+// symbol).
+func (rx *Receiver) RawBitsAt(cap *signal.Signal, start, nBits int) []byte {
+	out := make([]byte, 0, nBits)
+	prev, ok := despread(cap.Samples, start)
+	if !ok {
+		return out
+	}
+	for i := 1; i <= nBits; i++ {
+		cur, ok := despread(cap.Samples, start+i*BitSamples)
+		if !ok {
+			break
+		}
+		// DBPSK: bit = 1 when the phase flipped.
+		if real(cur*cmplx.Conj(prev)) < 0 {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		prev = cur
+	}
+	return out
+}
+
+// Receive finds and decodes the first frame in the capture.
+func (rx *Receiver) Receive(cap *signal.Signal) (*RxFrame, error) {
+	start, q := rx.Detect(cap)
+	if start < 0 || q < rx.DetectionThreshold {
+		return nil, ErrNoFrame
+	}
+	// Read preamble + SFD + length first, descrambling the raw air bits
+	// (the self-synchronising descrambler locks within the preamble).
+	hdr := Descramble(rx.RawBitsAt(cap, start, PreambleBits+32))
+	if len(hdr) < PreambleBits+32 {
+		return nil, ErrTruncated
+	}
+	var sfd, length int
+	for i := 0; i < 16; i++ {
+		sfd |= int(hdr[PreambleBits+i]) << uint(i)
+		length |= int(hdr[PreambleBits+16+i]) << uint(i)
+	}
+	if sfd != SFD || length < 0 || length > MaxPayload {
+		return nil, ErrNoFrame
+	}
+	total := PreambleBits + 32 + length*8 + 16
+	raw := rx.RawBitsAt(cap, start, total)
+	if len(raw) < total {
+		return nil, ErrTruncated
+	}
+	all := Descramble(raw)
+	payloadBits := all[PreambleBits+32 : PreambleBits+32+length*8]
+	payload, err := bits.ToBytes(payloadBits)
+	if err != nil {
+		return nil, err
+	}
+	var crc uint16
+	for i := 0; i < 16; i++ {
+		crc |= uint16(all[PreambleBits+32+length*8+i]) << uint(i)
+	}
+	seg := &signal.Signal{Rate: cap.Rate, Samples: cap.Samples[start:min(start+(total+1)*BitSamples, len(cap.Samples))]}
+	return &RxFrame{
+		Payload:  payload,
+		RawBits:  all,
+		StartIdx: start,
+		RSSI:     seg.MeanPowerDBm(),
+		CRCOK:    bits.CRC16CCITT(payload) == crc,
+	}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

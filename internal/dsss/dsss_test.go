@@ -1,0 +1,275 @@
+package dsss
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func TestBarkerAutocorrelation(t *testing.T) {
+	// The Barker-11 sequence has peak autocorrelation 11 and off-peak
+	// magnitudes <= 1 (cyclic) — the property that makes despreading work.
+	for shift := 1; shift < ChipsPerBit; shift++ {
+		acc := 0.0
+		for i := 0; i < ChipsPerBit; i++ {
+			acc += Barker[i] * Barker[(i+shift)%ChipsPerBit]
+		}
+		if math.Abs(acc) > 1.01 {
+			t.Fatalf("cyclic autocorrelation at shift %d = %g", shift, acc)
+		}
+	}
+}
+
+func TestFrameBitsLayout(t *testing.T) {
+	tx := NewTransmitter()
+	fb, err := tx.FrameBits([]byte{0xAB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := PreambleBits + 16 + 16 + 8 + 16
+	if len(fb) != want {
+		t.Fatalf("frame bits %d, want %d", len(fb), want)
+	}
+	for i := 0; i < PreambleBits; i++ {
+		if fb[i] != 1 {
+			t.Fatal("preamble must be all ones")
+		}
+	}
+	if _, err := tx.FrameBits(make([]byte, MaxPayload+1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestModulateDifferentialStructure(t *testing.T) {
+	// Bit 1 flips the symbol phase, bit 0 keeps it.
+	s := ModulateBits([]byte{1, 0})
+	sym := func(i int) complex128 { return s.Samples[i*BitSamples] }
+	// Reference symbol chip 0 is +Barker[0]; after bit 1, flipped.
+	if real(sym(0))*real(sym(1)) >= 0 {
+		t.Fatal("bit 1 did not flip phase")
+	}
+	if real(sym(1))*real(sym(2)) <= 0 {
+		t.Fatal("bit 0 changed phase")
+	}
+}
+
+func TestTransmitReceiveClean(t *testing.T) {
+	payloads := [][]byte{
+		{0x01},
+		[]byte("hitchhike rides 802.11b"),
+		bytes.Repeat([]byte{0x5A}, 64),
+	}
+	for _, p := range payloads {
+		sig, err := NewTransmitter().Transmit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := signal.New(SampleRate, len(sig.Samples)+300)
+		copy(cap.Samples[110:], sig.Samples)
+		f, err := NewReceiver().Receive(cap)
+		if err != nil {
+			t.Fatalf("payload %d bytes: %v", len(p), err)
+		}
+		if !bytes.Equal(f.Payload, p) || !f.CRCOK {
+			t.Fatalf("payload mismatch or CRC fail")
+		}
+	}
+}
+
+func TestTransmitReceiveNoisyRotated(t *testing.T) {
+	p := []byte("differential survives rotation")
+	sig, _ := NewTransmitter().Transmit(p)
+	cap := signal.New(SampleRate, len(sig.Samples)+400)
+	copy(cap.Samples[173:], sig.Samples)
+	cap.Scale(complex(0.03, 0))
+	cap.PhaseShift(1.9) // DBPSK is phase-reference free
+	cap.AddAWGN(6e-6, rand.New(rand.NewSource(5)))
+	f, err := NewReceiver().Receive(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Payload, p) || !f.CRCOK {
+		t.Fatal("decode failed under noise and rotation")
+	}
+}
+
+func TestReceiverRejectsNoise(t *testing.T) {
+	cap := signal.New(SampleRate, 40000)
+	cap.AddAWGN(0.02, rand.New(rand.NewSource(9)))
+	if _, err := NewReceiver().Receive(cap); err == nil {
+		t.Error("decoded a frame from pure noise")
+	}
+}
+
+// TestHitchHikeCodewordTranslation is the HitchHike [25] mechanism this
+// package exists to baseline: flipping the reflected phase over a run of
+// DBPSK symbols toggles exactly the differential bits at the run's two
+// boundaries. The XOR of excitation and backscatter streams therefore
+// marks the tag's flip edges.
+func TestHitchHikeCodewordTranslation(t *testing.T) {
+	p := []byte{0xC4, 0x21, 0x7E}
+	tx := NewTransmitter()
+	sig, err := tx.Transmit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := tx.AirBits(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tag flips phase over data bits [40, 60) (i.e. symbols 41..60: symbol
+	// k carries data bit k-1 relative to the reference symbol).
+	flipStartBit, flipEndBit := 40, 60
+	mod := sig.Clone()
+	lo := (flipStartBit + 1) * BitSamples
+	hi := (flipEndBit + 1) * BitSamples
+	for i := lo; i < hi; i++ {
+		mod.Samples[i] = -mod.Samples[i]
+	}
+
+	cap := signal.New(SampleRate, len(mod.Samples)+200)
+	copy(cap.Samples[100:], mod.Samples)
+	rx := NewReceiver()
+	start, q := rx.Detect(cap)
+	if start < 0 || q < rx.DetectionThreshold {
+		t.Fatal("backscattered 11b frame not detected")
+	}
+	raw := rx.RawBitsAt(cap, start, len(fb))
+	if len(raw) != len(fb) {
+		t.Fatalf("raw bits %d, want %d", len(raw), len(fb))
+	}
+	for i := range raw {
+		wantFlip := i == flipStartBit || i == flipEndBit
+		flipped := raw[i] != fb[i]
+		if flipped != wantFlip {
+			t.Fatalf("bit %d: flipped=%v, want %v (differential edge coding)", i, flipped, wantFlip)
+		}
+	}
+}
+
+func TestDetectChipAlignment(t *testing.T) {
+	sig, _ := NewTransmitter().Transmit([]byte{0x42, 0x99})
+	cap := signal.New(SampleRate, len(sig.Samples)+500)
+	copy(cap.Samples[237:], sig.Samples)
+	rx := NewReceiver()
+	start, _ := rx.Detect(cap)
+	if start != 237 {
+		t.Fatalf("detected start %d, want 237", start)
+	}
+}
+
+func TestRawBitsTruncationSafe(t *testing.T) {
+	sig, _ := NewTransmitter().Transmit([]byte{1})
+	cap := signal.New(SampleRate, len(sig.Samples))
+	copy(cap.Samples, sig.Samples)
+	rx := NewReceiver()
+	raw := rx.RawBitsAt(cap, 0, 100000)
+	if len(raw) >= 100000 {
+		t.Fatal("raw bits exceeded capture")
+	}
+}
+
+func TestScrambleDescrambleRoundTrip(t *testing.T) {
+	in := make([]byte, 200)
+	for i := range in {
+		in[i] = byte((i * 5) % 2)
+	}
+	sc := Scramble(in, ScramblerSeed)
+	de := Descramble(sc)
+	// The descrambler self-synchronises after 7 bits.
+	for i := 7; i < len(in); i++ {
+		if de[i] != in[i] {
+			t.Fatalf("bit %d: descrambled %d, want %d", i, de[i], in[i])
+		}
+	}
+}
+
+func TestScramblerWhitens(t *testing.T) {
+	zeros := make([]byte, 256)
+	sc := Scramble(zeros, ScramblerSeed)
+	ones := 0
+	for _, b := range sc {
+		ones += int(b)
+	}
+	if ones < 80 || ones > 176 {
+		t.Fatalf("scrambled all-zeros has %d/256 ones; not whitened", ones)
+	}
+}
+
+func TestDescramblerSelfSyncsFromAnySeed(t *testing.T) {
+	in := make([]byte, 100)
+	for i := range in {
+		in[i] = byte(i) & 1
+	}
+	for _, seed := range []byte{0x00, 0x1B, 0x7F, 0x2A} {
+		de := Descramble(Scramble(in, seed))
+		for i := 7; i < len(in); i++ {
+			if de[i] != in[i] {
+				t.Fatalf("seed %#x: bit %d wrong", seed, i)
+			}
+		}
+	}
+}
+
+func TestDQPSKRoundTrip(t *testing.T) {
+	bits := []byte{0, 0, 0, 1, 1, 1, 1, 0, 0, 1, 1, 1, 0, 0, 1, 0}
+	sig := ModulateBitsDQPSK(bits)
+	cap := signal.New(SampleRate, len(sig.Samples)+100)
+	copy(cap.Samples[50:], sig.Samples)
+	got := DemodulateDQPSK(cap, 50, len(bits)/2)
+	if !bytes.Equal(got, bits) {
+		t.Fatalf("DQPSK round trip: got %v want %v", got, bits)
+	}
+}
+
+func TestDQPSKOddLengthPads(t *testing.T) {
+	sig := ModulateBitsDQPSK([]byte{1, 0, 1})
+	// 3 bits -> 2 dibits -> reference + 2 symbols.
+	if len(sig.Samples) != 3*BitSamples {
+		t.Fatalf("samples %d, want %d", len(sig.Samples), 3*BitSamples)
+	}
+}
+
+func TestDQPSKSurvivesRotationAndNoise(t *testing.T) {
+	bits := make([]byte, 64)
+	for i := range bits {
+		bits[i] = byte((i / 3) % 2)
+	}
+	sig := ModulateBitsDQPSK(bits)
+	cap := signal.New(SampleRate, len(sig.Samples)+200)
+	copy(cap.Samples[100:], sig.Samples)
+	cap.PhaseShift(0.9)
+	cap.Scale(complex(0.1, 0))
+	cap.AddAWGN(2e-4, rand.New(rand.NewSource(6)))
+	got := DemodulateDQPSK(cap, 100, len(bits)/2)
+	if !bytes.Equal(got, bits) {
+		t.Fatal("DQPSK failed under rotation and noise")
+	}
+}
+
+// TestDQPSKTagFlipIs180Rotation: HitchHike on 2 Mbps — a tag phase flip
+// during a symbol reads as a 180° extra rotation, i.e. the dibit XORed
+// with 11, at the flip edges only.
+func TestDQPSKTagFlipIs180Rotation(t *testing.T) {
+	bits := make([]byte, 40)
+	sig := ModulateBitsDQPSK(bits) // all-zero dibits: constant phase
+	// Flip symbols 5..10 (samples of symbols 5..10 inclusive).
+	for i := 5 * BitSamples; i < 11*BitSamples; i++ {
+		sig.Samples[i] = -sig.Samples[i]
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+100)
+	copy(cap.Samples[50:], sig.Samples)
+	got := DemodulateDQPSK(cap, 50, len(bits)/2)
+	for i := 0; i+1 < len(got); i += 2 {
+		sym := i/2 + 1 // dibit k rides on symbol k+1
+		wantFlip := sym == 5 || sym == 11
+		flipped := got[i] == 1 && got[i+1] == 1
+		if flipped != wantFlip {
+			t.Fatalf("dibit %d (symbol %d): 180°=%v, want %v", i/2, sym, flipped, wantFlip)
+		}
+	}
+}

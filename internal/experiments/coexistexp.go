@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/coexist"
+	"repro/internal/stats"
+	"repro/internal/tag"
+)
+
+// CDFSummary condenses a throughput CDF into the quantiles the paper
+// discusses.
+type CDFSummary struct {
+	Median float64
+	P10    float64
+	P90    float64
+	Points []stats.CDFPoint
+}
+
+func summarise(xs []float64) (CDFSummary, error) {
+	med, err := stats.Median(xs)
+	if err != nil {
+		return CDFSummary{}, err
+	}
+	p10, err := stats.Quantile(xs, 0.1)
+	if err != nil {
+		return CDFSummary{}, err
+	}
+	p90, err := stats.Quantile(xs, 0.9)
+	if err != nil {
+		return CDFSummary{}, err
+	}
+	return CDFSummary{Median: med, P10: p10, P90: p90, Points: stats.CDF(xs)}, nil
+}
+
+// Fig15Row compares WiFi goodput with and without one backscatter type.
+type Fig15Row struct {
+	Excitation  tag.Excitation
+	WithoutMbps CDFSummary // backscatter absent
+	WithMbps    CDFSummary // backscatter present
+}
+
+// String renders the row.
+func (r Fig15Row) String() string {
+	return fmt.Sprintf("%-15s wifi median without=%5.1f Mbps, with=%5.1f Mbps",
+		r.Excitation, r.WithoutMbps.Median, r.WithMbps.Median)
+}
+
+// Fig15WiFiCoexistence reproduces Fig 15: WiFi file-transfer throughput
+// CDFs with the tag absent and with it backscattering each excitation type.
+func Fig15WiFiCoexistence(windows int, seed int64) ([]Fig15Row, error) {
+	var out []Fig15Row
+	for _, exc := range []tag.Excitation{tag.ExcitationWiFi, tag.ExcitationZigBee, tag.ExcitationBluetooth} {
+		cfg := coexist.DefaultConfig(exc)
+		if windows > 0 {
+			cfg.Windows = windows
+		}
+		cfg.Seed = seed
+		without, err := coexist.WiFiThroughput(cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		with, err := coexist.WiFiThroughput(cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		sw, err := summarise(without)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := summarise(with)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig15Row{Excitation: exc, WithoutMbps: sw, WithMbps: sp})
+	}
+	return out, nil
+}
+
+// Fig16Row compares backscatter goodput with WiFi traffic present/absent.
+type Fig16Row struct {
+	Excitation  tag.Excitation
+	AbsentKbps  CDFSummary // WiFi traffic absent
+	PresentKbps CDFSummary
+}
+
+// String renders the row.
+func (r Fig16Row) String() string {
+	return fmt.Sprintf("%-15s backscatter median absent=%5.1f kbps, present=%5.1f kbps (p10 %5.1f -> %5.1f)",
+		r.Excitation, r.AbsentKbps.Median, r.PresentKbps.Median, r.AbsentKbps.P10, r.PresentKbps.P10)
+}
+
+// Fig16BackscatterUnderWiFi reproduces Fig 16: backscatter throughput CDFs
+// for each excitation with the adjacent-channel WiFi transfer on and off.
+func Fig16BackscatterUnderWiFi(windows int, seed int64) ([]Fig16Row, error) {
+	var out []Fig16Row
+	for _, exc := range []tag.Excitation{tag.ExcitationWiFi, tag.ExcitationZigBee, tag.ExcitationBluetooth} {
+		cfg := coexist.DefaultConfig(exc)
+		if windows > 0 {
+			cfg.Windows = windows
+		}
+		cfg.Seed = seed
+		absent, err := coexist.BackscatterThroughput(cfg, false)
+		if err != nil {
+			return nil, err
+		}
+		present, err := coexist.BackscatterThroughput(cfg, true)
+		if err != nil {
+			return nil, err
+		}
+		sa, err := summarise(absent)
+		if err != nil {
+			return nil, err
+		}
+		sp, err := summarise(present)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig16Row{Excitation: exc, AbsentKbps: sa, PresentKbps: sp})
+	}
+	return out, nil
+}

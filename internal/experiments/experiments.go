@@ -1,0 +1,29 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4). Each Fig* function runs the corresponding experiment on
+// the simulation substrate and returns the same rows/series the paper
+// plots; cmd/freerider-bench prints them and bench_test.go times them.
+// Options.Quick trades sample count for runtime so the full suite stays
+// usable in tests.
+package experiments
+
+// Options tunes experiment effort.
+type Options struct {
+	// PacketsPerPoint is the excitation packet count per sweep point for
+	// the sample-level link experiments.
+	PacketsPerPoint int
+	// Seed drives all stochastic elements.
+	Seed int64
+}
+
+// DefaultOptions returns publication-effort settings.
+func DefaultOptions() Options { return Options{PacketsPerPoint: 20, Seed: 1} }
+
+// QuickOptions returns CI-effort settings.
+func QuickOptions() Options { return Options{PacketsPerPoint: 4, Seed: 1} }
+
+func (o Options) packets() int {
+	if o.PacketsPerPoint <= 0 {
+		return 4
+	}
+	return o.PacketsPerPoint
+}

@@ -1,0 +1,346 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestFig10ShapeMatchesPaper(t *testing.T) {
+	pts, err := Fig10WiFiLOS(Options{PacketsPerPoint: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[float64]LinkPoint{}
+	for _, p := range pts {
+		byDist[p.DistanceM] = p
+	}
+	// Plateau: ~60 kbps at <= 14 m.
+	for _, d := range []float64{1, 5, 10, 14} {
+		if thr := byDist[d].ThroughputKbps; thr < 45 {
+			t.Errorf("WiFi LOS %gm: %.1f kbps, want plateau >= 45", d, thr)
+		}
+	}
+	// Degraded but alive mid-range; collapsed (>=60% loss) past 42 m.
+	if byDist[45].ThroughputKbps > 25 {
+		t.Errorf("WiFi LOS 45m: %.1f kbps, want collapsed", byDist[45].ThroughputKbps)
+	}
+	if byDist[45].LossRate < 0.5 {
+		t.Errorf("WiFi LOS 45m: loss %.2f, want >= 0.5", byDist[45].LossRate)
+	}
+	// RSSI monotone decreasing.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].RSSIdBm >= pts[i-1].RSSIdBm {
+			t.Errorf("RSSI not decreasing at %gm", pts[i].DistanceM)
+		}
+	}
+	// RSSI anchor: about -92 dBm at 42 m (Fig 10c).
+	if r := byDist[42].RSSIdBm; r < -96 || r > -88 {
+		t.Errorf("RSSI(42m) = %.1f, want ~-92", r)
+	}
+	// Decoded packets carry low tag BER even far out ("low BER across
+	// distances" as long as the header decodes).
+	for _, d := range []float64{26, 34} {
+		p := byDist[d]
+		if p.LossRate < 1 && p.BER > 0.05 {
+			t.Errorf("WiFi LOS %gm: BER %.3f on decoded packets", d, p.BER)
+		}
+	}
+}
+
+func TestFig11NLOSDiesNear22m(t *testing.T) {
+	pts, err := Fig11WiFiNLOS(Options{PacketsPerPoint: 6, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[float64]LinkPoint{}
+	for _, p := range pts {
+		byDist[p.DistanceM] = p
+	}
+	// Alive at 12 m with solid throughput.
+	if byDist[12].ThroughputKbps < 30 {
+		t.Errorf("NLOS 12m: %.1f kbps, want >= 30", byDist[12].ThroughputKbps)
+	}
+	// The extra wall beyond 22 m kills the link (Fig 9b / Fig 11a).
+	if byDist[25].ThroughputKbps > 5 {
+		t.Errorf("NLOS 25m: %.1f kbps, want dead past the second wall", byDist[25].ThroughputKbps)
+	}
+	// NLOS range strictly shorter than LOS range.
+	los, err := Fig10WiFiLOS(Options{PacketsPerPoint: 4, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	losMax, nlosMax := 0.0, 0.0
+	for _, p := range los {
+		if p.ThroughputKbps > 5 {
+			losMax = p.DistanceM
+		}
+	}
+	for _, p := range pts {
+		if p.ThroughputKbps > 5 {
+			nlosMax = p.DistanceM
+		}
+	}
+	if nlosMax >= losMax {
+		t.Errorf("NLOS range %gm >= LOS range %gm", nlosMax, losMax)
+	}
+}
+
+func TestFig12ZigBeeShape(t *testing.T) {
+	pts, err := Fig12ZigBeeLOS(Options{PacketsPerPoint: 6, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[float64]LinkPoint{}
+	for _, p := range pts {
+		byDist[p.DistanceM] = p
+	}
+	// ~14 kbps plateau at close range.
+	if thr := byDist[4].ThroughputKbps; thr < 10 || thr > 17 {
+		t.Errorf("ZigBee 4m: %.1f kbps, want ~14", thr)
+	}
+	// Collapsed by 25 m (paper range: 22 m): at least half the plateau
+	// gone and most packets lost.
+	if byDist[25].ThroughputKbps > 7 {
+		t.Errorf("ZigBee 25m: %.1f kbps, want collapsed", byDist[25].ThroughputKbps)
+	}
+	if byDist[25].LossRate < 0.5 {
+		t.Errorf("ZigBee 25m: loss %.2f, want >= 0.5", byDist[25].LossRate)
+	}
+	// RSSI at 22 m near the paper's -97 dBm.
+	if r := byDist[22].RSSIdBm; r < -101 || r > -93 {
+		t.Errorf("ZigBee RSSI(22m) = %.1f, want ~-97", r)
+	}
+}
+
+func TestFig13BluetoothShape(t *testing.T) {
+	pts, err := Fig13BluetoothLOS(Options{PacketsPerPoint: 6, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[float64]LinkPoint{}
+	for _, p := range pts {
+		byDist[p.DistanceM] = p
+	}
+	// ~50 kbps plateau at <= 8 m.
+	if thr := byDist[6].ThroughputKbps; thr < 40 {
+		t.Errorf("BT 6m: %.1f kbps, want ~50", thr)
+	}
+	// Collapsed by 14 m (paper range: 12 m): at least 75% below plateau.
+	if byDist[14].ThroughputKbps > 12 {
+		t.Errorf("BT 14m: %.1f kbps, want collapsed", byDist[14].ThroughputKbps)
+	}
+	// RSSI anchor ~-100 dBm at 12 m.
+	if r := byDist[12].RSSIdBm; r < -104 || r > -96 {
+		t.Errorf("BT RSSI(12m) = %.1f, want ~-100", r)
+	}
+}
+
+func TestFig14RegimeOrdering(t *testing.T) {
+	pts, err := Fig14OperatingRegime(Options{PacketsPerPoint: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each radio: the max receiver distance must shrink as the tag
+	// moves away from the transmitter, and WiFi's regime must dominate.
+	maxAt := map[string]map[float64]float64{}
+	for _, p := range pts {
+		if maxAt[p.Radio.String()] == nil {
+			maxAt[p.Radio.String()] = map[float64]float64{}
+		}
+		maxAt[p.Radio.String()][p.TxToTagM] = p.MaxRxToTag
+	}
+	wifi := maxAt["802.11g/n WiFi"]
+	if wifi[1] < 30 {
+		t.Errorf("WiFi regime at 1m tx-tag: %.0fm, want >= 30 (paper: 42)", wifi[1])
+	}
+	if wifi[4] >= wifi[1] {
+		t.Errorf("WiFi regime must shrink with tx-tag distance: %.0f @4m vs %.0f @1m", wifi[4], wifi[1])
+	}
+	zb := maxAt["ZigBee"]
+	bt := maxAt["Bluetooth"]
+	if zb[1] >= wifi[1] || bt[1] >= zb[1] {
+		t.Errorf("regime ordering broken: wifi=%.0f zigbee=%.0f bt=%.0f", wifi[1], zb[1], bt[1])
+	}
+}
+
+func TestFig3Reproduction(t *testing.T) {
+	res, err := Fig3AmbientDurations(200000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShortFraction < 0.74 || res.ShortFraction > 0.82 {
+		t.Errorf("short fraction %.3f, want ~0.78", res.ShortFraction)
+	}
+	if res.LongFraction < 0.14 || res.LongFraction > 0.22 {
+		t.Errorf("long fraction %.3f, want ~0.18", res.LongFraction)
+	}
+	if res.AliasProbability > 0.01 {
+		t.Errorf("alias probability %.5f, want small (paper: 0.0003)", res.AliasProbability)
+	}
+	if len(res.BinCentresMs) != len(res.Density) || len(res.Density) == 0 {
+		t.Error("PDF arrays malformed")
+	}
+	if _, err := Fig3AmbientDurations(0, 1); err == nil {
+		t.Error("zero samples accepted")
+	}
+}
+
+func TestFig4Reproduction(t *testing.T) {
+	pts, err := Fig4PLMAccuracy(2000, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byDist := map[float64]PLMPoint{}
+	for _, p := range pts {
+		byDist[p.DistanceM] = p
+	}
+	// >70% within 4 m.
+	if a := byDist[4].Accuracy; a < 0.70 {
+		t.Errorf("accuracy(4m) = %.2f, want > 0.70", a)
+	}
+	// ~50% at 50 m.
+	if a := byDist[50].Accuracy; a < 0.38 || a > 0.65 {
+		t.Errorf("accuracy(50m) = %.2f, want ~0.5", a)
+	}
+	// Monotone non-increasing with distance (modulo Monte Carlo noise).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Accuracy > pts[i-1].Accuracy+0.05 {
+			t.Errorf("accuracy rose from %.2f to %.2f at %gm",
+				pts[i-1].Accuracy, pts[i].Accuracy, pts[i].DistanceM)
+		}
+	}
+	if _, err := Fig4PLMAccuracy(0, 1); err == nil {
+		t.Error("zero messages accepted")
+	}
+}
+
+func TestPLMRateNear500(t *testing.T) {
+	if r := PLMRateBps(); r < 400 || r > 650 {
+		t.Fatalf("PLM rate %.0f bps, want ~500", r)
+	}
+}
+
+func TestFig15Reproduction(t *testing.T) {
+	rows, err := Fig15WiFiCoexistence(150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		if r.WithoutMbps.Median < 35 || r.WithoutMbps.Median > 40 {
+			t.Errorf("%v: baseline median %.1f, want ~37.4", r.Excitation, r.WithoutMbps.Median)
+		}
+		if d := r.WithMbps.Median - r.WithoutMbps.Median; d < -1.2 || d > 1.2 {
+			t.Errorf("%v: backscatter moved WiFi median by %.2f Mbps", r.Excitation, d)
+		}
+	}
+}
+
+func TestFig16Reproduction(t *testing.T) {
+	rows, err := Fig16BackscatterUnderWiFi(200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		switch r.Excitation.String() {
+		case "802.11g/n WiFi":
+			if r.AbsentKbps.Median < 55 || r.AbsentKbps.Median > 68 {
+				t.Errorf("wifi absent median %.1f, want ~61.8", r.AbsentKbps.Median)
+			}
+			if r.PresentKbps.P10 >= r.AbsentKbps.P10 {
+				t.Error("wifi tail should degrade under traffic")
+			}
+		default:
+			if d := r.AbsentKbps.Median - r.PresentKbps.Median; d > 2 || d < -2 {
+				t.Errorf("%v: median moved %.2f kbps, want |d| <= 2", r.Excitation, d)
+			}
+		}
+	}
+}
+
+func TestFig17Reproduction(t *testing.T) {
+	pts, err := Fig17MultiTag(12, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byTags := map[int]MultiTagPoint{}
+	for _, p := range pts {
+		byTags[p.Tags] = p
+	}
+	// Rising aggregate throughput 4 -> 20 tags (Fig 17a).
+	if byTags[20].AlohaKbps <= byTags[4].AlohaKbps {
+		t.Errorf("throughput fell: %.1f @4 tags vs %.1f @20", byTags[4].AlohaKbps, byTags[20].AlohaKbps)
+	}
+	// Asymptotes: Aloha ~15-18 kbps, TDM ~40 kbps at 100 tags.
+	if a := byTags[100].AlohaKbps; a < 11 || a > 23 {
+		t.Errorf("aloha asymptote %.1f kbps, want ~18", a)
+	}
+	if d := byTags[100].TDMKbps; d < 32 || d > 46 {
+		t.Errorf("tdm asymptote %.1f kbps, want ~40", d)
+	}
+	// Fairness ~0.85 at 20 tags, roughly flat across populations (Fig 17b).
+	for _, n := range []int{4, 8, 12, 16, 20} {
+		if j := byTags[n].FairnessIndex; j < 0.65 || j > 0.99 {
+			t.Errorf("fairness(%d tags) = %.3f, want ~0.85", n, j)
+		}
+	}
+}
+
+func TestPowerBudgetReproduction(t *testing.T) {
+	rows := PowerBudget()
+	if len(rows) != 3 {
+		t.Fatalf("%d rows, want 3", len(rows))
+	}
+	for _, r := range rows {
+		total := r.Profile.TotalUW()
+		if total < 25 || total > 40 {
+			t.Errorf("%v: %.1f uW, want ~30 (§3.3)", r.Excitation, total)
+		}
+	}
+}
+
+func TestRedundancySweepShape(t *testing.T) {
+	pts, err := RedundancySweep(Options{PacketsPerPoint: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bySpb := map[int]RedundancyPoint{}
+	for _, p := range pts {
+		bySpb[p.SymbolsPerBit] = p
+	}
+	// Throughput scales inversely with redundancy.
+	if bySpb[1].ThroughputKbps <= bySpb[8].ThroughputKbps {
+		t.Error("redundancy should cost throughput")
+	}
+	// The paper's operating point (4 symbols/bit) achieves low BER.
+	if bySpb[4].TagBER > 1e-2 {
+		t.Errorf("BER at 4 symbols/bit = %.3g, want <= 1e-2", bySpb[4].TagBER)
+	}
+	// 8 symbols/bit is at least as reliable as 1 symbol/bit.
+	if bySpb[8].TagBER > bySpb[1].TagBER+1e-9 {
+		t.Error("more redundancy should not hurt BER")
+	}
+}
+
+func TestPilotTrackingAblation(t *testing.T) {
+	without, with, err := PilotTrackingAblation(Options{PacketsPerPoint: 2, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without > 0.01 {
+		t.Errorf("BER without tracking %.3f, want ~0", without)
+	}
+	if with < 0.2 {
+		t.Errorf("BER with tracking %.3f, want destroyed (> 0.2)", with)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	if DefaultOptions().packets() <= QuickOptions().packets() {
+		t.Error("default effort should exceed quick effort")
+	}
+	if (Options{}).packets() <= 0 {
+		t.Error("zero options must still run packets")
+	}
+}

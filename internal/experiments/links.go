@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+)
+
+// LinkPoint is one distance sample of a throughput/BER/RSSI sweep
+// (the three panels of Figs 10–13).
+type LinkPoint struct {
+	DistanceM      float64
+	ThroughputKbps float64
+	BER            float64
+	RSSIdBm        float64
+	LossRate       float64
+}
+
+// String renders the point as a bench-log row.
+func (p LinkPoint) String() string {
+	return fmt.Sprintf("d=%4.1fm thr=%6.1fkbps BER=%7.1e RSSI=%6.1fdBm loss=%4.2f",
+		p.DistanceM, p.ThroughputKbps, p.BER, p.RSSIdBm, p.LossRate)
+}
+
+// linkSweep runs one session per distance. Points are independent (each
+// has its own derived seed), so they run on all cores; results stay in
+// input order and are bit-identical to a serial sweep.
+func linkSweep(radio core.Radio, distances []float64, opt Options,
+	mutate func(*core.Config)) ([]LinkPoint, error) {
+	out := make([]LinkPoint, len(distances))
+	errs := make([]error, len(distances))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, d := range distances {
+		wg.Add(1)
+		go func(i int, d float64) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cfg := core.DefaultConfig(radio, d)
+			cfg.Seed = opt.Seed + int64(i)*1000
+			if mutate != nil {
+				mutate(&cfg)
+			}
+			s, err := core.NewSession(cfg)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			res, err := s.Run(opt.packets())
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			ber := res.BER()
+			if res.TagBitsDecoded == 0 {
+				ber = 1
+			}
+			out[i] = LinkPoint{
+				DistanceM:      d,
+				ThroughputKbps: res.ThroughputBps() / 1e3,
+				BER:            ber,
+				RSSIdBm:        cfg.Link.BackscatterRSSI(),
+				LossRate:       res.LossRate(),
+			}
+		}(i, d)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Fig10WiFiLOS sweeps the WiFi LOS deployment of Fig 10 (throughput, BER
+// and RSSI vs tag-to-receiver distance at 11 dBm, TX-to-tag 1 m).
+func Fig10WiFiLOS(opt Options) ([]LinkPoint, error) {
+	d := []float64{1, 5, 10, 14, 18, 22, 26, 30, 34, 38, 42, 45}
+	return linkSweep(core.WiFi, d, opt, nil)
+}
+
+// Fig11WiFiNLOS sweeps the through-the-wall deployment of Fig 11 (an extra
+// wall appears beyond 22 m, Fig 9b).
+func Fig11WiFiNLOS(opt Options) ([]LinkPoint, error) {
+	d := []float64{1, 4, 8, 12, 14, 16, 18, 20, 22, 25}
+	return linkSweep(core.WiFi, d, opt, func(c *core.Config) {
+		c.Link.Deployment = channel.NLOS
+		c.Link.TxPowerDBm = 15 // the NLOS run uses the full 15 dBm
+		c.Link.FadingK = 1.5   // weaker LOS component through walls
+	})
+}
+
+// Fig12ZigBeeLOS sweeps the ZigBee LOS deployment of Fig 12 (5 dBm).
+func Fig12ZigBeeLOS(opt Options) ([]LinkPoint, error) {
+	d := []float64{1, 4, 8, 12, 16, 20, 22, 25}
+	return linkSweep(core.ZigBee, d, opt, nil)
+}
+
+// Fig13BluetoothLOS sweeps the Bluetooth LOS deployment of Fig 13 (0 dBm).
+func Fig13BluetoothLOS(opt Options) ([]LinkPoint, error) {
+	d := []float64{1, 2, 4, 6, 8, 10, 12, 14}
+	return linkSweep(core.Bluetooth, d, opt, nil)
+}
+
+// RegimePoint is one Fig 14 sample: the maximum tag-to-receiver distance
+// sustaining backscatter at a given transmitter-to-tag distance.
+type RegimePoint struct {
+	Radio      core.Radio
+	TxToTagM   float64
+	MaxRxToTag float64
+}
+
+// String renders the point as a bench-log row.
+func (p RegimePoint) String() string {
+	return fmt.Sprintf("%-15s txToTag=%3.1fm maxRxToTag=%4.1fm", p.Radio, p.TxToTagM, p.MaxRxToTag)
+}
+
+// Fig14OperatingRegime maps the operational region of Fig 14: for each
+// radio and TX-to-tag distance, the farthest receiver distance at which at
+// least ~20% of backscattered packets still decode.
+func Fig14OperatingRegime(opt Options) ([]RegimePoint, error) {
+	grids := map[core.Radio][]float64{
+		core.WiFi:      {1, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46},
+		core.ZigBee:    {1, 2, 4, 6, 8, 10, 14, 18, 22, 26},
+		core.Bluetooth: {1, 2, 4, 6, 8, 10, 12, 14},
+	}
+	txDistances := map[core.Radio][]float64{
+		core.WiFi:      {0.5, 1, 1.5, 2, 3, 4, 4.5},
+		core.ZigBee:    {0.5, 1, 1.5, 2, 2.5},
+		core.Bluetooth: {0.5, 1, 1.5, 2},
+	}
+	type job struct {
+		radio core.Radio
+		txIdx int
+		txd   float64
+	}
+	var jobs []job
+	for _, radio := range []core.Radio{core.WiFi, core.ZigBee, core.Bluetooth} {
+		for i, txd := range txDistances[radio] {
+			jobs = append(jobs, job{radio, i, txd})
+		}
+	}
+	out := make([]RegimePoint, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for k, jb := range jobs {
+		wg.Add(1)
+		go func(k int, jb job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			maxRx := 0.0
+			for j, rxd := range grids[jb.radio] {
+				cfg := core.DefaultConfig(jb.radio, rxd)
+				cfg.Link.TxToTag = jb.txd
+				cfg.Seed = opt.Seed + int64(jb.txIdx*100+j)
+				s, err := core.NewSession(cfg)
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				res, err := s.Run(opt.packets())
+				if err != nil {
+					errs[k] = err
+					return
+				}
+				if res.LossRate() <= 0.8 && res.TagBitsDecoded > 0 {
+					maxRx = rxd
+				}
+			}
+			out[k] = RegimePoint{Radio: jb.radio, TxToTagM: jb.txd, MaxRxToTag: maxRx}
+		}(k, jb)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,265 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/tag"
+)
+
+// PowerRow itemises one translator configuration's power budget (§3.3).
+type PowerRow struct {
+	Excitation tag.Excitation
+	ShiftHz    float64
+	Profile    tag.PowerProfile
+}
+
+// String renders the row.
+func (r PowerRow) String() string {
+	return fmt.Sprintf("%-15s shift=%5.1fMHz clock=%4.1fuW switch=%4.1fuW logic=%3.1fuW total=%4.1fuW",
+		r.Excitation, r.ShiftHz/1e6, r.Profile.ClockUW, r.Profile.SwitchUW,
+		r.Profile.LogicUW, r.Profile.TotalUW())
+}
+
+// PowerBudget reproduces the §3.3 tag power analysis: ~30 µW dominated by
+// the 20 MHz ring-oscillator clock.
+func PowerBudget() []PowerRow {
+	cases := []struct {
+		exc   tag.Excitation
+		shift float64
+	}{
+		{tag.ExcitationWiFi, 20e6},      // hop to channel 13
+		{tag.ExcitationZigBee, 16e6},    // hop toward 2.48 GHz
+		{tag.ExcitationBluetooth, 20e6}, // hop plus the 500 kHz codeword toggle
+	}
+	out := make([]PowerRow, 0, len(cases))
+	for _, c := range cases {
+		out = append(out, PowerRow{
+			Excitation: c.exc,
+			ShiftHz:    c.shift,
+			Profile:    tag.PowerFor(c.exc, c.shift),
+		})
+	}
+	return out
+}
+
+// RedundancyPoint is one sample of the §3.2.1 redundancy study: tag BER and
+// rate as a function of OFDM symbols per tag bit.
+type RedundancyPoint struct {
+	SymbolsPerBit  int
+	TagBER         float64
+	ThroughputKbps float64
+}
+
+// String renders the point.
+func (p RedundancyPoint) String() string {
+	return fmt.Sprintf("symbolsPerBit=%d BER=%7.1e thr=%6.1fkbps", p.SymbolsPerBit, p.TagBER, p.ThroughputKbps)
+}
+
+// RedundancySweep reproduces the simulation behind §3.2.1's choice of one
+// tag bit per four OFDM symbols: fewer symbols per bit raise the tag rate
+// but leave too little majority-vote margin over the boundary errors the
+// scrambler and convolutional decoder make at each tag-bit transition.
+func RedundancySweep(opt Options) ([]RedundancyPoint, error) {
+	var out []RedundancyPoint
+	for _, spb := range []int{1, 2, 4, 8} {
+		cfg := core.DefaultConfig(core.WiFi, 20)
+		cfg.Redundancy = spb
+		cfg.Seed = opt.Seed
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.Run(opt.packets())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, RedundancyPoint{
+			SymbolsPerBit:  spb,
+			TagBER:         res.BER(),
+			ThroughputKbps: res.ThroughputBps() / 1e3,
+		})
+	}
+	return out, nil
+}
+
+// QuaternaryPoint compares the eq. 4 binary and eq. 5 quaternary schemes.
+type QuaternaryPoint struct {
+	Scheme         string
+	ThroughputKbps float64
+	TagBER         float64
+}
+
+// String renders the point.
+func (p QuaternaryPoint) String() string {
+	return fmt.Sprintf("%-10s thr=%6.1fkbps BER=%7.1e", p.Scheme, p.ThroughputKbps, p.TagBER)
+}
+
+// QuaternaryStudy reproduces the §2.3.1 rate trade-off: at a QPSK rate
+// (12 Mbps) the tag can step its phase in 90° increments (eq. 5) and carry
+// two bits per window, roughly doubling the eq. 4 binary rate.
+func QuaternaryStudy(opt Options) ([]QuaternaryPoint, error) {
+	run := func(name string, quaternary bool) (QuaternaryPoint, error) {
+		cfg := core.DefaultConfig(core.WiFi, 5)
+		cfg.WiFiRateMbps = 12
+		cfg.Quaternary = quaternary
+		cfg.Seed = opt.Seed
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return QuaternaryPoint{}, err
+		}
+		res, err := s.Run(opt.packets())
+		if err != nil {
+			return QuaternaryPoint{}, err
+		}
+		return QuaternaryPoint{
+			Scheme:         name,
+			ThroughputKbps: res.ThroughputBps() / 1e3,
+			TagBER:         res.BER(),
+		}, nil
+	}
+	binary, err := run("binary", false)
+	if err != nil {
+		return nil, err
+	}
+	quad, err := run("quaternary", true)
+	if err != nil {
+		return nil, err
+	}
+	return []QuaternaryPoint{binary, quad}, nil
+}
+
+// CFOPoint is one sample of the carrier-frequency-offset study.
+type CFOPoint struct {
+	Radio          core.Radio
+	CFOHz          float64
+	ThroughputKbps float64
+	TagBER         float64
+	LossRate       float64
+}
+
+// String renders the point.
+func (p CFOPoint) String() string {
+	return fmt.Sprintf("%-15s cfo=%6.0fHz thr=%6.1fkbps BER=%7.1e loss=%4.2f",
+		p.Radio, p.CFOHz, p.ThroughputKbps, p.TagBER, p.LossRate)
+}
+
+// CFOStudy sweeps residual carrier frequency offset over every excitation
+// link. Each receiver handles offsets without touching the tag's
+// modulation in its own way: WiFi with LTF + cyclic-prefix estimation and
+// blind constellation squaring, ZigBee with preamble-periodicity
+// estimation, Bluetooth inherently (FM discrimination turns CFO into a
+// small DC bias).
+func CFOStudy(opt Options) ([]CFOPoint, error) {
+	sweeps := []struct {
+		radio core.Radio
+		dist  float64
+		cfos  []float64
+	}{
+		{core.WiFi, 10, []float64{0, 5e3, 15e3, 30e3, 45e3}},
+		{core.ZigBee, 8, []float64{0, 5e3, 10e3, 15e3}},
+		{core.Bluetooth, 4, []float64{0, 10e3, 20e3, 30e3}},
+	}
+	var out []CFOPoint
+	for _, sw := range sweeps {
+		for _, cfo := range sw.cfos {
+			cfg := core.DefaultConfig(sw.radio, sw.dist)
+			cfg.Link.CFOHz = cfo
+			cfg.Seed = opt.Seed
+			s, err := core.NewSession(cfg)
+			if err != nil {
+				return nil, err
+			}
+			res, err := s.Run(opt.packets())
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, CFOPoint{
+				Radio:          sw.radio,
+				CFOHz:          cfo,
+				ThroughputKbps: res.ThroughputBps() / 1e3,
+				TagBER:         res.BER(),
+				LossRate:       res.LossRate(),
+			})
+		}
+	}
+	return out, nil
+}
+
+// CollisionPoint reports tag decodability vs how many tags share a slot.
+type CollisionPoint struct {
+	Tags       int
+	WorstBER   float64 // worst per-tag BER in the superposition
+	Detectable bool    // the receiver still found a packet
+}
+
+// String renders the point.
+func (p CollisionPoint) String() string {
+	return fmt.Sprintf("tags=%d worstBER=%5.3f detected=%v", p.Tags, p.WorstBER, p.Detectable)
+}
+
+// CollisionStudy verifies the MAC's collision premise at sample level:
+// one tag decodes cleanly, two or more superposed tags destroy each
+// other's data (§2.4.1: "if two tags choose the same slot, there is a
+// collision and no data is successfully transmitted").
+func CollisionStudy(opt Options) ([]CollisionPoint, error) {
+	cfg := core.DefaultConfig(core.WiFi, 5)
+	cfg.Link.FadingK = 0
+	cfg.Seed = opt.Seed
+	s, err := core.NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var out []CollisionPoint
+	for _, n := range []int{1, 2, 3} {
+		data := make([][]byte, n)
+		for i := range data {
+			bits := make([]byte, s.Capacity())
+			for j := range bits {
+				bits[j] = byte((j*7 + i*3) & 1)
+			}
+			data[i] = bits
+		}
+		res, err := s.RunCollision(data)
+		if err != nil {
+			return nil, err
+		}
+		worst := 0.0
+		for _, b := range res.PerTagBER {
+			if b > worst {
+				worst = b
+			}
+		}
+		out = append(out, CollisionPoint{Tags: n, WorstBER: worst, Detectable: res.Detected})
+	}
+	return out, nil
+}
+
+// PilotTrackingAblation contrasts tag BER with and without receiver pilot
+// phase tracking (§3.2.1: tracking erases the tag's phase modulation).
+func PilotTrackingAblation(opt Options) (withoutBER, withBER float64, err error) {
+	run := func(tracking bool) (float64, error) {
+		cfg := core.DefaultConfig(core.WiFi, 5)
+		cfg.Link.FadingK = 0
+		cfg.PilotPhaseTracking = tracking
+		cfg.Seed = opt.Seed
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := s.Run(opt.packets())
+		if err != nil {
+			return 0, err
+		}
+		return res.BER(), nil
+	}
+	withoutBER, err = run(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	withBER, err = run(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	return withoutBER, withBER, nil
+}

@@ -1,0 +1,23 @@
+package experiments
+
+import "testing"
+
+func TestToneExcitationBaseline(t *testing.T) {
+	res, err := ToneExcitationBaseline([]byte("passive wifi style synthesis"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Decoded || !res.CRCOK {
+		t.Fatal("tag-synthesised 802.11b packet did not decode")
+	}
+	// 1 Mbps DSSS with framing overhead: several hundred kbps payload rate.
+	if res.TagThroughputKbps < 500 || res.TagThroughputKbps > 1000 {
+		t.Fatalf("synthesised rate %.0f kbps, want ~700", res.TagThroughputKbps)
+	}
+	if res.ProductiveAirtimeFraction != 0 {
+		t.Fatal("a tone carries no productive data")
+	}
+	if _, err := ToneExcitationBaseline(nil); err == nil {
+		t.Error("empty payload accepted")
+	}
+}

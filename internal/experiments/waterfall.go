@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bluetooth"
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/wifi"
+	"repro/internal/zigbee"
+)
+
+// WaterfallPoint is one SNR sample of a PHY characterisation curve.
+type WaterfallPoint struct {
+	SNRdB       float64
+	PacketRate  float64 // fraction of packets decoded with a valid checksum
+	PayloadBER  float64 // bit error rate over decoded payloads
+	FrameErrors int
+	Frames      int
+}
+
+// String renders the point as a bench-log row.
+func (p WaterfallPoint) String() string {
+	return fmt.Sprintf("snr=%5.1fdB packetRate=%4.2f payloadBER=%7.1e (%d/%d frames)",
+		p.SNRdB, p.PacketRate, p.PayloadBER, p.Frames-p.FrameErrors, p.Frames)
+}
+
+// Waterfall sweeps packet success and payload BER against SNR for one
+// excitation PHY's native link (no backscatter), using each receiver's
+// default detection settings: the sensitivity curves the link-budget
+// calibration rests on. Frames per point controls the resolution.
+func Waterfall(radio core.Radio, snrsDB []float64, framesPerPoint int, seed int64) ([]WaterfallPoint, error) {
+	if framesPerPoint <= 0 {
+		return nil, fmt.Errorf("experiments: frames per point %d must be positive", framesPerPoint)
+	}
+	out := make([]WaterfallPoint, 0, len(snrsDB))
+	for i, snr := range snrsDB {
+		pt := WaterfallPoint{SNRdB: snr, Frames: framesPerPoint}
+		bitErr, bitTot := 0, 0
+		for f := 0; f < framesPerPoint; f++ {
+			s := seed + int64(i*1000+f)
+			ok, be, bt, err := oneFrame(radio, snr, s)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				pt.FrameErrors++
+				continue
+			}
+			bitErr += be
+			bitTot += bt
+		}
+		pt.PacketRate = float64(framesPerPoint-pt.FrameErrors) / float64(framesPerPoint)
+		if bitTot > 0 {
+			pt.PayloadBER = float64(bitErr) / float64(bitTot)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// oneFrame runs a single native-PHY frame at the given SNR, returning
+// whether the frame passed its checksum plus payload bit-error counts.
+func oneFrame(radio core.Radio, snrDB float64, seed int64) (ok bool, bitErrs, bits int, err error) {
+	payload := make([]byte, 200)
+	for i := range payload {
+		payload[i] = byte(i*31 + int(seed))
+	}
+	switch radio {
+	case core.WiFi:
+		psdu := wifi.AppendFCS(payload)
+		sig, terr := wifi.NewTransmitter().Transmit(psdu, wifi.Rates[6])
+		if terr != nil {
+			return false, 0, 0, terr
+		}
+		cap := channel.ApplySNR(sig, snrDB, 300, seed)
+		pkt, rerr := wifi.NewReceiver().Receive(cap)
+		if rerr != nil || len(pkt.PSDU) != len(psdu) {
+			return false, 0, 0, nil
+		}
+		return pkt.FCSOK, byteErrors(pkt.PSDU[:len(payload)], payload), len(payload) * 8, nil
+	case core.ZigBee:
+		sig, terr := zigbee.NewTransmitter().Transmit(payload[:90])
+		if terr != nil {
+			return false, 0, 0, terr
+		}
+		cap := channel.ApplySNR(sig, snrDB, 300, seed)
+		f, rerr := zigbee.NewReceiver().Receive(cap)
+		if rerr != nil || len(f.Payload) != 90 {
+			return false, 0, 0, nil
+		}
+		return f.FCSOK, byteErrors(f.Payload, payload[:90]), 90 * 8, nil
+	case core.Bluetooth:
+		sig, terr := bluetooth.NewTransmitter().Transmit(payload[:120])
+		if terr != nil {
+			return false, 0, 0, terr
+		}
+		cap := channel.ApplySNR(sig, snrDB, 300, seed)
+		f, rerr := bluetooth.NewReceiver().Receive(cap)
+		if rerr != nil || len(f.Payload) != 120 {
+			return false, 0, 0, nil
+		}
+		return f.CRCOK, byteErrors(f.Payload, payload[:120]), 120 * 8, nil
+	}
+	return false, 0, 0, fmt.Errorf("experiments: unknown radio %v", radio)
+}
+
+func byteErrors(got, want []byte) int {
+	n := 0
+	for i := range want {
+		if i >= len(got) {
+			n += 8
+			continue
+		}
+		x := got[i] ^ want[i]
+		for x != 0 {
+			n += int(x & 1)
+			x >>= 1
+		}
+	}
+	return n
+}

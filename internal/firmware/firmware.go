@@ -1,0 +1,129 @@
+// Package firmware implements the FreeRider tag's control loop (§2.4.1):
+// the only inputs are envelope-detector pulses. The loop classifies them
+// through the PLM receiver, watches its circular buffer for a scheduling
+// preamble, reads the round announcement (slot count), picks a random slot,
+// and arms the codeword translator for exactly that slot. It never decodes
+// a radio packet — everything here runs on the microwatt budget of §3.3.
+package firmware
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/plm"
+	"repro/internal/tag"
+)
+
+// AnnouncementBits is the scheduling-message payload length: an 8-bit slot
+// count (LSB first), giving rounds of up to 255 slots.
+const AnnouncementBits = 8
+
+// EncodeAnnouncement builds the PLM payload bits for a round with the given
+// slot count (transmitter side).
+func EncodeAnnouncement(slots int) ([]byte, error) {
+	if slots < 1 || slots > 255 {
+		return nil, fmt.Errorf("firmware: slot count %d outside [1,255]", slots)
+	}
+	out := make([]byte, AnnouncementBits)
+	for i := range out {
+		out[i] = byte(slots>>uint(i)) & 1
+	}
+	return out, nil
+}
+
+// State is the tag's control state.
+type State int
+
+// Control states.
+const (
+	Idle  State = iota // listening for a scheduling message
+	Armed              // slot chosen, waiting for it to come up
+)
+
+// Tag is the control loop of one FreeRider tag.
+type Tag struct {
+	scheme plm.Scheme
+	rx     *plm.TagReceiver
+	rng    *rand.Rand
+
+	state        State
+	slotsInRound int
+	chosenSlot   int
+	queue        [][]byte
+}
+
+// New returns a tag firmware instance with the given PLM scheme and seed.
+func New(scheme plm.Scheme, seed int64) (*Tag, error) {
+	rx, err := plm.NewTagReceiver(scheme)
+	if err != nil {
+		return nil, err
+	}
+	return &Tag{scheme: scheme, rx: rx, rng: rand.New(rand.NewSource(seed)), chosenSlot: -1}, nil
+}
+
+// State reports the current control state.
+func (t *Tag) State() State { return t.state }
+
+// ChosenSlot reports the armed slot (-1 when idle).
+func (t *Tag) ChosenSlot() int {
+	if t.state != Armed {
+		return -1
+	}
+	return t.chosenSlot
+}
+
+// Enqueue adds tag data to be backscattered in a future slot.
+func (t *Tag) Enqueue(data []byte) {
+	t.queue = append(t.queue, data)
+}
+
+// QueueLen reports pending messages.
+func (t *Tag) QueueLen() int { return len(t.queue) }
+
+// OnPulse feeds one envelope-detector pulse into the loop. When a complete
+// scheduling message arrives and the tag has data queued, it arms a random
+// slot for the announced round. A fresh announcement always re-arms the
+// tag, even if it believed a round was still in progress: lost pulses can
+// corrupt a decoded slot count, and without resynchronisation a tag armed
+// for a slot beyond the real round would deadlock in Armed forever.
+func (t *Tag) OnPulse(p tag.Pulse) {
+	t.rx.Feed(p.Duration)
+	msg, ok := t.rx.Message(AnnouncementBits)
+	if !ok {
+		return
+	}
+	slots := 0
+	for i, b := range msg {
+		slots |= int(b&1) << uint(i)
+	}
+	if slots < 1 || len(t.queue) == 0 {
+		t.state = Idle
+		t.chosenSlot = -1
+		return
+	}
+	t.slotsInRound = slots
+	t.chosenSlot = t.rng.Intn(slots)
+	t.state = Armed
+}
+
+// OnSlot is called by the tag's slot counter at the start of slot idx
+// (0-based within the announced round). It returns the data to backscatter
+// and true exactly when this is the armed slot. After the round's last
+// slot the tag returns to Idle whether or not it transmitted.
+func (t *Tag) OnSlot(idx int) ([]byte, bool) {
+	if t.state != Armed {
+		return nil, false
+	}
+	var out []byte
+	fired := false
+	if idx == t.chosenSlot && len(t.queue) > 0 {
+		out = t.queue[0]
+		t.queue = t.queue[1:]
+		fired = true
+	}
+	if idx >= t.slotsInRound-1 {
+		t.state = Idle
+		t.chosenSlot = -1
+	}
+	return out, fired
+}

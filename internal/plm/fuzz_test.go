@@ -1,0 +1,28 @@
+package plm
+
+import "testing"
+
+// FuzzClassify must be total and only ever return bits 0/1 within the
+// scheme's bounds.
+func FuzzClassify(f *testing.F) {
+	f.Add(800e-6)
+	f.Add(1200e-6)
+	f.Add(-1.0)
+	f.Fuzz(func(t *testing.T, d float64) {
+		s := DefaultScheme()
+		b, ok := s.Classify(d)
+		if !ok {
+			return
+		}
+		if b > 1 {
+			t.Fatalf("classified bit %d", b)
+		}
+		want := s.L0
+		if b == 1 {
+			want = s.L1
+		}
+		if d < want-s.Bound || d > want+s.Bound {
+			t.Fatalf("duration %g accepted as bit %d outside bound", d, b)
+		}
+	})
+}

@@ -1,0 +1,77 @@
+package plm
+
+import (
+	"fmt"
+	"math"
+)
+
+// PacketPlan is one planned transmission burst of the PLM downlink when it
+// rides on real traffic (§2.4.2: "a better way is to buffer existing
+// traffic before sending it to the NIC, and then re-order or re-packetize
+// to get the necessary sequence of L0s and L1s").
+type PacketPlan struct {
+	Bit          byte    // the PLM bit this burst encodes
+	Duration     float64 // burst airtime: exactly L0 or L1
+	PayloadBytes int     // buffered user traffic carried in this burst
+	PadBytes     int     // dummy bytes added to hit the target duration
+}
+
+// RepacketizePlan summarises a planned message transmission.
+type RepacketizePlan struct {
+	Packets []PacketPlan
+	// LeftoverBytes is buffered traffic that did not fit the message's
+	// bursts and stays queued for normal transmission.
+	LeftoverBytes int
+	// Efficiency is the fraction of scheduled airtime carrying real user
+	// traffic; 1 - Efficiency is the overhead the PLM downlink imposes.
+	// "As long as the network is busy, the backscatter messages impose
+	// negligible overhead on the rest of the channel."
+	Efficiency float64
+}
+
+// Repacketize plans the bursts that encode message (preamble is prepended)
+// while draining up to pendingBytes of buffered user traffic. rateBps is
+// the PHY goodput used to convert bytes to airtime and overheadTime the
+// fixed per-packet cost (preamble, headers, FCS).
+func (s Scheme) Repacketize(pendingBytes int, message []byte, rateBps, overheadTime float64) (RepacketizePlan, error) {
+	if err := s.Validate(); err != nil {
+		return RepacketizePlan{}, err
+	}
+	if rateBps <= 0 {
+		return RepacketizePlan{}, fmt.Errorf("plm: rate %g must be positive", rateBps)
+	}
+	if overheadTime < 0 || overheadTime >= s.L0 {
+		return RepacketizePlan{}, fmt.Errorf("plm: per-packet overhead %g must fit inside L0=%g", overheadTime, s.L0)
+	}
+	if pendingBytes < 0 {
+		return RepacketizePlan{}, fmt.Errorf("plm: negative pending bytes")
+	}
+
+	bits := append(append([]byte(nil), s.Preamble...), message...)
+	plan := RepacketizePlan{Packets: make([]PacketPlan, 0, len(bits)), LeftoverBytes: pendingBytes}
+	var usefulTime, totalTime float64
+	for _, b := range bits {
+		target := s.L0
+		if b&1 == 1 {
+			target = s.L1
+		}
+		capacityBytes := int(math.Floor((target - overheadTime) * rateBps / 8))
+		take := plan.LeftoverBytes
+		if take > capacityBytes {
+			take = capacityBytes
+		}
+		plan.LeftoverBytes -= take
+		plan.Packets = append(plan.Packets, PacketPlan{
+			Bit:          b & 1,
+			Duration:     target,
+			PayloadBytes: take,
+			PadBytes:     capacityBytes - take,
+		})
+		usefulTime += float64(take) * 8 / rateBps
+		totalTime += target
+	}
+	if totalTime > 0 {
+		plan.Efficiency = usefulTime / totalTime
+	}
+	return plan, nil
+}

@@ -1,0 +1,128 @@
+package plm
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRepacketizeDurationsExact(t *testing.T) {
+	s := DefaultScheme()
+	msg := []byte{1, 0, 1}
+	plan, err := s.Repacketize(100000, msg, 6e6, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Packets) != len(s.Preamble)+len(msg) {
+		t.Fatalf("%d packets, want %d", len(plan.Packets), len(s.Preamble)+len(msg))
+	}
+	wantBits := append(append([]byte(nil), s.Preamble...), msg...)
+	for i, p := range plan.Packets {
+		if p.Bit != wantBits[i] {
+			t.Fatalf("packet %d encodes bit %d, want %d", i, p.Bit, wantBits[i])
+		}
+		want := s.L0
+		if p.Bit == 1 {
+			want = s.L1
+		}
+		if math.Abs(p.Duration-want) > 1e-12 {
+			t.Fatalf("packet %d duration %g, want %g", i, p.Duration, want)
+		}
+	}
+}
+
+func TestRepacketizeDrainsTrafficFirst(t *testing.T) {
+	s := DefaultScheme()
+	// Plenty of pending traffic: every burst should be pure user data.
+	plan, err := s.Repacketize(1000000, []byte{1, 1, 0, 0}, 6e6, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plan.Packets {
+		if p.PadBytes != 0 {
+			t.Fatalf("packet %d padded %d bytes despite full queue", i, p.PadBytes)
+		}
+	}
+	if plan.Efficiency < 0.9 {
+		t.Fatalf("efficiency %.2f with a busy network, want >= 0.9", plan.Efficiency)
+	}
+	if plan.LeftoverBytes >= 1000000 {
+		t.Fatal("no traffic drained")
+	}
+}
+
+func TestRepacketizeIdleNetworkPadsEverything(t *testing.T) {
+	s := DefaultScheme()
+	plan, err := s.Repacketize(0, []byte{1, 0}, 6e6, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plan.Packets {
+		if p.PayloadBytes != 0 || p.PadBytes == 0 {
+			t.Fatalf("packet %d: payload %d pad %d on an idle network", i, p.PayloadBytes, p.PadBytes)
+		}
+	}
+	if plan.Efficiency != 0 {
+		t.Fatalf("efficiency %g on an idle network, want 0", plan.Efficiency)
+	}
+}
+
+func TestRepacketizeConservesBytes(t *testing.T) {
+	s := DefaultScheme()
+	const pending = 3000
+	plan, err := s.Repacketize(pending, []byte{1, 0, 1, 1, 0}, 6e6, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carried := 0
+	for _, p := range plan.Packets {
+		carried += p.PayloadBytes
+	}
+	if carried+plan.LeftoverBytes != pending {
+		t.Fatalf("bytes not conserved: %d carried + %d leftover != %d", carried, plan.LeftoverBytes, pending)
+	}
+}
+
+func TestRepacketizeValidation(t *testing.T) {
+	s := DefaultScheme()
+	if _, err := s.Repacketize(10, []byte{1}, 0, 60e-6); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := s.Repacketize(10, []byte{1}, 6e6, s.L0); err == nil {
+		t.Error("overhead >= L0 accepted")
+	}
+	if _, err := s.Repacketize(-1, []byte{1}, 6e6, 0); err == nil {
+		t.Error("negative pending accepted")
+	}
+	bad := s
+	bad.Preamble = nil
+	if _, err := bad.Repacketize(10, []byte{1}, 6e6, 0); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+}
+
+func TestRepacketizeDecodesBack(t *testing.T) {
+	// The planned durations must decode to preamble+message through the
+	// tag receiver.
+	s := DefaultScheme()
+	msg := []byte{0, 1, 1, 0, 1, 0, 1, 1}
+	plan, err := s.Repacketize(50000, msg, 6e6, 60e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := NewTagReceiver(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range plan.Packets {
+		rx.Feed(p.Duration)
+	}
+	got, ok := rx.Message(len(msg))
+	if !ok {
+		t.Fatal("planned bursts did not decode to a message")
+	}
+	for i := range msg {
+		if got[i] != msg[i] {
+			t.Fatalf("bit %d: got %d want %d", i, got[i], msg[i])
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package signal
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSignal(n int) *Signal {
+	s := New(20e6, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := range s.Samples {
+		s.Samples[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return s
+}
+
+func BenchmarkFFT1024(b *testing.B) {
+	s := benchSignal(1024)
+	buf := make([]complex128, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, s.Samples)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	s := benchSignal(64)
+	buf := make([]complex128, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, s.Samples)
+		if err := FFT(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrequencyShift(b *testing.B) {
+	s := benchSignal(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.FrequencyShift(1e6)
+	}
+}
+
+func BenchmarkConvolve101Taps(b *testing.B) {
+	s := benchSignal(4096)
+	h, err := LowpassFIR(20e6, 2e6, 101)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Convolve(s.Samples, h)
+	}
+}
+
+func BenchmarkAddAWGN(b *testing.B) {
+	s := benchSignal(4096)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.AddAWGN(0.1, rng)
+	}
+}
+
+func BenchmarkSquareWaveMix(b *testing.B) {
+	s := benchSignal(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.SquareWaveMix(5e6, 0)
+	}
+}

@@ -1,0 +1,110 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x. The length
+// must be a power of two. The transform is unnormalised (standard DFT sum).
+func FFT(x []complex128) error {
+	return fftDir(x, false)
+}
+
+// IFFT computes the inverse FFT of x in place, including the 1/N
+// normalisation, so IFFT(FFT(x)) == x.
+func IFFT(x []complex128) error {
+	if err := fftDir(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func fftDir(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) != 0 {
+		return fmt.Errorf("signal: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size >> 1
+		theta := sign * 2 * math.Pi / float64(size)
+		wStep := complex(math.Cos(theta), math.Sin(theta))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// FFTShift reorders FFT output so the zero-frequency bin sits in the middle
+// of the slice (negative frequencies first). Returns a new slice.
+func FFTShift(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	half := (n + 1) / 2
+	copy(out, x[half:])
+	copy(out[n-half:], x[:half])
+	return out
+}
+
+// Spectrum returns the power spectrum (|X[k]|^2 / N^2) of the first power-of-
+// two prefix of the signal, ordered with DC at bin 0.
+func (s *Signal) Spectrum(n int) ([]float64, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("signal: spectrum size %d not a power of two", n)
+	}
+	buf := make([]complex128, n)
+	copy(buf, s.Samples)
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	norm := float64(n) * float64(n)
+	for i, v := range buf {
+		out[i] = (real(v)*real(v) + imag(v)*imag(v)) / norm
+	}
+	return out, nil
+}
+
+// Goertzel evaluates the DFT of x at a single normalised frequency f (cycles
+// per sample), useful for cheap tone detection in the FSK demodulator tests.
+func Goertzel(x []complex128, f float64) complex128 {
+	// Direct correlation: sum x[n]·exp(-j2πfn). For the short blocks used in
+	// tests this is clearer than the classical recurrence and numerically
+	// safer for complex input.
+	var acc complex128
+	w := complex(math.Cos(-2*math.Pi*f), math.Sin(-2*math.Pi*f))
+	rot := complex(1, 0)
+	for _, v := range x {
+		acc += v * rot
+		rot *= w
+	}
+	return acc
+}

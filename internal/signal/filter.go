@@ -1,0 +1,114 @@
+package signal
+
+import (
+	"fmt"
+	"math"
+)
+
+// LowpassFIR designs a windowed-sinc (Hamming) lowpass FIR filter with the
+// given cutoff frequency in Hz at the given sample rate, with taps
+// coefficients (odd tap count recommended for a symmetric filter).
+func LowpassFIR(rate, cutoff float64, taps int) ([]float64, error) {
+	if taps < 3 {
+		return nil, fmt.Errorf("signal: need at least 3 taps, got %d", taps)
+	}
+	if cutoff <= 0 || cutoff >= rate/2 {
+		return nil, fmt.Errorf("signal: cutoff %g Hz outside (0, %g)", cutoff, rate/2)
+	}
+	fc := cutoff / rate // normalised cutoff (cycles/sample)
+	h := make([]float64, taps)
+	mid := float64(taps-1) / 2
+	var sum float64
+	for i := range h {
+		t := float64(i) - mid
+		var v float64
+		if t == 0 {
+			v = 2 * fc
+		} else {
+			v = math.Sin(2*math.Pi*fc*t) / (math.Pi * t)
+		}
+		// Hamming window.
+		v *= 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(taps-1))
+		h[i] = v
+		sum += v
+	}
+	for i := range h { // unity DC gain
+		h[i] /= sum
+	}
+	return h, nil
+}
+
+// GaussianFIR returns the Gaussian pulse-shaping filter used by GFSK with
+// bandwidth-time product bt, sampled at sps samples per symbol, spanning
+// span symbols. Normalised to unity sum.
+func GaussianFIR(bt float64, sps, span int) []float64 {
+	n := sps*span + 1
+	h := make([]float64, n)
+	// Standard GMSK Gaussian response: alpha = sqrt(ln2)/(2*pi*BT).
+	alpha := math.Sqrt(math.Ln2) / (2 * math.Pi * bt)
+	mid := float64(n-1) / 2
+	var sum float64
+	for i := range h {
+		t := (float64(i) - mid) / float64(sps) // in symbol periods
+		h[i] = math.Exp(-t * t / (2 * alpha * alpha))
+		sum += h[i]
+	}
+	for i := range h {
+		h[i] /= sum
+	}
+	return h
+}
+
+// Convolve filters x with real taps h ("same" alignment: output sample i
+// corresponds to input sample i with the filter group delay removed).
+func Convolve(x []complex128, h []float64) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	full := make([]complex128, len(x)+len(h)-1)
+	for i, xv := range x {
+		for j, hv := range h {
+			full[i+j] += xv * complex(hv, 0)
+		}
+	}
+	delay := (len(h) - 1) / 2
+	out := make([]complex128, len(x))
+	copy(out, full[delay:delay+len(x)])
+	return out
+}
+
+// Filter applies h to the signal in place (same alignment) and returns it.
+func (s *Signal) Filter(h []float64) *Signal {
+	s.Samples = Convolve(s.Samples, h)
+	return s
+}
+
+// Upsample inserts factor-1 zeros between samples and raises the rate. The
+// caller normally follows with a lowpass interpolation filter.
+func (s *Signal) Upsample(factor int) *Signal {
+	if factor <= 1 {
+		return s
+	}
+	out := make([]complex128, len(s.Samples)*factor)
+	for i, v := range s.Samples {
+		out[i*factor] = v * complex(float64(factor), 0)
+	}
+	s.Samples = out
+	s.Rate *= float64(factor)
+	return s
+}
+
+// Downsample keeps every factor-th sample and lowers the rate. The caller
+// normally lowpass-filters first to avoid aliasing.
+func (s *Signal) Downsample(factor int) *Signal {
+	if factor <= 1 {
+		return s
+	}
+	out := make([]complex128, 0, len(s.Samples)/factor+1)
+	for i := 0; i < len(s.Samples); i += factor {
+		out = append(out, s.Samples[i])
+	}
+	s.Samples = out
+	s.Rate /= float64(factor)
+	return s
+}

@@ -1,0 +1,26 @@
+package signal
+
+import (
+	"math"
+	"math/rand"
+)
+
+// AddAWGN adds circularly-symmetric complex Gaussian noise with total mean
+// power noisePower (linear, split evenly between I and Q) using the supplied
+// deterministic RNG, and returns the receiver.
+func (s *Signal) AddAWGN(noisePower float64, rng *rand.Rand) *Signal {
+	if noisePower <= 0 {
+		return s
+	}
+	sigma := math.Sqrt(noisePower / 2) // per real dimension so E|n|^2 = noisePower
+	for i := range s.Samples {
+		s.Samples[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	return s
+}
+
+// NoiseFloorDBm returns the thermal noise power for the given bandwidth in
+// Hz and receiver noise figure in dB: -174 dBm/Hz + 10·log10(BW) + NF.
+func NoiseFloorDBm(bandwidthHz, noiseFigureDB float64) float64 {
+	return -174 + PowerDB(bandwidthHz) + noiseFigureDB
+}

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/mac"
+	"repro/internal/plm"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := Run(DefaultConfig(0), 5); err == nil {
+		t.Error("zero tags accepted")
+	}
+	if _, err := Run(DefaultConfig(4), 0); err == nil {
+		t.Error("zero rounds accepted")
+	}
+	cfg := DefaultConfig(4)
+	cfg.MarginsDB = []float64{50}
+	if _, err := Run(cfg, 5); err == nil {
+		t.Error("margin count mismatch accepted")
+	}
+	cfg = DefaultConfig(4)
+	cfg.Scheme = plm.Scheme{}
+	if _, err := Run(cfg, 5); err == nil {
+		t.Error("invalid scheme accepted")
+	}
+	cfg = DefaultConfig(4)
+	cfg.SlotTime = 0
+	if _, err := Run(cfg, 5); err == nil {
+		t.Error("zero slot time accepted")
+	}
+}
+
+func TestDeliversAndAccounts(t *testing.T) {
+	res, err := Run(DefaultConfig(10), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalBits() == 0 {
+		t.Fatal("no data delivered")
+	}
+	for _, st := range res.Rounds {
+		if st.Successes+st.Collisions+st.Idle != st.Slots {
+			t.Fatalf("slot accounting broken: %+v", st)
+		}
+	}
+	starved := 0
+	for _, b := range res.PerTagBits {
+		if b == 0 {
+			starved++
+		}
+	}
+	if starved > 2 {
+		t.Fatalf("%d/10 tags starved over 40 rounds", starved)
+	}
+}
+
+// TestAgreesWithAbstractMACModel: the firmware-level simulation and the
+// probability-abstracted mac package must land on comparable aggregate
+// throughput — they model the same system at different fidelities.
+func TestAgreesWithAbstractMACModel(t *testing.T) {
+	const n, rounds = 20, 200
+	fine, err := Run(DefaultConfig(n), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := mac.Run(mac.DefaultConfig(mac.FramedSlottedAloha, n), rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := fine.AggregateThroughputBps()
+	c := coarse.AggregateThroughputBps()
+	if f < 0.6*c || f > 1.5*c {
+		t.Fatalf("firmware-level %.0f bps vs abstract %.0f bps: models diverge", f, c)
+	}
+}
+
+func TestDeafTagStarves(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.MarginsDB = []float64{50, 50, -40}
+	res, err := Run(cfg, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerTagBits[2] != 0 {
+		t.Fatalf("deaf tag delivered %d bits", res.PerTagBits[2])
+	}
+	if res.PerTagBits[0] == 0 || res.PerTagBits[1] == 0 {
+		t.Fatal("healthy tags starved")
+	}
+}
+
+func TestFairnessAtTwenty(t *testing.T) {
+	res, err := Run(DefaultConfig(20), 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := res.FairnessIndex()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j < 0.6 || j > 0.99 {
+		t.Fatalf("fairness %.3f, want ~0.85", j)
+	}
+}
+
+func TestAdaptationGrowsUnderProvisionedFrame(t *testing.T) {
+	cfg := DefaultConfig(30)
+	cfg.InitialSlots = 2
+	res, err := Run(cfg, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last := res.Rounds[len(res.Rounds)-1].Slots; last < 15 {
+		t.Fatalf("frame stuck at %d slots for 30 tags", last)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(DefaultConfig(8), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(DefaultConfig(8), 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBits() != b.TotalBits() || a.Duration != b.Duration {
+		t.Fatal("same seed, different results")
+	}
+}

@@ -1,0 +1,197 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %g", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("stddev %g, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty sample should give zeros")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4, 5}
+	med, err := Median(xs)
+	if err != nil || med != 3 {
+		t.Fatalf("median %g (%v)", med, err)
+	}
+	q, _ := Quantile(xs, 0)
+	if q != 1 {
+		t.Fatalf("q0 %g", q)
+	}
+	q, _ = Quantile(xs, 1)
+	if q != 5 {
+		t.Fatalf("q1 %g", q)
+	}
+	q, _ = Quantile(xs, 0.25) // pos=1 exactly -> 2
+	if q != 2 {
+		t.Fatalf("q0.25 %g", q)
+	}
+	if _, err := Quantile(nil, 0.5); err == nil {
+		t.Error("empty quantile accepted")
+	}
+	if _, err := Quantile(xs, 1.5); err == nil {
+		t.Error("q>1 accepted")
+	}
+}
+
+func TestQuantileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	if _, err := Quantile(xs, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Fatal("Quantile sorted the caller's slice")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	pts := CDF([]float64{3, 1, 2})
+	if len(pts) != 3 {
+		t.Fatal("wrong CDF length")
+	}
+	if pts[0].X != 1 || math.Abs(pts[0].P-1.0/3) > 1e-12 {
+		t.Fatalf("first point %+v", pts[0])
+	}
+	if pts[2].X != 3 || pts[2].P != 1 {
+		t.Fatalf("last point %+v", pts[2])
+	}
+	if CDF(nil) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if p := CDFAt(xs, 2.5); p != 0.5 {
+		t.Fatalf("CDFAt(2.5) = %g", p)
+	}
+	if p := CDFAt(xs, 0); p != 0 {
+		t.Fatalf("CDFAt(0) = %g", p)
+	}
+	if p := CDFAt(xs, 10); p != 1 {
+		t.Fatalf("CDFAt(10) = %g", p)
+	}
+	if CDFAt(nil, 1) != 0 {
+		t.Fatal("empty CDFAt should be 0")
+	}
+}
+
+func TestCDFMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 5), math.Mod(b, 5)
+		if a > b {
+			a, b = b, a
+		}
+		return CDFAt(xs, a) <= CDFAt(xs, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramIntegratesToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10000)
+	for i := range xs {
+		xs[i] = rng.Float64() * 10
+	}
+	centres, density, err := Histogram(xs, 0, 10, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(centres) != 20 || len(density) != 20 {
+		t.Fatal("wrong bin count")
+	}
+	width := 0.5
+	var integral float64
+	for _, d := range density {
+		integral += d * width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Fatalf("PDF integral %g, want 1", integral)
+	}
+	// Uniform sample: density ~0.1 everywhere.
+	for i, d := range density {
+		if math.Abs(d-0.1) > 0.03 {
+			t.Fatalf("bin %d density %g, want ~0.1", i, d)
+		}
+	}
+}
+
+func TestHistogramClampsOutliers(t *testing.T) {
+	_, density, err := Histogram([]float64{-5, 15}, 0, 10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if density[0] == 0 || density[1] == 0 {
+		t.Fatal("outliers not clamped into edge bins")
+	}
+}
+
+func TestHistogramValidation(t *testing.T) {
+	if _, _, err := Histogram(nil, 0, 10, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+	if _, _, err := Histogram(nil, 5, 5, 3); err == nil {
+		t.Error("empty range accepted")
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	j, err := JainIndex([]float64{1, 1, 1, 1})
+	if err != nil || math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %g (%v)", j, err)
+	}
+	j, _ = JainIndex([]float64{1, 0, 0, 0})
+	if math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("monopoly: %g, want 0.25", j)
+	}
+	if _, err := JainIndex(nil); err == nil {
+		t.Error("empty fairness accepted")
+	}
+	if _, err := JainIndex([]float64{-1, 1}); err == nil {
+		t.Error("negative share accepted")
+	}
+	j, _ = JainIndex([]float64{0, 0})
+	if j != 1 {
+		t.Fatalf("all-zero shares: %g, want 1", j)
+	}
+}
+
+func TestJainIndexBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, x := range raw {
+			xs[i] = math.Abs(math.Mod(x, 1000))
+		}
+		j, err := JainIndex(xs)
+		if err != nil {
+			return false
+		}
+		n := float64(len(xs))
+		return j >= 1/n-1e-12 && j <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package tag
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// ReflectionCoefficient returns Γ = (Zt − Za*)/(Zt + Za) for a termination
+// impedance Zt across an antenna of impedance Za (§2.1, after [21]). |Γ| is
+// the backscattered amplitude relative to full reflection.
+func ReflectionCoefficient(zt, za complex128) (complex128, error) {
+	den := zt + za
+	if den == 0 {
+		return 0, fmt.Errorf("tag: degenerate impedances %v, %v", zt, za)
+	}
+	return (zt - cmplx.Conj(za)) / den, nil
+}
+
+// ImpedanceBank is the multi-impedance termination network the paper uses
+// to fine-tune backscatter amplitude (instead of the traditional two-state
+// open/match switch).
+type ImpedanceBank struct {
+	Antenna      complex128
+	Terminations []complex128
+}
+
+// NewDefaultBank returns a 4-level bank across a 50 Ω antenna: matched
+// (no reflection), two partial levels, and short (full reflection).
+func NewDefaultBank() *ImpedanceBank {
+	return &ImpedanceBank{
+		Antenna: complex(50, 0),
+		Terminations: []complex128{
+			complex(50, 0),  // matched: |Γ| = 0
+			complex(150, 0), // |Γ| = 0.5
+			complex(450, 0), // |Γ| = 0.8
+			complex(0, 0),   // short: |Γ| = 1
+		},
+	}
+}
+
+// Gamma returns the reflection coefficient of termination level i.
+func (b *ImpedanceBank) Gamma(i int) (complex128, error) {
+	if i < 0 || i >= len(b.Terminations) {
+		return 0, fmt.Errorf("tag: impedance level %d outside [0,%d)", i, len(b.Terminations))
+	}
+	return ReflectionCoefficient(b.Terminations[i], b.Antenna)
+}
+
+// Levels returns the |Γ| amplitude of every termination level.
+func (b *ImpedanceBank) Levels() ([]float64, error) {
+	out := make([]float64, len(b.Terminations))
+	for i := range b.Terminations {
+		g, err := b.Gamma(i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = cmplx.Abs(g)
+	}
+	return out, nil
+}

@@ -1,0 +1,101 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestMixtureWeights(t *testing.T) {
+	m := NewAmbientModel(1)
+	n := 200000
+	short, long, mid := 0, 0, 0
+	for i := 0; i < n; i++ {
+		d := m.Sample()
+		switch {
+		case d < 500e-6:
+			short++
+		case d >= 1500e-6 && d <= 2700e-6:
+			long++
+		default:
+			mid++
+		}
+	}
+	fShort := float64(short) / float64(n)
+	fLong := float64(long) / float64(n)
+	if fShort < 0.75 || fShort > 0.81 {
+		t.Fatalf("short fraction %.3f, want ~0.78 (Fig 3)", fShort)
+	}
+	if fLong < 0.15 || fLong > 0.21 {
+		t.Fatalf("long fraction %.3f, want ~0.18 (Fig 3)", fLong)
+	}
+}
+
+func TestSampleBounds(t *testing.T) {
+	m := NewAmbientModel(7)
+	for i := 0; i < 10000; i++ {
+		d := m.Sample()
+		if d < 40e-6 || d > 2700e-6 {
+			t.Fatalf("duration %g outside model support", d)
+		}
+	}
+}
+
+func TestSamplesDeterministic(t *testing.T) {
+	a := NewAmbientModel(5).Samples(100)
+	b := NewAmbientModel(5).Samples(100)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different samples")
+		}
+	}
+}
+
+func TestAliasProbabilityMatchesPaper(t *testing.T) {
+	m := NewAmbientModel(3)
+	// PLM pulses deliberately in the distribution's dead zone (paper uses
+	// lengths unlikely in ambient traffic; with a 25 µs bound the alias
+	// probability is ~0.03%).
+	p, err := m.AliasProbability([]float64{800e-6, 1200e-6}, 25e-6, 1000000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mid component carries 4% over a 1 ms span; two 50 µs windows inside
+	// it catch ~0.4%. The paper's 0.03% corresponds to pulse lengths in an
+	// even quieter region; assert the same order of magnitude and that
+	// moving pulses into the busy region makes it far worse.
+	if p > 0.01 {
+		t.Fatalf("alias probability %.5f too high for dead-zone pulses", p)
+	}
+	busy, err := m.AliasProbability([]float64{100e-6, 200e-6}, 25e-6, 200000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy < 10*p {
+		t.Fatalf("busy-zone aliasing %.5f not clearly worse than dead-zone %.5f", busy, p)
+	}
+}
+
+func TestAliasProbabilityValidation(t *testing.T) {
+	m := NewAmbientModel(1)
+	if _, err := m.AliasProbability(nil, 25e-6, 0); err == nil {
+		t.Error("zero samples accepted")
+	}
+	if _, err := m.AliasProbability(nil, -1, 10); err == nil {
+		t.Error("negative bound accepted")
+	}
+}
+
+func TestBusyFraction(t *testing.T) {
+	m := NewAmbientModel(2)
+	// Mean duration ~ 0.78*270us + 0.04*1ms + 0.18*2.1ms ~ 0.63 ms.
+	// 500 packets/s -> ~31% busy.
+	b := m.BusyFraction(500, 50000)
+	if b < 0.25 || b > 0.40 {
+		t.Fatalf("busy fraction %.3f, want ~0.31", b)
+	}
+	if m.BusyFraction(1e9, 1000) != 1 {
+		t.Fatal("busy fraction must cap at 1")
+	}
+	if m.BusyFraction(0, 10) != 0 {
+		t.Fatal("zero rate must be zero busy")
+	}
+}

@@ -1,0 +1,110 @@
+package wifi
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// estimateCFOFromLTF returns the carrier frequency offset in Hz estimated
+// from the phase progression between the two identical 64-sample long
+// training symbols (samples are the 160-sample LTF region). The
+// unambiguous range is ±(SampleRate/64)/2 = ±156 kHz, well beyond the
+// 802.11 ±20 ppm tolerance.
+func estimateCFOFromLTF(ltf []complex128) float64 {
+	var acc complex128
+	for i := 0; i < FFTSize; i++ {
+		acc += ltf[32+FFTSize+i] * cmplx.Conj(ltf[32+i])
+	}
+	if acc == 0 {
+		return 0
+	}
+	return cmplx.Phase(acc) / (2 * math.Pi * float64(FFTSize)) * SampleRate
+}
+
+// refineCFOFromCP averages the cyclic-prefix correlation of every OFDM
+// symbol in the data region: each CP is a copy of its symbol's tail 64
+// samples earlier, so the correlation phase measures residual CFO. Because
+// prefix and tail belong to the same symbol they always share the tag's
+// phase state, making this tracker completely insensitive to FreeRider's
+// per-symbol-block phase modulation — unlike pilot-based phase tracking,
+// which would erase it (§3.2.1).
+func refineCFOFromCP(data []complex128, nSymbols int) float64 {
+	var acc complex128
+	for s := 0; s < nSymbols; s++ {
+		base := s * SymbolLen
+		if base+SymbolLen > len(data) {
+			break
+		}
+		for k := 0; k < CPLen; k++ {
+			acc += data[base+FFTSize+k] * cmplx.Conj(data[base+k])
+		}
+	}
+	if acc == 0 {
+		return 0
+	}
+	return cmplx.Phase(acc) / (2 * math.Pi * float64(FFTSize)) * SampleRate
+}
+
+// phaseTracker carries the blind phase-tracking state across data symbols.
+type phaseTracker struct {
+	prev float64 // unwrapped common phase of the previous symbol
+}
+
+// correct estimates and removes the common phase rotation of one symbol's
+// equalised data points by constellation squaring: for m-PSK, raising the
+// points to the m-th power collapses the modulation, leaving m× the common
+// phase. The estimate is ambiguous modulo 2π/m, so it is unwrapped against
+// the previous symbol (drift between adjacent symbols is small). Crucially,
+// a FreeRider tag's π phase flips are invisible to the squaring (and to
+// the unwrapping, which never jumps by π), so this tracker removes
+// oscillator drift *without* erasing the tag's modulation — unlike the
+// pilot-based tracking of §3.2.1.
+func (t *phaseTracker) correct(pts [NumData]complex128, m Modulation) [NumData]complex128 {
+	var order float64
+	var offset float64
+	switch m {
+	case BPSK:
+		order = 2 // y² collapses ±1
+	case QPSK:
+		order, offset = 4, math.Pi // y⁴ of (±1±j)/√2 lands on e^{jπ}
+	default:
+		return pts // QAM has no simple power-law collapse; skip
+	}
+	var acc complex128
+	for _, y := range pts {
+		p := y
+		for k := 1; k < int(order); k++ {
+			p *= y
+		}
+		acc += p
+	}
+	if acc == 0 {
+		return pts
+	}
+	raw := (cmplx.Phase(acc) - offset) / order // in (-π/m, π/m]
+	period := 2 * math.Pi / order
+	theta := raw + period*math.Round((t.prev-raw)/period)
+	t.prev = theta
+	rot := cmplx.Exp(complex(0, -theta))
+	for i := range pts {
+		pts[i] *= rot
+	}
+	return pts
+}
+
+// derotate removes a frequency offset of cfo Hz from samples in place,
+// with the phase reference at index 0.
+func derotate(samples []complex128, cfo float64) {
+	if cfo == 0 {
+		return
+	}
+	step := cmplx.Exp(complex(0, -2*math.Pi*cfo/SampleRate))
+	rot := complex(1, 0)
+	for i := range samples {
+		samples[i] *= rot
+		rot *= step
+		if i&0x3FF == 0x3FF {
+			rot /= complex(cmplx.Abs(rot), 0)
+		}
+	}
+}

@@ -1,0 +1,179 @@
+package wifi
+
+import "fmt"
+
+// The 802.11 convolutional code: constraint length 7, generator polynomials
+// g0 = 133 (octal) and g1 = 171 (octal). FreeRider's equation 9 is exactly
+// this code at rate 1/2; higher rates puncture the 1/2 stream.
+const (
+	genA           = 0o133
+	genB           = 0o171
+	numStates      = 64
+	erasure   byte = 2 // marker for punctured (unknown) coded bits
+)
+
+// parity7 returns the parity of the low 7 bits of x.
+func parity7(x int) byte {
+	x &= 0x7F
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes the bit slice with the rate-1/2 mother code. The caller
+// is responsible for appending the 6 zero tail bits before encoding. Output
+// is A0 B0 A1 B1 ... (interleaved coded streams, as 802.11 transmits them).
+func ConvEncode(in []byte) []byte {
+	out := make([]byte, 0, len(in)*2)
+	state := 0 // 6-bit shift register of previous inputs
+	for _, b := range in {
+		reg := ((int(b) & 1) << 6) | state
+		out = append(out, parity7(reg&genA), parity7(reg&genB))
+		state = reg >> 1
+	}
+	return out
+}
+
+// puncture patterns: for each period position, whether the A and B bits are
+// kept. 802.11 §17.3.5.6.
+var punctureKeep = map[CodingRate][][2]bool{
+	Rate1_2: {{true, true}},
+	// 2/3: period 2 input bits -> keep A0 B0 A1 (drop B1).
+	Rate2_3: {{true, true}, {true, false}},
+	// 3/4: period 3 input bits -> keep A0 B0 A1 B2 (drop B1, A2).
+	Rate3_4: {{true, true}, {true, false}, {false, true}},
+}
+
+// Puncture removes coded bits from the rate-1/2 stream (pairs A,B per input
+// bit) according to the 802.11 puncturing pattern for rate r.
+func Puncture(coded []byte, r CodingRate) ([]byte, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
+	}
+	pattern := punctureKeep[r]
+	if pattern == nil {
+		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
+	}
+	out := make([]byte, 0, len(coded))
+	for i := 0; i*2 < len(coded); i++ {
+		keep := pattern[i%len(pattern)]
+		if keep[0] {
+			out = append(out, coded[2*i])
+		}
+		if keep[1] {
+			out = append(out, coded[2*i+1])
+		}
+	}
+	return out, nil
+}
+
+// Depuncture restores a punctured stream to rate-1/2 layout, inserting
+// erasure markers where bits were dropped. nInfoBits is the number of
+// information bits the stream encodes (including tail).
+func Depuncture(punctured []byte, r CodingRate, nInfoBits int) ([]byte, error) {
+	pattern := punctureKeep[r]
+	if pattern == nil {
+		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
+	}
+	out := make([]byte, 0, nInfoBits*2)
+	pi := 0
+	for i := 0; i < nInfoBits; i++ {
+		keep := pattern[i%len(pattern)]
+		for j := 0; j < 2; j++ {
+			if keep[j] {
+				if pi >= len(punctured) {
+					return nil, fmt.Errorf("wifi: punctured stream too short: need bit %d of %d", pi, len(punctured))
+				}
+				out = append(out, punctured[pi])
+				pi++
+			} else {
+				out = append(out, erasure)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ViterbiDecode performs hard-decision maximum-likelihood decoding of a
+// rate-1/2 coded stream (pairs A,B per information bit; bits may be the
+// erasure marker). It assumes the encoder started in the zero state and was
+// flushed with tail bits, and returns all decoded information bits
+// (including the tail). For every trellis step it stores the predecessor
+// state and input bit of the survivor path, then traces back from the zero
+// state.
+func ViterbiDecode(coded []byte) ([]byte, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
+	}
+	n := len(coded) / 2
+	if n == 0 {
+		return nil, nil
+	}
+	const inf = int32(1) << 30
+
+	type branch struct{ a, b byte }
+	var expect [numStates][2]branch
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (in << 6) | s
+			expect[s][in] = branch{parity7(reg & genA), parity7(reg & genB)}
+		}
+	}
+
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0
+
+	// prev[t][ns] packs predecessor state (6 bits) and input bit (bit 6).
+	prev := make([][]byte, n)
+	for t := 0; t < n; t++ {
+		prev[t] = make([]byte, numStates)
+		ra, rb := coded[2*t], coded[2*t+1]
+		for i := range next {
+			next[i] = inf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				e := expect[s][in]
+				cost := m
+				if ra != erasure && ra != e.a {
+					cost++
+				}
+				if rb != erasure && rb != e.b {
+					cost++
+				}
+				ns := ((in << 6) | s) >> 1
+				if cost < next[ns] {
+					next[ns] = cost
+					prev[t][ns] = byte(s) | byte(in)<<6
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	state := 0
+	if metric[0] >= inf {
+		best := int32(inf)
+		for s, m := range metric {
+			if m < best {
+				best, state = m, s
+			}
+		}
+	}
+	out := make([]byte, n)
+	for t := n - 1; t >= 0; t-- {
+		p := prev[t][state]
+		out[t] = (p >> 6) & 1
+		state = int(p & 0x3F)
+	}
+	return out, nil
+}

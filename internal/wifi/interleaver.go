@@ -1,0 +1,72 @@
+package wifi
+
+import "fmt"
+
+// Interleave applies the 802.11a/g per-symbol block interleaver
+// (§17.3.5.7) to one OFDM symbol's worth of coded bits. The two
+// permutations ensure adjacent coded bits land on non-adjacent subcarriers
+// and alternate between constellation bit significances. Interleaving never
+// crosses a symbol boundary — the property FreeRider relies on when it
+// spreads one tag bit over whole OFDM symbols.
+func Interleave(in []byte, r Rate) ([]byte, error) {
+	n := r.NCBPS
+	if len(in) != n {
+		return nil, fmt.Errorf("wifi: interleaver input %d bits, want NCBPS=%d", len(in), n)
+	}
+	s := r.NBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	out := make([]byte, n)
+	for k := 0; k < n; k++ {
+		i := (n/16)*(k%16) + k/16
+		j := s*(i/s) + (i+n-16*i/n)%s
+		out[j] = in[k]
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave for one OFDM symbol.
+func Deinterleave(in []byte, r Rate) ([]byte, error) {
+	n := r.NCBPS
+	if len(in) != n {
+		return nil, fmt.Errorf("wifi: deinterleaver input %d bits, want NCBPS=%d", len(in), n)
+	}
+	s := r.NBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	out := make([]byte, n)
+	for k := 0; k < n; k++ {
+		i := (n/16)*(k%16) + k/16
+		j := s*(i/s) + (i+n-16*i/n)%s
+		out[k] = in[j]
+	}
+	return out, nil
+}
+
+// InterleaveSymbols applies the interleaver across a multi-symbol stream
+// whose length must be a multiple of NCBPS.
+func InterleaveSymbols(in []byte, r Rate) ([]byte, error) {
+	return mapSymbols(in, r, Interleave)
+}
+
+// DeinterleaveSymbols inverts InterleaveSymbols.
+func DeinterleaveSymbols(in []byte, r Rate) ([]byte, error) {
+	return mapSymbols(in, r, Deinterleave)
+}
+
+func mapSymbols(in []byte, r Rate, f func([]byte, Rate) ([]byte, error)) ([]byte, error) {
+	if len(in)%r.NCBPS != 0 {
+		return nil, fmt.Errorf("wifi: stream length %d not a multiple of NCBPS=%d", len(in), r.NCBPS)
+	}
+	out := make([]byte, 0, len(in))
+	for off := 0; off < len(in); off += r.NCBPS {
+		sym, err := f(in[off:off+r.NCBPS], r)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}

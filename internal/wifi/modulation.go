@@ -1,0 +1,128 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Constellation normalisation factors (§17.3.5.8): scale so every
+// constellation has unit average power.
+var kmod = map[Modulation]float64{
+	BPSK:  1,
+	QPSK:  1 / math.Sqrt2,
+	QAM16: 1 / math.Sqrt(10),
+	QAM64: 1 / math.Sqrt(42),
+}
+
+// Gray-coded PAM levels per axis. Index is the integer formed by the bits
+// (first bit = MSB of the index), value is the unnormalised level.
+var (
+	pam2 = []float64{-1, 1}                      // 1 bit
+	pam4 = []float64{-3, -1, 3, 1}               // 2 bits: 00,01,10,11
+	pam8 = []float64{-7, -5, -1, -3, 7, 5, 1, 3} // 3 bits: 000..111
+)
+
+func levelsFor(m Modulation) ([]float64, int, error) {
+	switch m {
+	case BPSK:
+		return pam2, 1, nil
+	case QPSK:
+		return pam2, 1, nil // 1 bit per axis
+	case QAM16:
+		return pam4, 2, nil
+	case QAM64:
+		return pam8, 3, nil
+	}
+	return nil, 0, fmt.Errorf("wifi: unknown modulation %v", m)
+}
+
+// Map converts NBPSC coded bits into one constellation point.
+func Map(bitsIn []byte, m Modulation) (complex128, error) {
+	levels, perAxis, err := levelsFor(m)
+	if err != nil {
+		return 0, err
+	}
+	want := perAxis
+	if m != BPSK {
+		want = 2 * perAxis
+	}
+	if len(bitsIn) != want {
+		return 0, fmt.Errorf("wifi: %v wants %d bits, got %d", m, want, len(bitsIn))
+	}
+	idx := func(bs []byte) int {
+		v := 0
+		for _, b := range bs {
+			v = v<<1 | int(b&1)
+		}
+		return v
+	}
+	k := kmod[m]
+	if m == BPSK {
+		return complex(levels[idx(bitsIn)]*k, 0), nil
+	}
+	i := levels[idx(bitsIn[:perAxis])]
+	q := levels[idx(bitsIn[perAxis:])]
+	return complex(i*k, q*k), nil
+}
+
+// Demap converts a (possibly noisy) constellation point back into NBPSC
+// hard-decision bits by nearest-level slicing per axis.
+func Demap(pt complex128, m Modulation) ([]byte, error) {
+	levels, perAxis, err := levelsFor(m)
+	if err != nil {
+		return nil, err
+	}
+	k := kmod[m]
+	slice := func(v float64) int {
+		best, bestD := 0, math.Inf(1)
+		for idx, l := range levels {
+			d := math.Abs(v - l*k)
+			if d < bestD {
+				best, bestD = idx, d
+			}
+		}
+		return best
+	}
+	toBits := func(idx, n int) []byte {
+		out := make([]byte, n)
+		for i := 0; i < n; i++ {
+			out[i] = byte(idx>>(n-1-i)) & 1
+		}
+		return out
+	}
+	if m == BPSK {
+		return toBits(slice(real(pt)), perAxis), nil
+	}
+	out := toBits(slice(real(pt)), perAxis)
+	return append(out, toBits(slice(imag(pt)), perAxis)...), nil
+}
+
+// MapSymbolBits maps NCBPS interleaved bits onto the 48 data subcarriers of
+// one OFDM symbol, in DataSubcarriers order.
+func MapSymbolBits(in []byte, r Rate) ([NumData]complex128, error) {
+	var out [NumData]complex128
+	if len(in) != r.NCBPS {
+		return out, fmt.Errorf("wifi: symbol mapper input %d bits, want %d", len(in), r.NCBPS)
+	}
+	for i := 0; i < NumData; i++ {
+		pt, err := Map(in[i*r.NBPSC:(i+1)*r.NBPSC], r.Modulation)
+		if err != nil {
+			return out, err
+		}
+		out[i] = pt
+	}
+	return out, nil
+}
+
+// DemapSymbol recovers NCBPS hard bits from 48 equalised data subcarriers.
+func DemapSymbol(pts [NumData]complex128, r Rate) ([]byte, error) {
+	out := make([]byte, 0, r.NCBPS)
+	for i := 0; i < NumData; i++ {
+		b, err := Demap(pts[i], r.Modulation)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b...)
+	}
+	return out, nil
+}

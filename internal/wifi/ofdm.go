@@ -1,0 +1,96 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/signal"
+)
+
+// AssembleSymbol builds one time-domain OFDM symbol (cyclic prefix + 64
+// samples) from 48 data points and the pilot polarity index symIdx
+// (0 = SIGNAL symbol).
+func AssembleSymbol(data [NumData]complex128, symIdx int) ([]complex128, error) {
+	var freq [FFTSize]complex128
+	for i, k := range DataSubcarriers {
+		freq[binFor(k)] = data[i]
+	}
+	p := PilotPolarity(symIdx)
+	for _, pl := range PilotSubcarriers {
+		freq[binFor(pl.Index)] = complex(pl.Polarity*p, 0)
+	}
+	td := make([]complex128, FFTSize)
+	copy(td, freq[:])
+	if err := signal.IFFT(td); err != nil {
+		return nil, err
+	}
+	// The IFFT includes 1/N; rescale so mean symbol power is ~1 regardless
+	// of FFT convention: multiply by N/sqrt(Nused).
+	scale := complex(float64(FFTSize)/sqrtNused, 0)
+	for i := range td {
+		td[i] *= scale
+	}
+	out := make([]complex128, 0, SymbolLen)
+	out = append(out, td[FFTSize-CPLen:]...)
+	out = append(out, td...)
+	return out, nil
+}
+
+// sqrtNused normalises symbol power to the 52 used subcarriers.
+var sqrtNused = math.Sqrt(52)
+
+// DisassembleSymbol strips the cyclic prefix of one received OFDM symbol,
+// FFTs it, equalises with the channel estimate h (indexed by FFT bin; nil
+// means no equalisation), and returns the 48 data points and 4 pilot points
+// (in PilotSubcarriers order).
+func DisassembleSymbol(td []complex128, h []complex128) ([NumData]complex128, [NumPilots]complex128, error) {
+	var data [NumData]complex128
+	var pilots [NumPilots]complex128
+	if len(td) != SymbolLen {
+		return data, pilots, fmt.Errorf("wifi: symbol has %d samples, want %d", len(td), SymbolLen)
+	}
+	buf := make([]complex128, FFTSize)
+	copy(buf, td[CPLen:])
+	if err := signal.FFT(buf); err != nil {
+		return data, pilots, err
+	}
+	// Undo the TX scaling: TX multiplied by N/sqrt(52); FFT multiplies by N
+	// relative to the data points, so divide by N·(N/sqrt(52))... combined:
+	// point = bin / (N/sqrt(52)) after the FFT's implicit ×1 (unnormalised
+	// FFT of IFFT output returns original × 1). The IFFT divides by N, the
+	// FFT multiplies by N, so only the TX scale remains.
+	inv := complex(sqrtNused/float64(FFTSize), 0)
+	for i := range buf {
+		buf[i] *= inv
+		if h != nil && h[i] != 0 {
+			buf[i] /= h[i]
+		}
+	}
+	for i, k := range DataSubcarriers {
+		data[i] = buf[binFor(k)]
+	}
+	for i, pl := range PilotSubcarriers {
+		pilots[i] = buf[binFor(pl.Index)]
+	}
+	return data, pilots, nil
+}
+
+// binFor maps a subcarrier index (-26..26) to its FFT bin.
+func binFor(k int) int {
+	if k >= 0 {
+		return k
+	}
+	return FFTSize + k
+}
+
+// UsedBins returns the FFT bins of all 52 used subcarriers.
+func UsedBins() []int {
+	out := make([]int, 0, 52)
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		out = append(out, binFor(k))
+	}
+	return out
+}

@@ -1,0 +1,451 @@
+package wifi
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"repro/internal/bits"
+	"repro/internal/signal"
+)
+
+// Errors returned by the receiver.
+var (
+	ErrNoPacket      = errors.New("wifi: no packet found")
+	ErrBadSignal     = errors.New("wifi: SIGNAL field parity check failed")
+	ErrBadRate       = errors.New("wifi: SIGNAL field carries an unknown rate")
+	ErrTruncated     = errors.New("wifi: capture truncated before packet end")
+	ErrWeakDetection = errors.New("wifi: preamble correlation below threshold")
+)
+
+// RxPacket is one decoded PPDU.
+type RxPacket struct {
+	Rate     Rate
+	PSDU     []byte  // decoded payload bytes (may be corrupt; check FCSOK)
+	RawBits  []byte  // descrambled SERVICE+PSDU+tail bit stream
+	StartIdx int     // sample index of the preamble start
+	RSSI     float64 // mean received power over the packet, dBm scale
+	FCSOK    bool    // true if the last 4 PSDU bytes are a valid CRC-32 FCS
+	SNRdB    float64 // LTF-based SNR estimate
+	// DemappedBits is the hard-decision coded bit stream straight off the
+	// constellation (NCBPS bits per data symbol, before deinterleaving and
+	// Viterbi decoding). A monitor-mode decoder uses it to detect the
+	// quaternary (eq. 5) codeword rotations, which are invisible after
+	// convolutional decoding.
+	DemappedBits []byte
+}
+
+// Receiver decodes 802.11a/g PPDUs from complex baseband captures.
+type Receiver struct {
+	// DetectionThreshold is the minimum LTF periodicity quality
+	// (≈ SNR/(SNR+1), 0..1) to accept a packet; packets below it are
+	// treated as undetected, which is how weak backscattered packets get
+	// lost in the paper.
+	DetectionThreshold float64
+	// PilotPhaseTracking enables per-symbol pilot-based phase correction.
+	// Commodity Broadcom BCM43xx receivers do not do this (paper §3.2.1),
+	// and FreeRider depends on its absence: with tracking on, the tag's
+	// phase modulation is corrected away. Off by default.
+	PilotPhaseTracking bool
+	// CFOCorrection enables carrier-frequency-offset estimation and
+	// removal: coarse from the two LTF copies, refined by averaging every
+	// data symbol's cyclic-prefix correlation. Both trackers are
+	// pilot-free and therefore transparent to the tag's modulation. On by
+	// default (commodity chips always correct CFO).
+	CFOCorrection bool
+	// SoftDecision switches the data decoder from hard slicing to
+	// LLR-based soft Viterbi decoding (~2 dB coding gain). Off by default
+	// to keep the calibrated link budgets comparable.
+	SoftDecision bool
+}
+
+// NewReceiver returns a receiver with the default detection threshold and
+// CFO correction enabled.
+func NewReceiver() *Receiver {
+	return &Receiver{DetectionThreshold: 0.30, CFOCorrection: true}
+}
+
+// Receive finds and decodes the first PPDU in the capture.
+func (rx *Receiver) Receive(cap *signal.Signal) (*RxPacket, error) {
+	start, quality := rx.DetectPreamble(cap, 0)
+	if start < 0 {
+		return nil, ErrNoPacket
+	}
+	if quality < rx.DetectionThreshold {
+		return nil, ErrWeakDetection
+	}
+	return rx.decodeFrom(cap, start)
+}
+
+// ReceiveAll decodes every PPDU in the capture in time order.
+func (rx *Receiver) ReceiveAll(cap *signal.Signal) []*RxPacket {
+	var out []*RxPacket
+	from := 0
+	for {
+		start, quality := rx.DetectPreamble(cap, from)
+		if start < 0 {
+			return out
+		}
+		if quality < rx.DetectionThreshold {
+			from = start + SymbolLen
+			continue
+		}
+		pkt, err := rx.decodeFrom(cap, start)
+		if err != nil {
+			from = start + SymbolLen
+			continue
+		}
+		out = append(out, pkt)
+		from = start + PreambleLen +
+			(SignalSymbols+NumDataSymbols(len(pkt.PSDU), pkt.Rate))*SymbolLen
+	}
+}
+
+// DetectPreamble locates the next preamble at or after sample from by
+// cross-correlating with the known 64-sample LTF for timing, then scores
+// the candidate with the delay-64 *auto*-correlation of the two LTF copies
+// (Schmidl-Cox style). The autocorrelation is channel-independent — echoes
+// delay both copies identically — so detection quality measures SNR rather
+// than channel flatness, as in commodity chips. Returns the preamble start
+// index and the periodicity quality (≈ SNR/(SNR+1)), or (-1, 0).
+func (rx *Receiver) DetectPreamble(cap *signal.Signal, from int) (int, float64) {
+	start, _ := rx.detectTiming(cap, from)
+	if start < 0 {
+		return -1, 0
+	}
+	return start, ltfPeriodicity(cap.Samples, start)
+}
+
+// ltfPeriodicity scores the delay-64 autocorrelation over the two LTF
+// copies of a preamble starting at start.
+func ltfPeriodicity(s []complex128, start int) float64 {
+	p := start + 192
+	if p+2*FFTSize > len(s) {
+		return 0
+	}
+	var acc complex128
+	var pow float64
+	for i := 0; i < FFTSize; i++ {
+		a, b := s[p+i], s[p+FFTSize+i]
+		acc += b * cmplx.Conj(a)
+		pow += (real(a)*real(a) + imag(a)*imag(a) + real(b)*real(b) + imag(b)*imag(b)) / 2
+	}
+	if pow <= 0 {
+		return 0
+	}
+	return cmplx.Abs(acc) / pow
+}
+
+// detectTiming finds the best LTF matched-filter alignment.
+func (rx *Receiver) detectTiming(cap *signal.Signal, from int) (int, float64) {
+	lt := LTFTime()
+	var ltPow float64
+	for _, v := range lt {
+		ltPow += real(v)*real(v) + imag(v)*imag(v)
+	}
+	n := len(cap.Samples)
+	// The first LTF copy begins at preambleStart+192. Search for two
+	// consecutive correlation peaks 64 samples apart.
+	best, bestQ := -1, 0.0
+	for i := from; i+PreambleLen+SymbolLen <= n; i++ {
+		// Candidate position of first LTF symbol.
+		p := i + 192
+		c1, p1 := corr64(cap.Samples[p:], lt)
+		if p1 == 0 {
+			continue
+		}
+		q1 := cmplx.Abs(c1) / math.Sqrt(p1*ltPow)
+		if q1 < 0.5 {
+			continue
+		}
+		c2, p2 := corr64(cap.Samples[p+FFTSize:], lt)
+		if p2 == 0 {
+			continue
+		}
+		q2 := cmplx.Abs(c2) / math.Sqrt(p2*ltPow)
+		q := (q1 + q2) / 2
+		if q > bestQ {
+			best, bestQ = i, q
+		}
+		// The LTF is 64-sample periodic, so misalignments by a whole FFT
+		// window also correlate; keep scanning a full symbol past the best
+		// candidate before accepting it.
+		if bestQ > 0.5 && i > best+SymbolLen {
+			break
+		}
+	}
+	return best, bestQ
+}
+
+func corr64(x []complex128, ref []complex128) (complex128, float64) {
+	if len(x) < len(ref) {
+		return 0, 0
+	}
+	var acc complex128
+	var pow float64
+	for i, r := range ref {
+		acc += x[i] * cmplx.Conj(r)
+		pow += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	}
+	return acc, pow
+}
+
+// decodeFrom decodes a PPDU whose preamble starts at sample start.
+func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error) {
+	s := cap.Samples
+	if len(s) < start+PreambleLen+SymbolLen {
+		return nil, ErrTruncated
+	}
+	if rx.CFOCorrection {
+		// Work on a corrected copy of the packet region: coarse estimate
+		// from the LTF copies, then (after SIGNAL tells us the length) a
+		// cyclic-prefix refinement over the whole data region.
+		work := append([]complex128(nil), s[start:]...)
+		cfo := estimateCFOFromLTF(work[160:320])
+		derotate(work, cfo)
+		s = make([]complex128, start, start+len(work))
+		s = append(s, work...)
+	}
+
+	h, snr := estimateChannel(s[start+160 : start+320])
+
+	// SIGNAL symbol.
+	sigStart := start + PreambleLen
+	data, _, err := DisassembleSymbol(s[sigStart:sigStart+SymbolLen], h)
+	if err != nil {
+		return nil, err
+	}
+	r6 := Rates[6]
+	sigBits, err := DemapSymbol(data, r6)
+	if err != nil {
+		return nil, err
+	}
+	deinter, err := Deinterleave(sigBits, r6)
+	if err != nil {
+		return nil, err
+	}
+	decoded, err := ViterbiDecode(deinter)
+	if err != nil {
+		return nil, err
+	}
+	rate, length, err := parseSignal(decoded)
+	if err != nil {
+		return nil, err
+	}
+
+	nSym := NumDataSymbols(length, rate)
+	dataStart := sigStart + SymbolLen
+	if len(s) < dataStart+nSym*SymbolLen {
+		return nil, ErrTruncated
+	}
+
+	if rx.CFOCorrection {
+		// Residual-CFO refinement over all data symbols' cyclic prefixes,
+		// then re-estimate the channel on the re-corrected samples.
+		residual := refineCFOFromCP(s[dataStart:], nSym)
+		if residual != 0 {
+			work := append([]complex128(nil), s[start:dataStart+nSym*SymbolLen]...)
+			derotate(work, residual)
+			s = append(s[:start:start], work...)
+			h, snr = estimateChannel(s[start+160 : start+320])
+		}
+	}
+
+	// Data symbols.
+	var tracker phaseTracker
+	demapped := make([]byte, 0, nSym*rate.NCBPS)
+	coded := make([]byte, 0, nSym*rate.NCBPS)
+	var soft []float64
+	if rx.SoftDecision {
+		soft = make([]float64, 0, nSym*rate.NCBPS)
+	}
+	for i := 0; i < nSym; i++ {
+		off := dataStart + i*SymbolLen
+		pts, pilots, err := DisassembleSymbol(s[off:off+SymbolLen], h)
+		if err != nil {
+			return nil, err
+		}
+		if rx.PilotPhaseTracking {
+			pts = correctPhase(pts, pilots, i+1)
+		}
+		if rx.CFOCorrection {
+			pts = tracker.correct(pts, rate.Modulation)
+		}
+		symBits, err := DemapSymbol(pts, rate)
+		if err != nil {
+			return nil, err
+		}
+		demapped = append(demapped, symBits...)
+		d, err := Deinterleave(symBits, rate)
+		if err != nil {
+			return nil, err
+		}
+		coded = append(coded, d...)
+		if rx.SoftDecision {
+			llrs, err := SoftDemapSymbol(pts, rate)
+			if err != nil {
+				return nil, err
+			}
+			ds, err := DeinterleaveSoft(llrs, rate)
+			if err != nil {
+				return nil, err
+			}
+			soft = append(soft, ds...)
+		}
+	}
+
+	nInfo := nSym * rate.NDBPS
+	var scrambled []byte
+	if rx.SoftDecision {
+		depunct, err := DepunctureSoft(soft, rate.Coding, nInfo)
+		if err != nil {
+			return nil, err
+		}
+		scrambled, err = ViterbiDecodeSoft(depunct)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		depunct, err := Depuncture(coded, rate.Coding, nInfo)
+		if err != nil {
+			return nil, err
+		}
+		scrambled, err = ViterbiDecode(depunct)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Descramble: recover the seed from the first 7 SERVICE bits.
+	seed := RecoverScramblerSeed(scrambled[:7])
+	descrambled := NewScrambler(seed).Scramble(append([]byte(nil), scrambled...))
+
+	psduBits := descrambled[ServiceBits : ServiceBits+8*length]
+	psdu, err := bits.ToBytes(psduBits)
+	if err != nil {
+		return nil, err
+	}
+
+	pktSamples := &signal.Signal{Rate: cap.Rate, Samples: s[start : dataStart+nSym*SymbolLen]}
+	pkt := &RxPacket{
+		Rate:         rate,
+		PSDU:         psdu,
+		RawBits:      descrambled,
+		StartIdx:     start,
+		RSSI:         pktSamples.MeanPowerDBm(),
+		SNRdB:        snr,
+		FCSOK:        checkFCS(psdu),
+		DemappedBits: demapped,
+	}
+	return pkt, nil
+}
+
+// estimateChannel least-squares estimates H on each used bin from the two
+// LTF copies (samples are the 160-sample LTF portion: 32 CP + 2×64).
+func estimateChannel(ltf []complex128) ([]complex128, float64) {
+	h := make([]complex128, FFTSize)
+	sum := make([]complex128, FFTSize)
+	var noise float64
+	first := make([]complex128, FFTSize)
+	for rep := 0; rep < 2; rep++ {
+		buf := make([]complex128, FFTSize)
+		copy(buf, ltf[32+rep*FFTSize:32+(rep+1)*FFTSize])
+		if err := signal.FFT(buf); err != nil {
+			return nil, 0
+		}
+		inv := complex(sqrtNused/float64(FFTSize), 0)
+		for i := range buf {
+			buf[i] *= inv
+		}
+		for _, bin := range UsedBins() {
+			sum[bin] += buf[bin]
+			if rep == 0 {
+				first[bin] = buf[bin]
+			} else {
+				d := buf[bin] - first[bin]
+				noise += real(d)*real(d) + imag(d)*imag(d)
+			}
+		}
+	}
+	var sigPow float64
+	for k := -26; k <= 26; k++ {
+		if k == 0 {
+			continue
+		}
+		bin := binFor(k)
+		h[bin] = sum[bin] / (2 * LTFValue(k))
+		sigPow += real(h[bin])*real(h[bin]) + imag(h[bin])*imag(h[bin])
+	}
+	// Noise per bin from the copy difference: var(d) = 2·var(n).
+	noise /= 2
+	snr := 10 * math.Log10(sigPow/math.Max(noise, 1e-30))
+	return h, snr
+}
+
+// correctPhase applies pilot-based common phase error correction (the
+// behaviour FreeRider needs receivers NOT to have).
+func correctPhase(pts [NumData]complex128, pilots [NumPilots]complex128, symIdx int) [NumData]complex128 {
+	p := PilotPolarity(symIdx)
+	var acc complex128
+	for i, pl := range PilotSubcarriers {
+		expected := complex(pl.Polarity*p, 0)
+		acc += pilots[i] * cmplx.Conj(expected)
+	}
+	if acc == 0 {
+		return pts
+	}
+	rot := cmplx.Conj(acc / complex(cmplx.Abs(acc), 0))
+	for i := range pts {
+		pts[i] *= rot
+	}
+	return pts
+}
+
+func parseSignal(b []byte) (Rate, int, error) {
+	if len(b) < 18 {
+		return Rate{}, 0, ErrBadSignal
+	}
+	parity := byte(0)
+	for _, v := range b[:17] {
+		parity ^= v & 1
+	}
+	if parity != b[17]&1 {
+		return Rate{}, 0, ErrBadSignal
+	}
+	var rateBits byte
+	for i := 0; i < 4; i++ {
+		rateBits = rateBits<<1 | b[i]&1
+	}
+	rate, ok := RateBySignalBits(rateBits)
+	if !ok {
+		return Rate{}, 0, ErrBadRate
+	}
+	length := 0
+	for i := 0; i < 12; i++ {
+		length |= int(b[5+i]&1) << uint(i)
+	}
+	if length < 1 || length > 4095 {
+		return Rate{}, 0, fmt.Errorf("wifi: SIGNAL length %d out of range", length)
+	}
+	return rate, length, nil
+}
+
+// checkFCS verifies that the last four bytes of the PSDU are the CRC-32 of
+// the preceding bytes (the 802.11 FCS).
+func checkFCS(psdu []byte) bool {
+	if len(psdu) < 5 {
+		return false
+	}
+	n := len(psdu) - 4
+	want := bits.CRC32IEEE(psdu[:n])
+	got := uint32(psdu[n]) | uint32(psdu[n+1])<<8 | uint32(psdu[n+2])<<16 | uint32(psdu[n+3])<<24
+	return want == got
+}
+
+// AppendFCS appends the CRC-32 FCS to a MAC frame body, producing a PSDU.
+func AppendFCS(frame []byte) []byte {
+	crc := bits.CRC32IEEE(frame)
+	return append(append([]byte(nil), frame...),
+		byte(crc), byte(crc>>8), byte(crc>>16), byte(crc>>24))
+}

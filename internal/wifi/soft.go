@@ -1,0 +1,175 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+)
+
+// Soft-decision support: per-coded-bit log-likelihood ratios carried from
+// the demapper into a soft-metric Viterbi decoder. Positive LLR means the
+// bit is more likely 1. Enabling soft decisions buys the usual ~2 dB of
+// coding gain over hard slicing and is offered as an optional receiver
+// improvement (commodity chips do this internally; the hard path remains
+// the calibrated default so the published link budgets stay comparable).
+
+// SoftDemap converts one equalised constellation point into per-bit LLRs.
+// BPSK and QPSK are exact (Gray axes are independent); 16/64-QAM uses the
+// standard piecewise max-log approximation per axis.
+func SoftDemap(pt complex128, m Modulation) ([]float64, error) {
+	switch m {
+	case BPSK:
+		return []float64{real(pt)}, nil
+	case QPSK:
+		k := kmod[QPSK]
+		return []float64{real(pt) / k, imag(pt) / k}, nil
+	case QAM16:
+		k := kmod[QAM16]
+		i, q := real(pt)/k, imag(pt)/k
+		// Gray PAM4 {00:-3, 01:-1, 11:+1, 10:+3}: bit0 is the sign, bit1
+		// distinguishes inner from outer levels.
+		return []float64{i, 2 - math.Abs(i), q, 2 - math.Abs(q)}, nil
+	case QAM64:
+		k := kmod[QAM64]
+		i, q := real(pt)/k, imag(pt)/k
+		ax := func(v float64) (float64, float64, float64) {
+			return v, 4 - math.Abs(v), 2 - math.Abs(4-math.Abs(v))
+		}
+		i0, i1, i2 := ax(i)
+		q0, q1, q2 := ax(q)
+		return []float64{i0, i1, i2, q0, q1, q2}, nil
+	}
+	return nil, fmt.Errorf("wifi: unknown modulation %v", m)
+}
+
+// SoftDemapSymbol produces NCBPS LLRs for 48 equalised data subcarriers.
+func SoftDemapSymbol(pts [NumData]complex128, r Rate) ([]float64, error) {
+	out := make([]float64, 0, r.NCBPS)
+	for i := 0; i < NumData; i++ {
+		llr, err := SoftDemap(pts[i], r.Modulation)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, llr...)
+	}
+	return out, nil
+}
+
+// DeinterleaveSoft inverts the per-symbol interleaver on LLRs.
+func DeinterleaveSoft(in []float64, r Rate) ([]float64, error) {
+	n := r.NCBPS
+	if len(in) != n {
+		return nil, fmt.Errorf("wifi: soft deinterleaver input %d, want %d", len(in), n)
+	}
+	s := r.NBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	out := make([]float64, n)
+	for k := 0; k < n; k++ {
+		i := (n/16)*(k%16) + k/16
+		j := s*(i/s) + (i+n-16*i/n)%s
+		out[k] = in[j]
+	}
+	return out, nil
+}
+
+// DepunctureSoft restores a punctured LLR stream to rate-1/2 layout with
+// zero LLRs (erasures) at the punctured positions.
+func DepunctureSoft(punctured []float64, r CodingRate, nInfoBits int) ([]float64, error) {
+	pattern := punctureKeep[r]
+	if pattern == nil {
+		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
+	}
+	out := make([]float64, 0, nInfoBits*2)
+	pi := 0
+	for i := 0; i < nInfoBits; i++ {
+		keep := pattern[i%len(pattern)]
+		for j := 0; j < 2; j++ {
+			if keep[j] {
+				if pi >= len(punctured) {
+					return nil, fmt.Errorf("wifi: punctured soft stream too short")
+				}
+				out = append(out, punctured[pi])
+				pi++
+			} else {
+				out = append(out, 0)
+			}
+		}
+	}
+	return out, nil
+}
+
+// ViterbiDecodeSoft is the maximum-likelihood decoder over LLR pairs: the
+// branch metric is the correlation between expected coded bits (±1) and
+// the received LLRs. Assumes a zero starting state and tail-flushed end.
+func ViterbiDecodeSoft(llrs []float64) ([]byte, error) {
+	if len(llrs)%2 != 0 {
+		return nil, fmt.Errorf("wifi: soft stream length %d is odd", len(llrs))
+	}
+	n := len(llrs) / 2
+	if n == 0 {
+		return nil, nil
+	}
+	const ninf = math.MaxFloat64 / 4
+
+	type branch struct{ a, b float64 } // expected bits as ±1
+	var expect [numStates][2]branch
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (in << 6) | s
+			expect[s][in] = branch{
+				a: float64(2*int(parity7(reg&genA)) - 1),
+				b: float64(2*int(parity7(reg&genB)) - 1),
+			}
+		}
+	}
+
+	metric := make([]float64, numStates)
+	next := make([]float64, numStates)
+	for i := range metric {
+		metric[i] = -ninf
+	}
+	metric[0] = 0
+
+	prev := make([][]byte, n)
+	for t := 0; t < n; t++ {
+		prev[t] = make([]byte, numStates)
+		la, lb := llrs[2*t], llrs[2*t+1]
+		for i := range next {
+			next[i] = -ninf
+		}
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m <= -ninf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				e := expect[s][in]
+				gain := m + e.a*la + e.b*lb
+				ns := ((in << 6) | s) >> 1
+				if gain > next[ns] {
+					next[ns] = gain
+					prev[t][ns] = byte(s) | byte(in)<<6
+				}
+			}
+		}
+		metric, next = next, metric
+	}
+
+	state := 0
+	if metric[0] <= -ninf {
+		best := -ninf
+		for s, m := range metric {
+			if m > best {
+				best, state = m, s
+			}
+		}
+	}
+	out := make([]byte, n)
+	for t := n - 1; t >= 0; t-- {
+		p := prev[t][state]
+		out[t] = (p >> 6) & 1
+		state = int(p & 0x3F)
+	}
+	return out, nil
+}

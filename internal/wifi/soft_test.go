@@ -1,0 +1,149 @@
+package wifi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/channel"
+)
+
+func TestSoftDemapSigns(t *testing.T) {
+	// Every constellation point's LLRs must decode (by sign) to the bits
+	// that produced it, for every modulation.
+	mods := []struct {
+		m Modulation
+		n int
+	}{{BPSK, 1}, {QPSK, 2}, {QAM16, 4}, {QAM64, 6}}
+	for _, mc := range mods {
+		for v := 0; v < 1<<mc.n; v++ {
+			in := make([]byte, mc.n)
+			for i := range in {
+				in[i] = byte(v>>uint(mc.n-1-i)) & 1
+			}
+			pt, err := Map(in, mc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			llrs, err := SoftDemap(pt, mc.m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(llrs) != mc.n {
+				t.Fatalf("%v: %d LLRs, want %d", mc.m, len(llrs), mc.n)
+			}
+			for i, l := range llrs {
+				got := byte(0)
+				if l > 0 {
+					got = 1
+				}
+				if got != in[i] {
+					t.Fatalf("%v point %v: LLR %d sign decodes %d, want %d", mc.m, pt, i, got, in[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSoftViterbiCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	msg := make([]byte, 150)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	in := append(append([]byte(nil), msg...), make([]byte, TailBits)...)
+	coded := ConvEncode(in)
+	llrs := make([]float64, len(coded))
+	for i, b := range coded {
+		llrs[i] = float64(2*int(b) - 1)
+	}
+	dec, err := ViterbiDecodeSoft(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec[:len(msg)], msg) {
+		t.Fatal("soft decode of clean LLRs failed")
+	}
+}
+
+func TestSoftViterbiUsesConfidence(t *testing.T) {
+	// A weak wrong bit (|LLR| small) among strong right bits must be
+	// outvoted — the advantage hard decisions cannot express.
+	rng := rand.New(rand.NewSource(22))
+	msg := make([]byte, 120)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	in := append(append([]byte(nil), msg...), make([]byte, TailBits)...)
+	coded := ConvEncode(in)
+	llrs := make([]float64, len(coded))
+	for i, b := range coded {
+		llrs[i] = float64(2*int(b)-1) * 3
+	}
+	// Corrupt 10% of positions with weak opposite values.
+	for i := 5; i < len(llrs); i += 10 {
+		llrs[i] = -llrs[i] / 10
+	}
+	dec, err := ViterbiDecodeSoft(llrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec[:len(msg)], msg) {
+		t.Fatal("soft decoder failed on weak corruptions")
+	}
+}
+
+func TestSoftReceiverEndToEnd(t *testing.T) {
+	for _, mbps := range []int{6, 12, 24, 54} {
+		psdu := AppendFCS([]byte("soft decisions at every rate, including QAM"))
+		sig, err := NewTransmitter().Transmit(psdu, Rates[mbps])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := appendSilence(sig, 150, 150)
+		rx := NewReceiver()
+		rx.SoftDecision = true
+		pkt, err := rx.Receive(cap)
+		if err != nil {
+			t.Fatalf("rate %d: %v", mbps, err)
+		}
+		if !bytes.Equal(pkt.PSDU, psdu) || !pkt.FCSOK {
+			t.Fatalf("rate %d: soft decode corrupted", mbps)
+		}
+	}
+}
+
+// TestSoftBeatsHardAtLowSNR quantifies the coding gain: at an SNR where
+// hard decisions start failing FCS, soft decisions still succeed more
+// often.
+func TestSoftBeatsHardAtLowSNR(t *testing.T) {
+	const snr = 1.0 // dB: the hard decoder's FCS success collapses here
+	tx := NewTransmitter()
+	tx.FixedSeed = true // identical packets so the comparison is paired
+	psdu := AppendFCS(make([]byte, 400))
+	hardOK, softOK := 0, 0
+	const trials = 12
+	for trial := 0; trial < trials; trial++ {
+		sig, err := tx.Transmit(psdu, Rates[6])
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := channel.ApplySNR(sig, snr, 300, int64(trial)+100)
+		hard := NewReceiver()
+		hard.DetectionThreshold = 0
+		hard.CFOCorrection = false // no CFO present; isolate the decoders
+		if pkt, err := hard.Receive(cap); err == nil && pkt.FCSOK {
+			hardOK++
+		}
+		soft := NewReceiver()
+		soft.DetectionThreshold = 0
+		soft.CFOCorrection = false
+		soft.SoftDecision = true
+		if pkt, err := soft.Receive(cap); err == nil && pkt.FCSOK {
+			softOK++
+		}
+	}
+	if softOK <= hardOK {
+		t.Fatalf("soft %d/%d vs hard %d/%d at %.0f dB SNR; expected a clear soft win", softOK, trials, hardOK, trials, snr)
+	}
+}

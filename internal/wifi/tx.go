@@ -1,0 +1,169 @@
+package wifi
+
+import (
+	"fmt"
+
+	"repro/internal/bits"
+	"repro/internal/signal"
+)
+
+// Transmitter synthesises 802.11a/g PPDUs at complex baseband.
+type Transmitter struct {
+	// ScramblerSeed is the 7-bit initial scrambler state; commodity cards
+	// rotate it per packet, and so does the transmitter unless Fixed is set.
+	ScramblerSeed byte
+	// FixedSeed stops the per-packet scrambler seed rotation (useful in
+	// tests that need bit-exact reproducibility across calls).
+	FixedSeed bool
+}
+
+// NewTransmitter returns a transmitter with a conventional nonzero seed.
+func NewTransmitter() *Transmitter {
+	return &Transmitter{ScramblerSeed: 0x5D}
+}
+
+// Transmit builds the complete baseband PPDU (preamble + SIGNAL + DATA) for
+// the PSDU at the given rate. The returned signal has unit mean power over
+// the data portion; the channel model applies the TX power.
+func (t *Transmitter) Transmit(psdu []byte, rate Rate) (*signal.Signal, error) {
+	if len(psdu) < 1 || len(psdu) > 4095 {
+		return nil, fmt.Errorf("wifi: PSDU length %d outside [1, 4095]", len(psdu))
+	}
+	out := signal.New(SampleRate, 0)
+	out.Samples = append(out.Samples, Preamble()...)
+
+	sig, err := signalSymbol(rate, len(psdu))
+	if err != nil {
+		return nil, err
+	}
+	out.Samples = append(out.Samples, sig...)
+
+	data, err := t.dataSymbols(psdu, rate)
+	if err != nil {
+		return nil, err
+	}
+	out.Samples = append(out.Samples, data...)
+
+	if !t.FixedSeed {
+		t.ScramblerSeed = (t.ScramblerSeed + 1) & 0x7F
+		if t.ScramblerSeed == 0 {
+			t.ScramblerSeed = 1
+		}
+	}
+	return out, nil
+}
+
+// NumDataSymbols returns how many OFDM data symbols a PSDU of n bytes
+// occupies at the given rate.
+func NumDataSymbols(n int, rate Rate) int {
+	totalBits := ServiceBits + 8*n + TailBits
+	return (totalBits + rate.NDBPS - 1) / rate.NDBPS
+}
+
+// PacketDuration returns the airtime in seconds of a PSDU of n bytes.
+func PacketDuration(n int, rate Rate) float64 {
+	syms := SignalSymbols + NumDataSymbols(n, rate)
+	return float64(PreambleLen)/SampleRate + float64(syms)*SymbolTime
+}
+
+// CodedBits reconstructs the interleaved coded bit stream (what the
+// constellation mapper consumed, NCBPS bits per data symbol) for a PSDU
+// transmitted with the given scrambler seed. Receiver 1 can rebuild this
+// from its decoded packet, which is how the quaternary (eq. 5) backscatter
+// decoder obtains its reference stream.
+func CodedBits(psdu []byte, rate Rate, scramblerSeed byte) ([]byte, error) {
+	t := &Transmitter{ScramblerSeed: scramblerSeed, FixedSeed: true}
+	nSym := NumDataSymbols(len(psdu), rate)
+	nBits := nSym * rate.NDBPS
+	raw := make([]byte, 0, nBits)
+	raw = append(raw, make([]byte, ServiceBits)...)
+	raw = append(raw, bits.FromBytes(psdu)...)
+	raw = append(raw, make([]byte, nBits-len(raw))...)
+	sc := NewScrambler(t.ScramblerSeed)
+	scrambled := sc.Scramble(raw)
+	tailStart := ServiceBits + 8*len(psdu)
+	for i := 0; i < TailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+	coded := ConvEncode(scrambled)
+	punct, err := Puncture(coded, rate.Coding)
+	if err != nil {
+		return nil, err
+	}
+	return InterleaveSymbols(punct, rate)
+}
+
+// signalSymbol encodes the 24-bit SIGNAL field: always BPSK rate 1/2, never
+// scrambled.
+func signalSymbol(rate Rate, length int) ([]complex128, error) {
+	b := make([]byte, 0, 24)
+	for i := 3; i >= 0; i-- { // RATE bits transmitted b3 first
+		b = append(b, (rate.SignalBits>>uint(i))&1)
+	}
+	b = append(b, 0) // reserved
+	for i := 0; i < 12; i++ {
+		b = append(b, byte(length>>uint(i))&1) // LENGTH LSB first
+	}
+	parity := byte(0)
+	for _, v := range b {
+		parity ^= v
+	}
+	b = append(b, parity)
+	b = append(b, 0, 0, 0, 0, 0, 0) // tail
+
+	coded := ConvEncode(b)
+	r6 := Rates[6]
+	inter, err := InterleaveSymbols(coded, r6)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := MapSymbolBits(inter, r6)
+	if err != nil {
+		return nil, err
+	}
+	return AssembleSymbol(pts, 0)
+}
+
+// dataSymbols encodes SERVICE + PSDU + tail + pad.
+func (t *Transmitter) dataSymbols(psdu []byte, rate Rate) ([]complex128, error) {
+	nSym := NumDataSymbols(len(psdu), rate)
+	nBits := nSym * rate.NDBPS
+
+	raw := make([]byte, 0, nBits)
+	raw = append(raw, make([]byte, ServiceBits)...) // SERVICE: all zero
+	raw = append(raw, bits.FromBytes(psdu)...)
+	raw = append(raw, make([]byte, nBits-len(raw))...) // tail + pad zeros
+
+	sc := NewScrambler(t.ScramblerSeed)
+	scrambled := sc.Scramble(raw)
+	// Force the 6 tail bits (immediately after the PSDU) back to zero so the
+	// convolutional encoder is flushed to the zero state (§17.3.5.3).
+	tailStart := ServiceBits + 8*len(psdu)
+	for i := 0; i < TailBits; i++ {
+		scrambled[tailStart+i] = 0
+	}
+
+	coded := ConvEncode(scrambled)
+	punct, err := Puncture(coded, rate.Coding)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := InterleaveSymbols(punct, rate)
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]complex128, 0, nSym*SymbolLen)
+	for s := 0; s < nSym; s++ {
+		pts, err := MapSymbolBits(inter[s*rate.NCBPS:(s+1)*rate.NCBPS], rate)
+		if err != nil {
+			return nil, err
+		}
+		sym, err := AssembleSymbol(pts, s+1) // pilot index 0 is SIGNAL
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym...)
+	}
+	return out, nil
+}

@@ -1,0 +1,42 @@
+package zigbee
+
+import (
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func BenchmarkBestSymbol(b *testing.B) {
+	chips := ChipSequences[7][:]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BestSymbol(chips)
+	}
+}
+
+func BenchmarkTransmit100B(b *testing.B) {
+	tx := NewTransmitter()
+	payload := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tx.Transmit(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReceive100B(b *testing.B) {
+	sig, err := NewTransmitter().Transmit(make([]byte, 100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+300)
+	copy(cap.Samples[100:], sig.Samples)
+	rx := NewReceiver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rx.Receive(cap); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package zigbee
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// DataFrame is a minimal IEEE 802.15.4 data MPDU with short (16-bit)
+// addressing and PAN-ID compression: frame control, sequence number,
+// destination PAN, destination and source addresses, payload. The PHY FCS
+// (CRC-16) is appended by the transmitter.
+type DataFrame struct {
+	Seq     byte
+	DstPAN  uint16
+	DstAddr uint16
+	SrcAddr uint16
+	Payload []byte
+}
+
+// frameControlData: type=data (001), PAN-ID compression, dst and src short
+// addressing, 2006 frame version.
+const frameControlData uint16 = 0x8841
+
+// mhrLen is the MAC header length with short addressing.
+const mhrLen = 9
+
+// Marshal serialises the MPDU (header + payload), ready for Transmit.
+func (f *DataFrame) Marshal() []byte {
+	out := make([]byte, mhrLen, mhrLen+len(f.Payload))
+	binary.LittleEndian.PutUint16(out[0:], frameControlData)
+	out[2] = f.Seq
+	binary.LittleEndian.PutUint16(out[3:], f.DstPAN)
+	binary.LittleEndian.PutUint16(out[5:], f.DstAddr)
+	binary.LittleEndian.PutUint16(out[7:], f.SrcAddr)
+	return append(out, f.Payload...)
+}
+
+// ParseDataFrame decodes an MPDU produced by Marshal (the PHY layer has
+// already verified and stripped the FCS).
+func ParseDataFrame(mpdu []byte) (*DataFrame, error) {
+	if len(mpdu) < mhrLen {
+		return nil, fmt.Errorf("zigbee: MPDU %d bytes too short", len(mpdu))
+	}
+	if fc := binary.LittleEndian.Uint16(mpdu[0:]); fc != frameControlData {
+		return nil, fmt.Errorf("zigbee: unsupported frame control %#04x", fc)
+	}
+	return &DataFrame{
+		Seq:     mpdu[2],
+		DstPAN:  binary.LittleEndian.Uint16(mpdu[3:]),
+		DstAddr: binary.LittleEndian.Uint16(mpdu[5:]),
+		SrcAddr: binary.LittleEndian.Uint16(mpdu[7:]),
+		Payload: append([]byte(nil), mpdu[mhrLen:]...),
+	}, nil
+}

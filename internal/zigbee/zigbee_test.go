@@ -1,0 +1,251 @@
+package zigbee
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/signal"
+)
+
+func TestChipSequenceProperties(t *testing.T) {
+	// All 16 sequences distinct.
+	for a := 0; a < 16; a++ {
+		for b := a + 1; b < 16; b++ {
+			if ChipSequences[a] == ChipSequences[b] {
+				t.Fatalf("sequences %d and %d identical", a, b)
+			}
+		}
+	}
+	// Autocorrelation 32, cross-correlation magnitude well below 32.
+	for a := 0; a < 16; a++ {
+		if c := CorrelateChips(ChipSequences[a][:], a); c != ChipsPerSymbol {
+			t.Fatalf("autocorrelation of %d = %d", a, c)
+		}
+		for b := 0; b < 16; b++ {
+			if a == b {
+				continue
+			}
+			if c := CorrelateChips(ChipSequences[a][:], b); c > 20 || c < -20 {
+				t.Fatalf("cross-correlation %d/%d = %d, |c| too high", a, b, c)
+			}
+		}
+	}
+}
+
+func TestChipSequenceShiftStructure(t *testing.T) {
+	// Symbol 1 is symbol 0 rotated right by 4 chips.
+	for i := 0; i < ChipsPerSymbol; i++ {
+		if ChipSequences[1][(i+4)%ChipsPerSymbol] != ChipSequences[0][i] {
+			t.Fatal("symbol 1 is not symbol 0 rotated by 4")
+		}
+	}
+	// Symbol 8 is symbol 0 with odd chips inverted.
+	for i := 0; i < ChipsPerSymbol; i++ {
+		want := ChipSequences[0][i]
+		if i%2 == 1 {
+			want ^= 1
+		}
+		if ChipSequences[8][i] != want {
+			t.Fatal("symbol 8 odd-chip inversion broken")
+		}
+	}
+}
+
+func TestSymbolsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		out, err := BytesFromSymbols(SymbolsFromBytes(data))
+		return err == nil && bytes.Equal(out, data)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if _, err := BytesFromSymbols(make([]byte, 3)); err == nil {
+		t.Error("odd symbol count accepted")
+	}
+}
+
+func TestSymbolsLowNibbleFirst(t *testing.T) {
+	sym := SymbolsFromBytes([]byte{0xA3})
+	if sym[0] != 0x3 || sym[1] != 0xA {
+		t.Fatalf("0xA3 -> %v, want [3 10]", sym)
+	}
+}
+
+func TestSpreadSymbolsValidation(t *testing.T) {
+	if _, err := SpreadSymbols([]byte{16}); err == nil {
+		t.Error("symbol 16 accepted")
+	}
+	chips, err := SpreadSymbols([]byte{0, 5})
+	if err != nil || len(chips) != 64 {
+		t.Fatalf("spread: %v, len %d", err, len(chips))
+	}
+	if !bytes.Equal(chips[32:], ChipSequences[5][:]) {
+		t.Error("second symbol chips wrong")
+	}
+}
+
+func TestBestSymbolDecodesCleanChips(t *testing.T) {
+	for s := 0; s < 16; s++ {
+		got, c := BestSymbol(ChipSequences[s][:])
+		if got != byte(s) || c != ChipsPerSymbol {
+			t.Fatalf("symbol %d decoded as %d (corr %d)", s, got, c)
+		}
+	}
+}
+
+func TestBestSymbolToleratesChipErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		s := rng.Intn(16)
+		chips := append([]byte(nil), ChipSequences[s][:]...)
+		// Flip 5 random chips; min cross-distance is large enough to survive.
+		for _, i := range rng.Perm(ChipsPerSymbol)[:5] {
+			chips[i] ^= 1
+		}
+		if got, _ := BestSymbol(chips); got != byte(s) {
+			t.Fatalf("symbol %d with 5 chip errors decoded as %d", s, got)
+		}
+	}
+}
+
+// TestInvertedChipsDecodeDeterministically pins down the ZigBee codeword-
+// translation behaviour: a 180° phase flip inverts all 32 chips, which the
+// correlation receiver maps to a *consistent wrong symbol* with reduced
+// margin — the mechanism behind the paper's differential decoding and its
+// elevated ZigBee BER.
+func TestInvertedChipsDecodeDeterministically(t *testing.T) {
+	for s := 0; s < 16; s++ {
+		chips := make([]byte, ChipsPerSymbol)
+		for i, c := range ChipSequences[s] {
+			chips[i] = c ^ 1
+		}
+		got1, c1 := BestSymbol(chips)
+		got2, c2 := BestSymbol(chips)
+		if got1 != got2 || c1 != c2 {
+			t.Fatal("inverted decode not deterministic")
+		}
+		if got1 == byte(s) {
+			t.Fatalf("inverted sequence of %d still decodes to %d", s, s)
+		}
+		if c1 >= ChipsPerSymbol/2 {
+			t.Fatalf("inverted decode margin %d unexpectedly high", c1)
+		}
+	}
+}
+
+func TestModulateChipsHalfSineStructure(t *testing.T) {
+	chips := []byte{1, 1, 0, 0}
+	s := ModulateChips(chips)
+	if s.Rate != SampleRate {
+		t.Fatalf("rate %g", s.Rate)
+	}
+	// Chip 0 (I rail, level +1) peaks at sample 4 with positive I.
+	if real(s.Samples[SamplesPerChip]) <= 0 {
+		t.Error("chip 0 peak not positive on I")
+	}
+	// Chip 1 (Q rail, +1) peaks at sample 8.
+	if imag(s.Samples[2*SamplesPerChip]) <= 0 {
+		t.Error("chip 1 peak not positive on Q")
+	}
+	// Chip 2 (I rail, -1) peaks at sample 12.
+	if real(s.Samples[3*SamplesPerChip]) >= 0 {
+		t.Error("chip 2 peak not negative on I")
+	}
+	// Unit mean power.
+	if p := s.MeanPower(); math.Abs(p-1) > 1e-9 {
+		t.Errorf("mean power %g", p)
+	}
+}
+
+func TestTransmitReceiveClean(t *testing.T) {
+	payloads := [][]byte{
+		[]byte("hi"),
+		[]byte("FreeRider over 802.15.4 OQPSK DSSS"),
+		bytes.Repeat([]byte{0xA5}, 60),
+	}
+	for _, p := range payloads {
+		sig, err := NewTransmitter().Transmit(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cap := signal.New(SampleRate, len(sig.Samples)+200)
+		copy(cap.Samples[80:], sig.Samples)
+		f, err := NewReceiver().Receive(cap)
+		if err != nil {
+			t.Fatalf("payload %q: %v", p, err)
+		}
+		if !bytes.Equal(f.Payload, p) {
+			t.Fatalf("payload mismatch: %q vs %q", f.Payload, p)
+		}
+		if !f.FCSOK {
+			t.Fatal("FCS failed on clean channel")
+		}
+		if f.StartIdx != 80 {
+			t.Fatalf("start %d, want 80", f.StartIdx)
+		}
+		if f.CorrMargin < 30 {
+			t.Fatalf("clean correlation margin %g too low", f.CorrMargin)
+		}
+	}
+}
+
+func TestTransmitReceiveWithChannelImpairments(t *testing.T) {
+	p := []byte("impaired channel test payload")
+	sig, err := NewTransmitter().Transmit(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := signal.New(SampleRate, len(sig.Samples)+400)
+	copy(cap.Samples[133:], sig.Samples)
+	// Random complex gain (attenuation + phase) and moderate noise.
+	cap.Scale(complex(0.05, 0))
+	cap.PhaseShift(1.2)
+	cap.AddAWGN(1e-5, rand.New(rand.NewSource(77)))
+	f, err := NewReceiver().Receive(cap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(f.Payload, p) || !f.FCSOK {
+		t.Fatal("decode failed under gain/phase/noise")
+	}
+}
+
+func TestReceiverRejectsNoise(t *testing.T) {
+	cap := signal.New(SampleRate, 20000)
+	cap.AddAWGN(0.01, rand.New(rand.NewSource(5)))
+	if _, err := NewReceiver().Receive(cap); err == nil {
+		t.Error("decoded a frame from pure noise")
+	}
+}
+
+func TestTransmitValidation(t *testing.T) {
+	if _, err := NewTransmitter().Transmit(make([]byte, MaxPayload-1)); err == nil {
+		t.Error("oversized payload accepted")
+	}
+}
+
+func TestFrameDuration(t *testing.T) {
+	// 20-byte payload: (4+1+1+20+2)*8 bits / 250kbps = 896us.
+	got := FrameDuration(20)
+	if math.Abs(got-896e-6) > 1e-9 {
+		t.Fatalf("duration %g, want 896us", got)
+	}
+}
+
+func TestReceiveAllMultipleFrames(t *testing.T) {
+	a, _ := NewTransmitter().Transmit([]byte("frame one"))
+	b, _ := NewTransmitter().Transmit([]byte("frame two is longer"))
+	cap := signal.New(SampleRate, len(a.Samples)+len(b.Samples)+3000)
+	copy(cap.Samples[100:], a.Samples)
+	copy(cap.Samples[100+len(a.Samples)+1500:], b.Samples)
+	frames := NewReceiver().ReceiveAll(cap)
+	if len(frames) != 2 {
+		t.Fatalf("decoded %d frames, want 2", len(frames))
+	}
+	if string(frames[0].Payload) != "frame one" || string(frames[1].Payload) != "frame two is longer" {
+		t.Fatal("frame payloads wrong or out of order")
+	}
+}
