@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# race runs the full suite under the race detector; the parallel run
+# engine (internal/runner, core.RunParallel, the experiment sweeps) is the
+# main subject.
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# ci is the gate: everything must build, pass vet, and pass the suite with
+# the race detector on.
+ci: build vet race

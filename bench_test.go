@@ -32,7 +32,7 @@ func BenchmarkTable1_XORDecode(b *testing.B) {
 // the PLM aliasing probability.
 func BenchmarkFig3_AmbientDurations(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := experiments.Fig3AmbientDurations(200000, 1)
+		res, err := experiments.Fig3AmbientDurations(200000, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -47,7 +47,7 @@ func BenchmarkFig3_AmbientDurations(b *testing.B) {
 // BenchmarkFig4_PLMAccuracy regenerates scheduling accuracy vs distance.
 func BenchmarkFig4_PLMAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig4PLMAccuracy(5000, 1)
+		pts, err := experiments.Fig4PLMAccuracy(5000, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func BenchmarkFig14_OperatingRegime(b *testing.B) {
 // and without backscatter.
 func BenchmarkFig15_WiFiCoexistence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig15WiFiCoexistence(150, 1)
+		rows, err := experiments.Fig15WiFiCoexistence(150, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func BenchmarkFig15_WiFiCoexistence(b *testing.B) {
 // WiFi traffic present and absent.
 func BenchmarkFig16_BackscatterUnderWiFi(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig16BackscatterUnderWiFi(150, 1)
+		rows, err := experiments.Fig16BackscatterUnderWiFi(150, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +138,7 @@ func BenchmarkFig16_BackscatterUnderWiFi(b *testing.B) {
 // panel (Aloha vs the TDM baseline).
 func BenchmarkFig17a_MultiTagThroughput(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig17MultiTag(12, 1)
+		pts, err := experiments.Fig17MultiTag(12, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -159,7 +159,7 @@ func BenchmarkFig17a_MultiTagThroughput(b *testing.B) {
 // BenchmarkFig17b_Fairness regenerates the Jain-fairness panel.
 func BenchmarkFig17b_Fairness(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig17MultiTag(12, 1)
+		pts, err := experiments.Fig17MultiTag(12, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -275,7 +275,7 @@ func BenchmarkCFO_Robustness(b *testing.B) {
 // firmware-level discrete-event simulator.
 func BenchmarkFig17sim_FirmwareLevel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig17FirmwareLevel(12, 1)
+		pts, err := experiments.Fig17FirmwareLevel(12, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -293,7 +293,7 @@ func BenchmarkFig17sim_FirmwareLevel(b *testing.B) {
 // sensitivity curve that anchors the link-budget calibration.
 func BenchmarkWaterfall_WiFiSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Waterfall(WiFi, []float64{0, 2, 4, 8}, 4, 1)
+		pts, err := experiments.Waterfall(WiFi, []float64{0, 2, 4, 8}, 4, benchOptions())
 		if err != nil {
 			b.Fatal(err)
 		}

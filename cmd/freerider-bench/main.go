@@ -1,11 +1,14 @@
 // Command freerider-bench regenerates the paper's evaluation: every table
 // and figure of §4 plus the §3 design studies and this reproduction's
 // extension experiments. Each subcommand prints the rows/series the
-// corresponding figure plots (or JSON with -json).
+// corresponding figure plots (or JSON with -json), followed by the
+// experiment's run metrics (wall time, packets and samples processed,
+// worker-pool utilisation).
 //
 // Usage:
 //
-//	freerider-bench [-quick] [-seed N] [-json] <experiment|all>
+//	freerider-bench [-quick] [-seed N] [-workers N] [-json]
+//	                [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig3 fig4 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 // fig17sim power plmrate redundancy pilots baselines collision quaternary
@@ -17,31 +20,51 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/decoder"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
-// result is one experiment's output: a title plus its data rows. Rows
-// either implement fmt.Stringer element-wise (slices) or carry their own
-// rendering via the lines field.
+// result is one experiment's output: a title plus its data rows and run
+// metrics. Rows either implement fmt.Stringer element-wise (slices) or
+// carry their own rendering via the lines field.
 type result struct {
-	Title string `json:"title"`
-	Rows  any    `json:"rows"`
-	lines []string
+	Title   string       `json:"title"`
+	Rows    any          `json:"rows"`
+	Metrics []obs.Report `json:"metrics,omitempty"`
+	lines   []string
 }
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample counts for a fast pass")
 	seed := flag.Int64("seed", 1, "RNG seed for every experiment")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = all cores); results do not depend on it")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	opt := experiments.DefaultOptions()
@@ -51,10 +74,13 @@ func main() {
 		samples, windows, rounds, messages = 100000, 100, 8, 2000
 	}
 	opt.Seed = *seed
+	opt.Workers = *workers
+	collector := obs.NewCollector()
+	opt.Obs = collector
 
 	runners := map[string]func() (result, error){
 		"fig3": func() (result, error) {
-			res, err := experiments.Fig3AmbientDurations(samples, opt.Seed)
+			res, err := experiments.Fig3AmbientDurations(samples, opt)
 			if err != nil {
 				return result{}, err
 			}
@@ -70,7 +96,7 @@ func main() {
 			return result{Title: "Fig 3 — ambient packet durations on channel 6", Rows: res, lines: lines}, nil
 		},
 		"fig4": func() (result, error) {
-			pts, err := experiments.Fig4PLMAccuracy(messages, opt.Seed)
+			pts, err := experiments.Fig4PLMAccuracy(messages, opt)
 			return result{Title: "Fig 4 — PLM scheduling-message delivery vs distance (15 dBm)", Rows: pts}, err
 		},
 		"fig10": linkRunner("Fig 10 — WiFi LOS backscatter vs distance", experiments.Fig10WiFiLOS, opt),
@@ -82,19 +108,19 @@ func main() {
 			return result{Title: "Fig 14 — operating regime: max RX-to-tag vs TX-to-tag distance", Rows: pts}, err
 		},
 		"fig15": func() (result, error) {
-			rows, err := experiments.Fig15WiFiCoexistence(windows, opt.Seed)
+			rows, err := experiments.Fig15WiFiCoexistence(windows, opt)
 			return result{Title: "Fig 15 — WiFi throughput with and without backscatter", Rows: rows}, err
 		},
 		"fig16": func() (result, error) {
-			rows, err := experiments.Fig16BackscatterUnderWiFi(windows, opt.Seed)
+			rows, err := experiments.Fig16BackscatterUnderWiFi(windows, opt)
 			return result{Title: "Fig 16 — backscatter throughput with WiFi traffic present/absent", Rows: rows}, err
 		},
 		"fig17": func() (result, error) {
-			pts, err := experiments.Fig17MultiTag(rounds, opt.Seed)
+			pts, err := experiments.Fig17MultiTag(rounds, opt)
 			return result{Title: "Fig 17 — multi-tag aggregate throughput and Jain fairness", Rows: pts}, err
 		},
 		"fig17sim": func() (result, error) {
-			pts, err := experiments.Fig17FirmwareLevel(rounds, opt.Seed)
+			pts, err := experiments.Fig17FirmwareLevel(rounds, opt)
 			return result{Title: "Fig 17 (firmware-level) — per-pulse PLM losses through real tag state machines", Rows: pts}, err
 		},
 		"power": func() (result, error) {
@@ -155,7 +181,7 @@ func main() {
 			var lines []string
 			for _, radio := range []core.Radio{core.WiFi, core.ZigBee, core.Bluetooth} {
 				pts, err := experiments.Waterfall(radio,
-					[]float64{-4, -2, 0, 2, 4, 6, 8, 12}, frames, opt.Seed)
+					[]float64{-4, -2, 0, 2, 4, 6, 8, 12}, frames, opt)
 				if err != nil {
 					return result{}, err
 				}
@@ -198,6 +224,7 @@ func main() {
 		sort.Strings(names)
 	}
 
+	suiteStart := time.Now()
 	var jsonOut []result
 	for _, name := range names {
 		run, ok := runners[name]
@@ -206,11 +233,13 @@ func main() {
 			usage()
 			os.Exit(2)
 		}
+		seen := len(collector.Reports())
 		res, err := run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
+		res.Metrics = collector.Reports()[seen:]
 		if *asJSON {
 			jsonOut = append(jsonOut, res)
 			continue
@@ -222,73 +251,89 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(jsonOut); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			fatal(err)
+		}
+	} else if len(names) > 1 {
+		fmt.Printf("suite: %d experiments in %.2fs\n", len(names), time.Since(suiteStart).Seconds())
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
 		}
 	}
 }
 
 // printText renders a result: bespoke lines if provided, otherwise one
-// String() per row element.
+// String() per row element, then the run metrics.
 func printText(r result) {
 	fmt.Println(r.Title)
 	if r.lines != nil {
 		for _, l := range r.lines {
 			fmt.Println("  " + l)
 		}
-		return
+	} else {
+		switch rows := r.Rows.(type) {
+		case []experiments.LinkPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.PLMPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.RegimePoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.Fig15Row:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.Fig16Row:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.MultiTagPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.PowerRow:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.RedundancyPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.BaselinePoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.CollisionPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.QuaternaryPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		case []experiments.CFOPoint:
+			for _, p := range rows {
+				fmt.Println("  " + p.String())
+			}
+		default:
+			fmt.Printf("  %+v\n", r.Rows)
+		}
 	}
-	switch rows := r.Rows.(type) {
-	case []experiments.LinkPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.PLMPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.RegimePoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.Fig15Row:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.Fig16Row:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.MultiTagPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.PowerRow:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.RedundancyPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.BaselinePoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.CollisionPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.QuaternaryPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	case []experiments.CFOPoint:
-		for _, p := range rows {
-			fmt.Println("  " + p.String())
-		}
-	default:
-		fmt.Printf("  %+v\n", r.Rows)
+	for _, m := range r.Metrics {
+		fmt.Println("  # " + m.String())
 	}
 }
 
@@ -300,8 +345,13 @@ func linkRunner(title string, f func(experiments.Options) ([]experiments.LinkPoi
 	}
 }
 
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}
+
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-json] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-workers N] [-json] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 experiments:
   fig3        ambient packet-duration PDF + PLM aliasing (Fig 3)
   fig4        PLM scheduling accuracy vs distance (Fig 4)
@@ -321,5 +371,8 @@ experiments:
   cfo         carrier-frequency-offset robustness sweep
   waterfall   native PHY sensitivity curves (BER/packet rate vs SNR)
   table1      codeword translation logic table (Table 1)
-  all         everything above`)
+  all         everything above
+flags: -workers bounds the deterministic worker pool (results never depend
+on it); -cpuprofile/-memprofile write pprof profiles; -json includes each
+experiment's run metrics under "metrics".`)
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/bluetooth"
 	"repro/internal/channel"
+	"repro/internal/runner"
 	"repro/internal/wifi"
 	"repro/internal/zigbee"
 )
@@ -30,64 +31,82 @@ func main() {
 
 	snrs := []float64{0, 2, 4, 6, 8, 10, 14, 20}
 
-	fmt.Println("WiFi (LTF periodicity quality):")
-	wifiQ := map[float64]float64{}
-	for _, snr := range snrs {
-		var qSum float64
-		for tr := 0; tr < *trials; tr++ {
+	runSweep := func(title, domain string, frame func(q *float64, snr float64, s int64) error) map[float64]float64 {
+		fmt.Println(title + ":")
+		q := make([]float64, len(snrs))
+		err := runner.Map(len(snrs), 0, func(i int) error {
+			var qSum float64
+			for tr := 0; tr < *trials; tr++ {
+				if err := frame(&qSum, snrs[i], runner.DeriveSeed(*seed, domain, i, tr)); err != nil {
+					return err
+				}
+			}
+			q[i] = qSum / float64(*trials)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		out := map[float64]float64{}
+		for i, snr := range snrs {
+			out[snr] = q[i]
+			fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, q[i])
+		}
+		return out
+	}
+
+	wifiQ := runSweep("WiFi (LTF periodicity quality)", "calibrate.wifi",
+		func(qSum *float64, snr float64, s int64) error {
 			sig, err := wifi.NewTransmitter().Transmit(wifi.AppendFCS(make([]byte, 300)), wifi.Rates[6])
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			cap, err := channel.ApplySNR(sig, snr, 300, s)
+			if err != nil {
+				return err
+			}
 			rx := wifi.NewReceiver()
 			rx.DetectionThreshold = 0.99 // disable early accept, measure raw q
 			_, q := rx.DetectPreamble(cap, 0)
-			qSum += q
-		}
-		wifiQ[snr] = qSum / float64(*trials)
-		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, wifiQ[snr])
-	}
+			*qSum += q
+			return nil
+		})
 	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n\n", *failSNR, interp(wifiQ, snrs, *failSNR))
 
-	fmt.Println("ZigBee (preamble correlation quality):")
-	zbQ := map[float64]float64{}
-	for _, snr := range snrs {
-		var qSum float64
-		for tr := 0; tr < *trials; tr++ {
+	zbQ := runSweep("ZigBee (preamble correlation quality)", "calibrate.zigbee",
+		func(qSum *float64, snr float64, s int64) error {
 			sig, err := zigbee.NewTransmitter().Transmit(make([]byte, 60))
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			cap, err := channel.ApplySNR(sig, snr, 300, s)
+			if err != nil {
+				return err
+			}
 			rx := zigbee.NewReceiver()
 			rx.DetectionThreshold = 0.99
 			_, q := rx.Detect(cap)
-			qSum += q
-		}
-		zbQ[snr] = qSum / float64(*trials)
-		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, zbQ[snr])
-	}
+			*qSum += q
+			return nil
+		})
 	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n\n", *failSNR, interp(zbQ, snrs, *failSNR))
 
-	fmt.Println("Bluetooth (sync-word correlation quality):")
-	btQ := map[float64]float64{}
-	for _, snr := range snrs {
-		var qSum float64
-		for tr := 0; tr < *trials; tr++ {
+	btQ := runSweep("Bluetooth (sync-word correlation quality)", "calibrate.bluetooth",
+		func(qSum *float64, snr float64, s int64) error {
 			sig, err := bluetooth.NewTransmitter().Transmit(make([]byte, 60))
 			if err != nil {
-				fatal(err)
+				return err
 			}
-			cap := channel.ApplySNR(sig, snr, 300, *seed+int64(tr))
+			cap, err := channel.ApplySNR(sig, snr, 300, s)
+			if err != nil {
+				return err
+			}
 			rx := bluetooth.NewReceiver()
 			rx.DetectionThreshold = 0.99
 			_, q := rx.Detect(cap)
-			qSum += q
-		}
-		btQ[snr] = qSum / float64(*trials)
-		fmt.Printf("  snr=%5.1f dB  meanQ=%.3f\n", snr, btQ[snr])
-	}
+			*qSum += q
+			return nil
+		})
 	fmt.Printf("  -> threshold for failure below %.1f dB: %.2f\n", *failSNR, interp(btQ, snrs, *failSNR))
 }
 

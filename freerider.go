@@ -86,14 +86,39 @@ func DefaultConfig(r Radio, tagToRxMetres float64) Config {
 // NewSession validates a configuration and prepares a link session.
 func NewSession(cfg Config) (*Session, error) { return core.NewSession(cfg) }
 
+// SendOptions tunes the Send helper.
+type SendOptions struct {
+	// Attempts bounds how many excitation packets Send spends on one chunk
+	// of tag bits before giving up; <= 0 selects DefaultSendAttempts. A
+	// backscatter link is lossy by nature — individual packets fade out even
+	// well inside the operating range — so a transfer retries a lost chunk
+	// instead of aborting on it.
+	Attempts int
+}
+
+// DefaultSendAttempts is the per-chunk excitation-packet budget used when
+// SendOptions.Attempts is unset.
+const DefaultSendAttempts = 3
+
 // Send is the quickstart helper: it backscatters the given tag bits over a
 // default link of the chosen radio and distance, using as many excitation
 // packets as needed, and returns the decoded bits. Bits must be 0/1 values.
+// Each chunk is retransmitted up to DefaultSendAttempts times before the
+// transfer fails; use SendWithOptions to change the budget.
 func Send(r Radio, tagToRxMetres float64, bits []byte, seed int64) ([]byte, error) {
+	return SendWithOptions(r, tagToRxMetres, bits, seed, SendOptions{})
+}
+
+// SendWithOptions is Send with an explicit retransmission budget.
+func SendWithOptions(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts SendOptions) ([]byte, error) {
 	for i, b := range bits {
 		if b > 1 {
 			return nil, fmt.Errorf("freerider: bit %d is %d, want 0 or 1", i, b)
 		}
+	}
+	attempts := opts.Attempts
+	if attempts <= 0 {
+		attempts = DefaultSendAttempts
 	}
 	cfg := DefaultConfig(r, tagToRxMetres)
 	cfg.Seed = seed
@@ -111,14 +136,22 @@ func Send(r Radio, tagToRxMetres float64, bits []byte, seed int64) ([]byte, erro
 		if hi > len(bits) {
 			hi = len(bits)
 		}
-		pr, err := s.RunPacket(bits[off:hi])
-		if err != nil {
-			return nil, err
+		delivered := false
+		for attempt := 0; attempt < attempts; attempt++ {
+			pr, err := s.RunPacket(bits[off:hi])
+			if err != nil {
+				return nil, err
+			}
+			if pr.Decoded {
+				out = append(out, pr.DecodedTag...)
+				delivered = true
+				break
+			}
 		}
-		if !pr.Decoded {
-			return nil, fmt.Errorf("freerider: packet %d lost (link too weak at %.1f m?)", off/capacity, tagToRxMetres)
+		if !delivered {
+			return nil, fmt.Errorf("freerider: chunk %d lost after %d attempts (link too weak at %.1f m?)",
+				off/capacity, attempts, tagToRxMetres)
 		}
-		out = append(out, pr.DecodedTag...)
 	}
 	return out, nil
 }

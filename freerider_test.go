@@ -46,6 +46,24 @@ func TestSendFailsOutOfRange(t *testing.T) {
 	}
 }
 
+func TestSendRetriesLostChunk(t *testing.T) {
+	// Bluetooth near its range edge with a seed whose first packet fades
+	// out: a single-attempt send loses the transfer, the default budget
+	// retransmits the chunk and delivers the message intact.
+	msg := []byte{1, 0, 1, 1, 0, 0, 1, 0}
+	const dist, seed = 9, 4
+	if _, err := SendWithOptions(Bluetooth, dist, msg, seed, SendOptions{Attempts: 1}); err == nil {
+		t.Fatal("single-attempt send should lose the faded packet")
+	}
+	got, err := Send(Bluetooth, dist, msg, seed)
+	if err != nil {
+		t.Fatalf("retransmission did not rescue the transfer: %v", err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decoded %v, want %v", got, msg)
+	}
+}
+
 func TestNetworkFacade(t *testing.T) {
 	res, err := RunNetwork(DefaultNetworkConfig(FramedSlottedAloha, 8), 10)
 	if err != nil {

@@ -189,16 +189,23 @@ func (l Link) fadeGain(rng *rand.Rand) complex128 {
 
 // ApplySNR is a convenience that places the signal at an explicit SNR above
 // the unit noise floor: signal power is set to DBToPower(snrDB) and noise
-// power to 1. Useful for BER sweeps decoupled from geometry.
-func ApplySNR(s *signal.Signal, snrDB float64, headroom int, seed int64) *signal.Signal {
-	out := signal.New(s.Rate, len(s.Samples)+2*headroom)
+// power to 1. Useful for BER sweeps decoupled from geometry. Like
+// Link.Apply it rejects empty and zero-power inputs — silently returning a
+// noise-only capture would make every downstream decode fail while looking
+// like an ordinary low-SNR loss.
+func ApplySNR(s *signal.Signal, snrDB float64, headroom int, seed int64) (*signal.Signal, error) {
+	if s == nil || len(s.Samples) == 0 {
+		return nil, fmt.Errorf("channel: empty input signal")
+	}
 	p := s.MeanPower()
-	if p > 0 {
-		g := complex(math.Sqrt(signal.DBToPower(snrDB)/p), 0)
-		for i, v := range s.Samples {
-			out.Samples[headroom+i] = v * g
-		}
+	if p <= 0 {
+		return nil, fmt.Errorf("channel: zero-power input signal")
+	}
+	out := signal.New(s.Rate, len(s.Samples)+2*headroom)
+	g := complex(math.Sqrt(signal.DBToPower(snrDB)/p), 0)
+	for i, v := range s.Samples {
+		out.Samples[headroom+i] = v * g
 	}
 	out.AddAWGN(1, rand.New(rand.NewSource(seed)))
-	return out
+	return out, nil
 }

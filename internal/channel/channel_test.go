@@ -153,10 +153,27 @@ func TestApplySNR(t *testing.T) {
 	for i := range s.Samples {
 		s.Samples[i] = 1
 	}
-	out := ApplySNR(s, 10, 0, 3)
+	out, err := ApplySNR(s, 10, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Total power = 10 (signal) + 1 (noise).
 	if p := out.MeanPower(); math.Abs(p-11) > 1 {
 		t.Fatalf("power %g, want about 11", p)
+	}
+}
+
+func TestApplySNRRejectsDegenerateInput(t *testing.T) {
+	if _, err := ApplySNR(nil, 10, 0, 1); err == nil {
+		t.Error("nil signal accepted")
+	}
+	if _, err := ApplySNR(signal.New(1e6, 0), 10, 0, 1); err == nil {
+		t.Error("empty signal accepted")
+	}
+	// The bug this guards against: a zero-power input used to come back as
+	// a plausible-looking noise-only capture instead of an error.
+	if _, err := ApplySNR(signal.New(1e6, 100), 10, 0, 1); err == nil {
+		t.Error("zero-power signal accepted")
 	}
 }
 

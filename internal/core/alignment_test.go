@@ -27,7 +27,7 @@ func TestMisalignedFlipsDestroyDecoding(t *testing.T) {
 			t.Fatal(err)
 		}
 		rate := wifi.Rates[cfg.WiFiRateMbps]
-		psdu := s.wifiPSDU()
+		psdu := s.wifiPSDU(s.rng)
 		exc, err := s.wifiTX.Transmit(psdu, rate)
 		if err != nil {
 			t.Fatal(err)
@@ -56,7 +56,7 @@ func TestMisalignedFlipsDestroyDecoding(t *testing.T) {
 		if _, err := sh.Shift(mod); err != nil {
 			t.Fatal(err)
 		}
-		cap, err := s.link().Apply(mod, 400, false)
+		cap, err := s.link(s.rng).Apply(mod, 400, false)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/bluetooth"
 	"repro/internal/channel"
 	"repro/internal/decoder"
+	"repro/internal/runner"
 	"repro/internal/tag"
 	"repro/internal/wifi"
 	"repro/internal/zigbee"
@@ -159,6 +160,7 @@ type PacketResult struct {
 	BitErrors  int     // decoded tag bits differing from the sent bits
 	RSSI       float64 // backscatter RSSI at the receiver, dBm
 	AirTime    float64 // excitation packet duration, seconds
+	Samples    int     // complex-baseband samples in the receiver capture
 	DecodedTag []byte  // the decoded tag bits (nil when not decoded)
 }
 
@@ -276,29 +278,39 @@ func (s *Session) translator() tag.Translator {
 }
 
 // RunPacket transmits one excitation packet, backscatters tagBits onto it
-// and decodes them at the adjacent-channel receiver.
+// and decodes them at the adjacent-channel receiver. Randomness (payload,
+// fading, noise) is drawn from the session's sequential RNG, so repeated
+// calls advance one shared stream; Run and RunParallel instead derive an
+// independent stream per packet.
 func (s *Session) RunPacket(tagBits []byte) (PacketResult, error) {
+	return s.runPacket(tagBits, s.rng, s.wifiTX)
+}
+
+// runPacket is RunPacket with an explicit randomness source: rng drives
+// payload, fading and noise draws, and wtx supplies the WiFi scrambler
+// state (the one per-packet mutable piece of transmitter state).
+func (s *Session) runPacket(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter) (PacketResult, error) {
 	switch s.cfg.Radio {
 	case WiFi:
-		return s.runWiFi(tagBits)
+		return s.runWiFi(tagBits, rng, wtx)
 	case ZigBee:
-		return s.runZigBee(tagBits)
+		return s.runZigBee(tagBits, rng)
 	case Bluetooth:
-		return s.runBluetooth(tagBits)
+		return s.runBluetooth(tagBits, rng)
 	}
 	return PacketResult{}, fmt.Errorf("core: unknown radio %v", s.cfg.Radio)
 }
 
-func (s *Session) randomPayload(n int) []byte {
+func randomPayload(rng *rand.Rand, n int) []byte {
 	out := make([]byte, n)
-	s.rng.Read(out)
+	rng.Read(out)
 	return out
 }
 
 // wifiPSDU builds a genuine 802.11 data MPDU whose total PSDU size equals
 // PayloadSize+4 (matching the raw-payload sizing the calibration uses).
 // The frame body is the productive traffic the excitation carries.
-func (s *Session) wifiPSDU() []byte {
+func (s *Session) wifiPSDU(rng *rand.Rand) []byte {
 	bodyLen := s.cfg.PayloadSize - 24
 	if bodyLen < 0 {
 		bodyLen = 0
@@ -309,40 +321,40 @@ func (s *Session) wifiPSDU() []byte {
 		Addr1:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
 		Addr2:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x02},
 		Addr3:        [6]byte{0x02, 0x00, 0x00, 0x00, 0x00, 0x03},
-		SeqCtrl:      uint16(s.rng.Intn(1<<12) << 4),
-		Body:         s.randomPayload(bodyLen),
+		SeqCtrl:      uint16(rng.Intn(1<<12) << 4),
+		Body:         randomPayload(rng, bodyLen),
 	}
 	return f.Marshal()
 }
 
 // zigbeeMPDU builds a genuine 802.15.4 data MPDU (MHR + body) of
 // PayloadSize total bytes, carrying productive traffic.
-func (s *Session) zigbeeMPDU() []byte {
+func (s *Session) zigbeeMPDU(rng *rand.Rand) []byte {
 	bodyLen := s.cfg.PayloadSize - 9
 	if bodyLen < 0 {
 		bodyLen = 0
 	}
 	f := &zigbee.DataFrame{
-		Seq:     byte(s.rng.Intn(256)),
+		Seq:     byte(rng.Intn(256)),
 		DstPAN:  0x1234,
 		DstAddr: 0x0001,
 		SrcAddr: 0x0002,
-		Payload: s.randomPayload(bodyLen),
+		Payload: randomPayload(rng, bodyLen),
 	}
 	return f.Marshal()
 }
 
-func (s *Session) link() channel.Link {
+func (s *Session) link(rng *rand.Rand) channel.Link {
 	l := s.cfg.Link
-	l.Seed = s.rng.Int63()
+	l.Seed = rng.Int63()
 	return l
 }
 
-func (s *Session) runWiFi(tagBits []byte) (PacketResult, error) {
+func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter) (PacketResult, error) {
 	rate := wifi.Rates[s.cfg.WiFiRateMbps]
-	psdu := s.wifiPSDU()
-	scramblerSeed := s.wifiTX.ScramblerSeed
-	exc, err := s.wifiTX.Transmit(psdu, rate)
+	psdu := s.wifiPSDU(rng)
+	scramblerSeed := wtx.ScramblerSeed
+	exc, err := wtx.Transmit(psdu, rate)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -364,10 +376,11 @@ func (s *Session) runWiFi(tagBits []byte) (PacketResult, error) {
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link().Apply(backscattered, 400, false)
+	cap, err := s.link(rng).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
+	res.Samples = len(cap.Samples)
 
 	rx := wifi.NewReceiver()
 	rx.DetectionThreshold = s.cfg.detectionThreshold(wifiDetectionThreshold)
@@ -425,8 +438,8 @@ func (s *Session) runWiFi(tagBits []byte) (PacketResult, error) {
 	return res, nil
 }
 
-func (s *Session) runZigBee(tagBits []byte) (PacketResult, error) {
-	payload := s.zigbeeMPDU()
+func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand) (PacketResult, error) {
+	payload := s.zigbeeMPDU(rng)
 	exc, err := s.zbTX.Transmit(payload)
 	if err != nil {
 		return PacketResult{}, err
@@ -447,10 +460,11 @@ func (s *Session) runZigBee(tagBits []byte) (PacketResult, error) {
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link().Apply(backscattered, 400, false)
+	cap, err := s.link(rng).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
+	res.Samples = len(cap.Samples)
 
 	zrx := zigbee.NewReceiver()
 	zrx.DetectionThreshold = s.cfg.detectionThreshold(zbDetectionThreshold)
@@ -476,8 +490,8 @@ func (s *Session) runZigBee(tagBits []byte) (PacketResult, error) {
 	return res, nil
 }
 
-func (s *Session) runBluetooth(tagBits []byte) (PacketResult, error) {
-	payload := s.randomPayload(s.cfg.PayloadSize)
+func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand) (PacketResult, error) {
+	payload := randomPayload(rng, s.cfg.PayloadSize)
 	exc, err := s.btTX.Transmit(payload)
 	if err != nil {
 		return PacketResult{}, err
@@ -498,10 +512,11 @@ func (s *Session) runBluetooth(tagBits []byte) (PacketResult, error) {
 	// The Bluetooth tag's codeword toggle already runs through the real
 	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
 	// is folded into TagLossDB like the others.
-	cap, err := s.link().Apply(backscattered, 400, false)
+	cap, err := s.link(rng).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
+	res.Samples = len(cap.Samples)
 
 	rx := bluetooth.NewReceiver()
 	rx.DetectionThreshold = s.cfg.detectionThreshold(btDetectionThreshold)
@@ -538,6 +553,9 @@ type SessionResult struct {
 	TagBitsDecoded int
 	BitErrors      int
 	ElapsedSeconds float64
+	// SamplesProcessed counts the complex-baseband samples pushed through
+	// the receiver chain, for the harness's points/sec metrics.
+	SamplesProcessed int64
 }
 
 // ThroughputBps is the tag goodput: decoded tag bits over elapsed time.
@@ -565,29 +583,76 @@ func (r SessionResult) LossRate() float64 {
 	return float64(r.PacketsLost) / float64(r.Packets)
 }
 
+// runPacketAt runs packet idx of a multi-packet session on its own derived
+// RNG stream. The stream — tag data, payload, WiFi scrambler seed, fading
+// and noise — depends only on (Config.Seed, idx), never on which packets
+// ran before or on which worker this one lands, which is what makes Run
+// and RunParallel bit-identical.
+func (s *Session) runPacketAt(idx int) (PacketResult, error) {
+	rng := rand.New(rand.NewSource(runner.DeriveSeed(s.cfg.Seed, "core.packet", idx)))
+	tagBits := make([]byte, s.Capacity())
+	for j := range tagBits {
+		tagBits[j] = byte(rng.Intn(2))
+	}
+	var wtx *wifi.Transmitter
+	if s.cfg.Radio == WiFi {
+		// Commodity cards rotate the 7-bit scrambler seed per packet; here
+		// each packet draws its own nonzero seed from its stream instead of
+		// inheriting rotation order from the previous packet.
+		wtx = &wifi.Transmitter{ScramblerSeed: byte(1 + rng.Intn(127)), FixedSeed: true}
+	}
+	return s.runPacket(tagBits, rng, wtx)
+}
+
+func (r *SessionResult) accumulate(pr PacketResult, gap float64) {
+	r.Packets++
+	r.TagBitsSent += pr.TagBits
+	r.ElapsedSeconds += pr.AirTime + gap
+	r.SamplesProcessed += int64(pr.Samples)
+	if !pr.Decoded {
+		r.PacketsLost++
+		return
+	}
+	r.TagBitsDecoded += len(pr.DecodedTag)
+	r.BitErrors += pr.BitErrors
+}
+
 // Run executes n excitation packets with fresh random tag data on each and
-// aggregates the results.
+// aggregates the results. Each packet runs on its own RNG stream derived
+// from (Config.Seed, packet index), so the result is exactly what
+// RunParallel produces with any worker count.
 func (s *Session) Run(n int) (SessionResult, error) {
 	var out SessionResult
-	capBits := s.Capacity()
 	for i := 0; i < n; i++ {
-		tagBits := make([]byte, capBits)
-		for j := range tagBits {
-			tagBits[j] = byte(s.rng.Intn(2))
-		}
-		pr, err := s.RunPacket(tagBits)
+		pr, err := s.runPacketAt(i)
 		if err != nil {
 			return out, err
 		}
-		out.Packets++
-		out.TagBitsSent += pr.TagBits
-		out.ElapsedSeconds += pr.AirTime + s.cfg.InterPacketGap
-		if !pr.Decoded {
-			out.PacketsLost++
-			continue
+		out.accumulate(pr, s.cfg.InterPacketGap)
+	}
+	return out, nil
+}
+
+// RunParallel is Run spread over a bounded worker pool (all cores when
+// workers <= 0). Per-packet seed derivation makes the aggregate
+// SessionResult bit-identical to the serial Run for every worker count;
+// on error it returns a zero result plus the error the serial loop would
+// have hit first.
+func (s *Session) RunParallel(n, workers int) (SessionResult, error) {
+	prs := make([]PacketResult, n)
+	if err := runner.Map(n, workers, func(i int) error {
+		pr, err := s.runPacketAt(i)
+		if err != nil {
+			return err
 		}
-		out.TagBitsDecoded += len(pr.DecodedTag)
-		out.BitErrors += pr.BitErrors
+		prs[i] = pr
+		return nil
+	}); err != nil {
+		return SessionResult{}, err
+	}
+	var out SessionResult
+	for i := range prs {
+		out.accumulate(prs[i], s.cfg.InterPacketGap)
 	}
 	return out, nil
 }

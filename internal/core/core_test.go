@@ -107,7 +107,7 @@ func TestEndToEndBeyondRange(t *testing.T) {
 	cases := []struct {
 		radio Radio
 		dist  float64
-	}{{WiFi, 60}, {ZigBee, 35}, {Bluetooth, 20}}
+	}{{WiFi, 60}, {ZigBee, 35}, {Bluetooth, 25}}
 	for _, c := range cases {
 		s, err := NewSession(DefaultConfig(c.radio, c.dist))
 		if err != nil {

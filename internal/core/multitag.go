@@ -37,7 +37,7 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 		return MultiTagResult{}, fmt.Errorf("core: need at least one tag")
 	}
 	rate := wifi.Rates[s.cfg.WiFiRateMbps]
-	psdu := s.wifiPSDU()
+	psdu := s.wifiPSDU(s.rng)
 	exc, err := s.wifiTX.Transmit(psdu, rate)
 	if err != nil {
 		return MultiTagResult{}, err
@@ -68,7 +68,7 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 		}
 	}
 
-	cap, err := s.link().Apply(sum, 400, false)
+	cap, err := s.link(s.rng).Apply(sum, 400, false)
 	if err != nil {
 		return MultiTagResult{}, err
 	}

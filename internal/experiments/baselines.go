@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dsss"
+	"repro/internal/runner"
 	"repro/internal/signal"
 )
 
@@ -126,10 +127,12 @@ func (p BaselinePoint) String() string {
 // airtime. FreeRider wins whenever less than ~1/5 of airtime is legacy
 // 802.11b — i.e. essentially everywhere today.
 func BaselineAvailability(opt Options) ([]BaselinePoint, error) {
+	sp := opt.span("baseline")
+	defer sp.End()
 	// FreeRider's in-packet tag rate from a close-range session.
 	cfg := core.DefaultConfig(core.WiFi, 3)
 	cfg.Link.FadingK = 0
-	cfg.Seed = opt.Seed
+	cfg.Seed = runner.DeriveSeed(opt.Seed, "baseline.freerider")
 	s, err := core.NewSession(cfg)
 	if err != nil {
 		return nil, err
@@ -153,7 +156,9 @@ func BaselineAvailability(opt Options) ([]BaselinePoint, error) {
 
 	const busy = 0.8 // overall channel airtime occupancy
 	var out []BaselinePoint
-	for _, legacy := range []float64{1.0, 0.5, 0.2, 0.1, 0.05, 0.01, 0.0} {
+	legacyShares := []float64{1.0, 0.5, 0.2, 0.1, 0.05, 0.01, 0.0}
+	sp.AddPoints(int64(len(legacyShares)))
+	for _, legacy := range legacyShares {
 		fr := busy * (1 - legacy) * frPerPacket / frPacketTime / 1e3
 		hhKbps := busy * legacy * float64(hh.TagBitsPerPacket) / hh.PacketSeconds / 1e3
 		out = append(out, BaselinePoint{

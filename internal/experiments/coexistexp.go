@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/coexist"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/tag"
 )
@@ -33,6 +34,8 @@ func summarise(xs []float64) (CDFSummary, error) {
 	return CDFSummary{Median: med, P10: p10, P90: p90, Points: stats.CDF(xs)}, nil
 }
 
+var coexistExcitations = []tag.Excitation{tag.ExcitationWiFi, tag.ExcitationZigBee, tag.ExcitationBluetooth}
+
 // Fig15Row compares WiFi goodput with and without one backscatter type.
 type Fig15Row struct {
 	Excitation  tag.Excitation
@@ -48,31 +51,43 @@ func (r Fig15Row) String() string {
 
 // Fig15WiFiCoexistence reproduces Fig 15: WiFi file-transfer throughput
 // CDFs with the tag absent and with it backscattering each excitation type.
-func Fig15WiFiCoexistence(windows int, seed int64) ([]Fig15Row, error) {
-	var out []Fig15Row
-	for _, exc := range []tag.Excitation{tag.ExcitationWiFi, tag.ExcitationZigBee, tag.ExcitationBluetooth} {
+// The three excitation rows run concurrently; the with/without arms of one
+// row intentionally share a derived seed so the comparison stays paired.
+func Fig15WiFiCoexistence(windows int, opt Options) ([]Fig15Row, error) {
+	sp := opt.span("fig15")
+	out := make([]Fig15Row, len(coexistExcitations))
+	st, err := runner.MapStats(len(coexistExcitations), opt.workers(), func(i int) error {
+		exc := coexistExcitations[i]
 		cfg := coexist.DefaultConfig(exc)
 		if windows > 0 {
 			cfg.Windows = windows
 		}
-		cfg.Seed = seed
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "coexist.fig15", i)
 		without, err := coexist.WiFiThroughput(cfg, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		with, err := coexist.WiFiThroughput(cfg, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sw, err := summarise(without)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp, err := summarise(with)
+		spres, err := summarise(with)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig15Row{Excitation: exc, WithoutMbps: sw, WithMbps: sp})
+		sp.AddPackets(int64(len(without) + len(with)))
+		out[i] = Fig15Row{Excitation: exc, WithoutMbps: sw, WithMbps: spres}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -92,31 +107,43 @@ func (r Fig16Row) String() string {
 
 // Fig16BackscatterUnderWiFi reproduces Fig 16: backscatter throughput CDFs
 // for each excitation with the adjacent-channel WiFi transfer on and off.
-func Fig16BackscatterUnderWiFi(windows int, seed int64) ([]Fig16Row, error) {
-	var out []Fig16Row
-	for _, exc := range []tag.Excitation{tag.ExcitationWiFi, tag.ExcitationZigBee, tag.ExcitationBluetooth} {
+// Rows run concurrently with per-row derived seeds; the on/off arms stay
+// paired on one seed.
+func Fig16BackscatterUnderWiFi(windows int, opt Options) ([]Fig16Row, error) {
+	sp := opt.span("fig16")
+	out := make([]Fig16Row, len(coexistExcitations))
+	st, err := runner.MapStats(len(coexistExcitations), opt.workers(), func(i int) error {
+		exc := coexistExcitations[i]
 		cfg := coexist.DefaultConfig(exc)
 		if windows > 0 {
 			cfg.Windows = windows
 		}
-		cfg.Seed = seed
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "coexist.fig16", i)
 		absent, err := coexist.BackscatterThroughput(cfg, false)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		present, err := coexist.BackscatterThroughput(cfg, true)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		sa, err := summarise(absent)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		sp, err := summarise(present)
+		spres, err := summarise(present)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, Fig16Row{Excitation: exc, AbsentKbps: sa, PresentKbps: sp})
+		sp.AddPackets(int64(len(absent) + len(present)))
+		out[i] = Fig16Row{Excitation: exc, AbsentKbps: sa, PresentKbps: spres}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

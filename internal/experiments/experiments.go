@@ -4,7 +4,18 @@
 // plots; cmd/freerider-bench prints them and bench_test.go times them.
 // Options.Quick trades sample count for runtime so the full suite stays
 // usable in tests.
+//
+// Every experiment runs on the internal/runner deterministic worker pool:
+// points execute on all cores but each draws its RNG stream from
+// runner.DeriveSeed(seed, experiment, indices...), so results are
+// bit-identical for any worker count and no two experiments share a noise
+// stream.
 package experiments
+
+import (
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
 
 // Options tunes experiment effort.
 type Options struct {
@@ -13,6 +24,12 @@ type Options struct {
 	PacketsPerPoint int
 	// Seed drives all stochastic elements.
 	Seed int64
+	// Workers bounds the parallel worker pool; 0 means all cores. Results
+	// do not depend on it.
+	Workers int
+	// Obs, when non-nil, receives per-experiment run metrics (wall time,
+	// packets, samples, pool utilisation).
+	Obs *obs.Collector
 }
 
 // DefaultOptions returns publication-effort settings.
@@ -26,4 +43,16 @@ func (o Options) packets() int {
 		return 4
 	}
 	return o.PacketsPerPoint
+}
+
+func (o Options) workers() int {
+	if o.Workers <= 0 {
+		return runner.DefaultWorkers()
+	}
+	return o.Workers
+}
+
+// span opens a metrics span on the options' collector (nil-safe).
+func (o Options) span(name string) *obs.Span {
+	return o.Obs.Start(name)
 }

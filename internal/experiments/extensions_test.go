@@ -71,11 +71,11 @@ func TestCollisionStudy(t *testing.T) {
 }
 
 func TestFig17FirmwareLevelAgreesWithAbstract(t *testing.T) {
-	fine, err := Fig17FirmwareLevel(50, 1)
+	fine, err := Fig17FirmwareLevel(50, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	coarse, err := Fig17MultiTag(50, 1)
+	coarse, err := Fig17MultiTag(50, Options{Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +89,7 @@ func TestFig17FirmwareLevelAgreesWithAbstract(t *testing.T) {
 
 func TestWaterfallMonotone(t *testing.T) {
 	for _, radio := range []core.Radio{core.WiFi, core.ZigBee, core.Bluetooth} {
-		pts, err := Waterfall(radio, []float64{-4, 0, 6, 12}, 5, 31)
+		pts, err := Waterfall(radio, []float64{-4, 0, 6, 12}, 5, Options{Seed: 31})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -108,7 +108,7 @@ func TestWaterfallMonotone(t *testing.T) {
 			}
 		}
 	}
-	if _, err := Waterfall(core.WiFi, []float64{0}, 0, 1); err == nil {
+	if _, err := Waterfall(core.WiFi, []float64{0}, 0, Options{Seed: 1}); err == nil {
 		t.Error("zero frames accepted")
 	}
 }

@@ -2,11 +2,10 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
-	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/runner"
 )
 
 // LinkPoint is one distance sample of a throughput/BER/RSSI sweep
@@ -25,54 +24,50 @@ func (p LinkPoint) String() string {
 		p.DistanceM, p.ThroughputKbps, p.BER, p.RSSIdBm, p.LossRate)
 }
 
-// linkSweep runs one session per distance. Points are independent (each
-// has its own derived seed), so they run on all cores; results stay in
-// input order and are bit-identical to a serial sweep.
-func linkSweep(radio core.Radio, distances []float64, opt Options,
+// linkSweep runs one session per distance on the shared worker pool.
+// Points are independent — each derives its own seed stream from the sweep
+// domain — so they run on all cores; results stay in input order and are
+// bit-identical to a serial sweep. The domain string keeps distinct sweeps
+// (fig10 vs fig11 vs ...) on uncorrelated noise streams even under the
+// same base seed.
+func linkSweep(domain string, radio core.Radio, distances []float64, opt Options,
 	mutate func(*core.Config)) ([]LinkPoint, error) {
+	sp := opt.span(domain)
 	out := make([]LinkPoint, len(distances))
-	errs := make([]error, len(distances))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for i, d := range distances {
-		wg.Add(1)
-		go func(i int, d float64) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cfg := core.DefaultConfig(radio, d)
-			cfg.Seed = opt.Seed + int64(i)*1000
-			if mutate != nil {
-				mutate(&cfg)
-			}
-			s, err := core.NewSession(cfg)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			res, err := s.Run(opt.packets())
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			ber := res.BER()
-			if res.TagBitsDecoded == 0 {
-				ber = 1
-			}
-			out[i] = LinkPoint{
-				DistanceM:      d,
-				ThroughputKbps: res.ThroughputBps() / 1e3,
-				BER:            ber,
-				RSSIdBm:        cfg.Link.BackscatterRSSI(),
-				LossRate:       res.LossRate(),
-			}
-		}(i, d)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	st, err := runner.MapStats(len(distances), opt.workers(), func(i int) error {
+		cfg := core.DefaultConfig(radio, distances[i])
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "links."+domain, i)
+		if mutate != nil {
+			mutate(&cfg)
 		}
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(opt.packets())
+		if err != nil {
+			return err
+		}
+		sp.AddPackets(int64(res.Packets))
+		sp.AddSamples(res.SamplesProcessed)
+		ber := res.BER()
+		if res.TagBitsDecoded == 0 {
+			ber = 1
+		}
+		out[i] = LinkPoint{
+			DistanceM:      distances[i],
+			ThroughputKbps: res.ThroughputBps() / 1e3,
+			BER:            ber,
+			RSSIdBm:        cfg.Link.BackscatterRSSI(),
+			LossRate:       res.LossRate(),
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -81,14 +76,14 @@ func linkSweep(radio core.Radio, distances []float64, opt Options,
 // and RSSI vs tag-to-receiver distance at 11 dBm, TX-to-tag 1 m).
 func Fig10WiFiLOS(opt Options) ([]LinkPoint, error) {
 	d := []float64{1, 5, 10, 14, 18, 22, 26, 30, 34, 38, 42, 45}
-	return linkSweep(core.WiFi, d, opt, nil)
+	return linkSweep("fig10", core.WiFi, d, opt, nil)
 }
 
 // Fig11WiFiNLOS sweeps the through-the-wall deployment of Fig 11 (an extra
 // wall appears beyond 22 m, Fig 9b).
 func Fig11WiFiNLOS(opt Options) ([]LinkPoint, error) {
 	d := []float64{1, 4, 8, 12, 14, 16, 18, 20, 22, 25}
-	return linkSweep(core.WiFi, d, opt, func(c *core.Config) {
+	return linkSweep("fig11", core.WiFi, d, opt, func(c *core.Config) {
 		c.Link.Deployment = channel.NLOS
 		c.Link.TxPowerDBm = 15 // the NLOS run uses the full 15 dBm
 		c.Link.FadingK = 1.5   // weaker LOS component through walls
@@ -98,13 +93,13 @@ func Fig11WiFiNLOS(opt Options) ([]LinkPoint, error) {
 // Fig12ZigBeeLOS sweeps the ZigBee LOS deployment of Fig 12 (5 dBm).
 func Fig12ZigBeeLOS(opt Options) ([]LinkPoint, error) {
 	d := []float64{1, 4, 8, 12, 16, 20, 22, 25}
-	return linkSweep(core.ZigBee, d, opt, nil)
+	return linkSweep("fig12", core.ZigBee, d, opt, nil)
 }
 
 // Fig13BluetoothLOS sweeps the Bluetooth LOS deployment of Fig 13 (0 dBm).
 func Fig13BluetoothLOS(opt Options) ([]LinkPoint, error) {
 	d := []float64{1, 2, 4, 6, 8, 10, 12, 14}
-	return linkSweep(core.Bluetooth, d, opt, nil)
+	return linkSweep("fig13", core.Bluetooth, d, opt, nil)
 }
 
 // RegimePoint is one Fig 14 sample: the maximum tag-to-receiver distance
@@ -122,7 +117,10 @@ func (p RegimePoint) String() string {
 
 // Fig14OperatingRegime maps the operational region of Fig 14: for each
 // radio and TX-to-tag distance, the farthest receiver distance at which at
-// least ~20% of backscattered packets still decode.
+// least ~20% of backscattered packets still decode. Each (radio, txIdx,
+// rxIdx) cell derives its own seed — previously both this experiment and
+// the link sweeps could draw the same additive seed (e.g. base+0) and leak
+// correlated AWGN/fading across experiments.
 func Fig14OperatingRegime(opt Options) ([]RegimePoint, error) {
 	grids := map[core.Radio][]float64{
 		core.WiFi:      {1, 2, 4, 6, 8, 10, 14, 18, 22, 26, 30, 34, 38, 42, 46},
@@ -145,43 +143,37 @@ func Fig14OperatingRegime(opt Options) ([]RegimePoint, error) {
 			jobs = append(jobs, job{radio, i, txd})
 		}
 	}
+	sp := opt.span("fig14")
 	out := make([]RegimePoint, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	var wg sync.WaitGroup
-	for k, jb := range jobs {
-		wg.Add(1)
-		go func(k int, jb job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			maxRx := 0.0
-			for j, rxd := range grids[jb.radio] {
-				cfg := core.DefaultConfig(jb.radio, rxd)
-				cfg.Link.TxToTag = jb.txd
-				cfg.Seed = opt.Seed + int64(jb.txIdx*100+j)
-				s, err := core.NewSession(cfg)
-				if err != nil {
-					errs[k] = err
-					return
-				}
-				res, err := s.Run(opt.packets())
-				if err != nil {
-					errs[k] = err
-					return
-				}
-				if res.LossRate() <= 0.8 && res.TagBitsDecoded > 0 {
-					maxRx = rxd
-				}
+	st, err := runner.MapStats(len(jobs), opt.workers(), func(k int) error {
+		jb := jobs[k]
+		maxRx := 0.0
+		for j, rxd := range grids[jb.radio] {
+			cfg := core.DefaultConfig(jb.radio, rxd)
+			cfg.Link.TxToTag = jb.txd
+			cfg.Seed = runner.DeriveSeed(opt.Seed, "links.fig14", int(jb.radio), jb.txIdx, j)
+			s, err := core.NewSession(cfg)
+			if err != nil {
+				return err
 			}
-			out[k] = RegimePoint{Radio: jb.radio, TxToTagM: jb.txd, MaxRxToTag: maxRx}
-		}(k, jb)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+			res, err := s.Run(opt.packets())
+			if err != nil {
+				return err
+			}
+			sp.AddPackets(int64(res.Packets))
+			sp.AddSamples(res.SamplesProcessed)
+			if res.LossRate() <= 0.8 && res.TagBitsDecoded > 0 {
+				maxRx = rxd
+			}
 		}
+		out[k] = RegimePoint{Radio: jb.radio, TxToTagM: jb.txd, MaxRxToTag: maxRx}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

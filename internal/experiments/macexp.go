@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/mac"
+	"repro/internal/runner"
 	"repro/internal/sim"
 )
 
@@ -22,77 +23,105 @@ func (p MultiTagPoint) String() string {
 		p.Tags, p.AlohaKbps, p.TDMKbps, p.FairnessIndex, p.MeanSlotsPerRound)
 }
 
+// fig17Populations are the tag counts of Fig 17, extended (as the paper's
+// simulation does) beyond the physically built population.
+var fig17Populations = []int{4, 8, 12, 16, 20, 40, 100}
+
 // Fig17FirmwareLevel re-runs the Fig 17 populations through the
 // firmware-level discrete-event simulator (internal/sim), where control
 // losses emerge from per-pulse envelope failures in real tag state
 // machines instead of an analytic message-success probability. Agreement
-// with Fig17MultiTag cross-validates the two models.
-func Fig17FirmwareLevel(rounds int, seed int64) ([]MultiTagPoint, error) {
+// with Fig17MultiTag cross-validates the two models. Populations run
+// concurrently, each on its own derived seed stream.
+func Fig17FirmwareLevel(rounds int, opt Options) ([]MultiTagPoint, error) {
 	if rounds <= 0 {
 		rounds = 12
 	}
-	var out []MultiTagPoint
-	for _, n := range []int{4, 8, 12, 16, 20, 40, 100} {
+	sp := opt.span("fig17-firmware")
+	out := make([]MultiTagPoint, len(fig17Populations))
+	st, err := runner.MapStats(len(fig17Populations), opt.workers(), func(i int) error {
+		n := fig17Populations[i]
 		cfg := sim.DefaultConfig(n)
-		cfg.Seed = seed
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "mac.fig17.firmware", i)
 		res, err := sim.Run(cfg, rounds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		j, err := res.FairnessIndex()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slots := 0.0
 		for _, r := range res.Rounds {
 			slots += float64(r.Slots)
 		}
-		out = append(out, MultiTagPoint{
+		sp.AddPackets(int64(rounds * n))
+		out[i] = MultiTagPoint{
 			Tags:              n,
 			AlohaKbps:         res.AggregateThroughputBps() / 1e3,
 			FairnessIndex:     j,
 			MeanSlotsPerRound: slots / float64(len(res.Rounds)),
-		})
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // Fig17MultiTag reproduces both panels of Fig 17: aggregate throughput and
-// Jain's fairness index for 4–20 tags, extended (as the paper's simulation
-// does) beyond the physically built population to show the asymptotes.
-func Fig17MultiTag(rounds int, seed int64) ([]MultiTagPoint, error) {
+// Jain's fairness index for 4–20 tags, extended beyond the built population
+// to show the asymptotes. Populations run concurrently; the aloha and TDM
+// arms of one population share a derived seed so the comparison stays
+// paired.
+func Fig17MultiTag(rounds int, opt Options) ([]MultiTagPoint, error) {
 	if rounds <= 0 {
 		rounds = 12 // a measurement-sized run, matching Fig 17b's variance
 	}
-	var out []MultiTagPoint
-	for _, n := range []int{4, 8, 12, 16, 20, 40, 100} {
+	sp := opt.span("fig17")
+	out := make([]MultiTagPoint, len(fig17Populations))
+	st, err := runner.MapStats(len(fig17Populations), opt.workers(), func(i int) error {
+		n := fig17Populations[i]
+		seed := runner.DeriveSeed(opt.Seed, "mac.fig17", i)
 		aCfg := mac.DefaultConfig(mac.FramedSlottedAloha, n)
 		aCfg.Seed = seed
 		aloha, err := mac.Run(aCfg, rounds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		tCfg := mac.DefaultConfig(mac.TDM, n)
 		tCfg.Seed = seed
 		tdm, err := mac.Run(tCfg, rounds)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		j, err := aloha.FairnessIndex()
 		if err != nil {
-			return nil, err
+			return err
 		}
 		slots := 0.0
 		for _, r := range aloha.Rounds {
 			slots += float64(r.Slots)
 		}
-		out = append(out, MultiTagPoint{
+		sp.AddPackets(int64(rounds * n))
+		out[i] = MultiTagPoint{
 			Tags:              n,
 			AlohaKbps:         aloha.AggregateThroughputBps() / 1e3,
 			TDMKbps:           tdm.AggregateThroughputBps() / 1e3,
 			FairnessIndex:     j,
 			MeanSlotsPerRound: slots / float64(len(aloha.Rounds)),
-		})
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

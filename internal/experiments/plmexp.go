@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/channel"
 	"repro/internal/plm"
+	"repro/internal/runner"
 	"repro/internal/stats"
 	"repro/internal/tag"
 	"repro/internal/trace"
@@ -26,12 +27,15 @@ type Fig3Result struct {
 }
 
 // Fig3AmbientDurations samples the lecture-hall traffic model and computes
-// the Fig 3 PDF plus the PLM aliasing probability.
-func Fig3AmbientDurations(samples int, seed int64) (Fig3Result, error) {
+// the Fig 3 PDF plus the PLM aliasing probability. The duration and
+// aliasing draws use separate derived seed streams.
+func Fig3AmbientDurations(samples int, opt Options) (Fig3Result, error) {
 	if samples <= 0 {
 		return Fig3Result{}, fmt.Errorf("experiments: sample count %d must be positive", samples)
 	}
-	m := trace.NewAmbientModel(seed)
+	sp := opt.span("fig3")
+	defer sp.End()
+	m := trace.NewAmbientModel(runner.DeriveSeed(opt.Seed, "plm.fig3.durations"))
 	durations := m.Samples(samples)
 
 	centres, density, err := stats.Histogram(durations, 0, 2.8e-3, 28)
@@ -58,11 +62,13 @@ func Fig3AmbientDurations(samples int, seed int64) (Fig3Result, error) {
 	res.LongFraction = float64(long) / float64(samples)
 
 	scheme := plm.DefaultScheme()
-	res.AliasProbability, err = trace.NewAmbientModel(seed+1).
+	res.AliasProbability, err = trace.NewAmbientModel(runner.DeriveSeed(opt.Seed, "plm.fig3.alias")).
 		AliasProbability([]float64{scheme.L0, scheme.L1}, scheme.Bound, samples)
 	if err != nil {
 		return Fig3Result{}, err
 	}
+	sp.AddPoints(int64(len(res.BinCentresMs)))
+	sp.AddSamples(int64(samples) * 2)
 	return res, nil
 }
 
@@ -81,16 +87,22 @@ func (p PLMPoint) String() string {
 // Fig4PLMAccuracy Monte-Carlo simulates the PLM downlink of Fig 4: a
 // 15 dBm transmitter sends 8-bit scheduling messages; the tag's envelope
 // detector margin shrinks with distance and each pulse decodes with the
-// calibrated per-pulse probability.
-func Fig4PLMAccuracy(messages int, seed int64) ([]PLMPoint, error) {
+// calibrated per-pulse probability. Each distance draws from its own
+// derived RNG stream, so the points are independent jobs on the pool;
+// previously one shared rng serialised the sweep and coupled every
+// distance's draws to the ones before it.
+func Fig4PLMAccuracy(messages int, opt Options) ([]PLMPoint, error) {
 	if messages <= 0 {
 		return nil, fmt.Errorf("experiments: message count %d must be positive", messages)
 	}
 	const msgBits = 8
 	det := tag.NewEnvelopeDetector()
-	rng := rand.New(rand.NewSource(seed))
-	var out []PLMPoint
-	for _, d := range []float64{1, 2, 4, 8, 12, 16, 20, 25, 30, 35, 40, 45, 50} {
+	distances := []float64{1, 2, 4, 8, 12, 16, 20, 25, 30, 35, 40, 45, 50}
+	sp := opt.span("fig4")
+	out := make([]PLMPoint, len(distances))
+	st, err := runner.MapStats(len(distances), opt.workers(), func(i int) error {
+		d := distances[i]
+		rng := rand.New(rand.NewSource(runner.DeriveSeed(opt.Seed, "plm.fig4", i)))
 		l := channel.Link{
 			Deployment: channel.LOS,
 			TxPowerDBm: 15, // Fig 4 runs at 15 dBm
@@ -111,11 +123,19 @@ func Fig4PLMAccuracy(messages int, seed int64) ([]PLMPoint, error) {
 				ok++
 			}
 		}
-		out = append(out, PLMPoint{
+		sp.AddPackets(int64(messages))
+		out[i] = PLMPoint{
 			DistanceM: d,
 			Accuracy:  float64(ok) / float64(messages),
 			MarginDB:  margin,
-		})
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/runner"
 	"repro/internal/tag"
 )
 
@@ -59,26 +60,38 @@ func (p RedundancyPoint) String() string {
 // RedundancySweep reproduces the simulation behind §3.2.1's choice of one
 // tag bit per four OFDM symbols: fewer symbols per bit raise the tag rate
 // but leave too little majority-vote margin over the boundary errors the
-// scrambler and convolutional decoder make at each tag-bit transition.
+// scrambler and convolutional decoder make at each tag-bit transition. The
+// four redundancy settings run concurrently on derived seed streams.
 func RedundancySweep(opt Options) ([]RedundancyPoint, error) {
-	var out []RedundancyPoint
-	for _, spb := range []int{1, 2, 4, 8} {
+	spbs := []int{1, 2, 4, 8}
+	sp := opt.span("redundancy")
+	out := make([]RedundancyPoint, len(spbs))
+	st, err := runner.MapStats(len(spbs), opt.workers(), func(i int) error {
 		cfg := core.DefaultConfig(core.WiFi, 20)
-		cfg.Redundancy = spb
-		cfg.Seed = opt.Seed
+		cfg.Redundancy = spbs[i]
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "power.redundancy", i)
 		s, err := core.NewSession(cfg)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		res, err := s.Run(opt.packets())
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, RedundancyPoint{
-			SymbolsPerBit:  spb,
+		sp.AddPackets(int64(res.Packets))
+		sp.AddSamples(res.SamplesProcessed)
+		out[i] = RedundancyPoint{
+			SymbolsPerBit:  spbs[i],
 			TagBER:         res.BER(),
 			ThroughputKbps: res.ThroughputBps() / 1e3,
-		})
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -97,36 +110,46 @@ func (p QuaternaryPoint) String() string {
 
 // QuaternaryStudy reproduces the §2.3.1 rate trade-off: at a QPSK rate
 // (12 Mbps) the tag can step its phase in 90° increments (eq. 5) and carry
-// two bits per window, roughly doubling the eq. 4 binary rate.
+// two bits per window, roughly doubling the eq. 4 binary rate. The two
+// schemes run concurrently on one shared derived seed, keeping the
+// comparison paired.
 func QuaternaryStudy(opt Options) ([]QuaternaryPoint, error) {
-	run := func(name string, quaternary bool) (QuaternaryPoint, error) {
+	schemes := []struct {
+		name       string
+		quaternary bool
+	}{{"binary", false}, {"quaternary", true}}
+	seed := runner.DeriveSeed(opt.Seed, "power.quaternary")
+	sp := opt.span("quaternary")
+	out := make([]QuaternaryPoint, len(schemes))
+	st, err := runner.MapStats(len(schemes), opt.workers(), func(i int) error {
 		cfg := core.DefaultConfig(core.WiFi, 5)
 		cfg.WiFiRateMbps = 12
-		cfg.Quaternary = quaternary
-		cfg.Seed = opt.Seed
+		cfg.Quaternary = schemes[i].quaternary
+		cfg.Seed = seed
 		s, err := core.NewSession(cfg)
 		if err != nil {
-			return QuaternaryPoint{}, err
+			return err
 		}
 		res, err := s.Run(opt.packets())
 		if err != nil {
-			return QuaternaryPoint{}, err
+			return err
 		}
-		return QuaternaryPoint{
-			Scheme:         name,
+		sp.AddPackets(int64(res.Packets))
+		sp.AddSamples(res.SamplesProcessed)
+		out[i] = QuaternaryPoint{
+			Scheme:         schemes[i].name,
 			ThroughputKbps: res.ThroughputBps() / 1e3,
 			TagBER:         res.BER(),
-		}, nil
-	}
-	binary, err := run("binary", false)
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
-	quad, err := run("quaternary", true)
-	if err != nil {
-		return nil, err
-	}
-	return []QuaternaryPoint{binary, quad}, nil
+	return out, nil
 }
 
 // CFOPoint is one sample of the carrier-frequency-offset study.
@@ -149,7 +172,7 @@ func (p CFOPoint) String() string {
 // modulation in its own way: WiFi with LTF + cyclic-prefix estimation and
 // blind constellation squaring, ZigBee with preamble-periodicity
 // estimation, Bluetooth inherently (FM discrimination turns CFO into a
-// small DC bias).
+// small DC bias). All (radio, offset) cells run concurrently.
 func CFOStudy(opt Options) ([]CFOPoint, error) {
 	sweeps := []struct {
 		radio core.Radio
@@ -160,28 +183,47 @@ func CFOStudy(opt Options) ([]CFOPoint, error) {
 		{core.ZigBee, 8, []float64{0, 5e3, 10e3, 15e3}},
 		{core.Bluetooth, 4, []float64{0, 10e3, 20e3, 30e3}},
 	}
-	var out []CFOPoint
-	for _, sw := range sweeps {
-		for _, cfo := range sw.cfos {
-			cfg := core.DefaultConfig(sw.radio, sw.dist)
-			cfg.Link.CFOHz = cfo
-			cfg.Seed = opt.Seed
-			s, err := core.NewSession(cfg)
-			if err != nil {
-				return nil, err
-			}
-			res, err := s.Run(opt.packets())
-			if err != nil {
-				return nil, err
-			}
-			out = append(out, CFOPoint{
-				Radio:          sw.radio,
-				CFOHz:          cfo,
-				ThroughputKbps: res.ThroughputBps() / 1e3,
-				TagBER:         res.BER(),
-				LossRate:       res.LossRate(),
-			})
+	type job struct {
+		swIdx, cfoIdx int
+	}
+	var jobs []job
+	for si, sw := range sweeps {
+		for ci := range sw.cfos {
+			jobs = append(jobs, job{si, ci})
 		}
+	}
+	sp := opt.span("cfo")
+	out := make([]CFOPoint, len(jobs))
+	st, err := runner.MapStats(len(jobs), opt.workers(), func(k int) error {
+		sw := sweeps[jobs[k].swIdx]
+		cfo := sw.cfos[jobs[k].cfoIdx]
+		cfg := core.DefaultConfig(sw.radio, sw.dist)
+		cfg.Link.CFOHz = cfo
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "power.cfo", jobs[k].swIdx, jobs[k].cfoIdx)
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return err
+		}
+		res, err := s.Run(opt.packets())
+		if err != nil {
+			return err
+		}
+		sp.AddPackets(int64(res.Packets))
+		sp.AddSamples(res.SamplesProcessed)
+		out[k] = CFOPoint{
+			Radio:          sw.radio,
+			CFOHz:          cfo,
+			ThroughputKbps: res.ThroughputBps() / 1e3,
+			TagBER:         res.BER(),
+			LossRate:       res.LossRate(),
+		}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -201,17 +243,22 @@ func (p CollisionPoint) String() string {
 // CollisionStudy verifies the MAC's collision premise at sample level:
 // one tag decodes cleanly, two or more superposed tags destroy each
 // other's data (§2.4.1: "if two tags choose the same slot, there is a
-// collision and no data is successfully transmitted").
+// collision and no data is successfully transmitted"). Each population
+// size gets its own session and derived seed, so the points run
+// concurrently instead of sharing one session's RNG stream.
 func CollisionStudy(opt Options) ([]CollisionPoint, error) {
-	cfg := core.DefaultConfig(core.WiFi, 5)
-	cfg.Link.FadingK = 0
-	cfg.Seed = opt.Seed
-	s, err := core.NewSession(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var out []CollisionPoint
-	for _, n := range []int{1, 2, 3} {
+	populations := []int{1, 2, 3}
+	sp := opt.span("collision")
+	out := make([]CollisionPoint, len(populations))
+	st, err := runner.MapStats(len(populations), opt.workers(), func(k int) error {
+		n := populations[k]
+		cfg := core.DefaultConfig(core.WiFi, 5)
+		cfg.Link.FadingK = 0
+		cfg.Seed = runner.DeriveSeed(opt.Seed, "power.collision", k)
+		s, err := core.NewSession(cfg)
+		if err != nil {
+			return err
+		}
 		data := make([][]byte, n)
 		for i := range data {
 			bits := make([]byte, s.Capacity())
@@ -222,44 +269,58 @@ func CollisionStudy(opt Options) ([]CollisionPoint, error) {
 		}
 		res, err := s.RunCollision(data)
 		if err != nil {
-			return nil, err
+			return err
 		}
+		sp.AddPackets(int64(n))
 		worst := 0.0
 		for _, b := range res.PerTagBER {
 			if b > worst {
 				worst = b
 			}
 		}
-		out = append(out, CollisionPoint{Tags: n, WorstBER: worst, Detectable: res.Detected})
+		out[k] = CollisionPoint{Tags: n, WorstBER: worst, Detectable: res.Detected}
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(int64(len(out)))
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
 // PilotTrackingAblation contrasts tag BER with and without receiver pilot
-// phase tracking (§3.2.1: tracking erases the tag's phase modulation).
+// phase tracking (§3.2.1: tracking erases the tag's phase modulation). The
+// two arms share one derived seed and run concurrently, keeping the
+// ablation paired.
 func PilotTrackingAblation(opt Options) (withoutBER, withBER float64, err error) {
-	run := func(tracking bool) (float64, error) {
+	seed := runner.DeriveSeed(opt.Seed, "power.pilot")
+	sp := opt.span("pilot")
+	bers := make([]float64, 2)
+	st, err := runner.MapStats(2, opt.workers(), func(i int) error {
 		cfg := core.DefaultConfig(core.WiFi, 5)
 		cfg.Link.FadingK = 0
-		cfg.PilotPhaseTracking = tracking
-		cfg.Seed = opt.Seed
+		cfg.PilotPhaseTracking = i == 1
+		cfg.Seed = seed
 		s, err := core.NewSession(cfg)
 		if err != nil {
-			return 0, err
+			return err
 		}
 		res, err := s.Run(opt.packets())
 		if err != nil {
-			return 0, err
+			return err
 		}
-		return res.BER(), nil
-	}
-	withoutBER, err = run(false)
+		sp.AddPackets(int64(res.Packets))
+		sp.AddSamples(res.SamplesProcessed)
+		bers[i] = res.BER()
+		return nil
+	})
+	sp.RecordPool(st.Workers, st.Busy)
+	sp.AddPoints(2)
+	sp.End()
 	if err != nil {
 		return 0, 0, err
 	}
-	withBER, err = run(true)
-	if err != nil {
-		return 0, 0, err
-	}
-	return withoutBER, withBER, nil
+	return bers[0], bers[1], nil
 }

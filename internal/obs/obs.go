@@ -1,0 +1,156 @@
+// Package obs is the harness's lightweight run-metrics layer. Experiments
+// open a Span per figure, count the work they push through the PHY chains
+// (packets, baseband samples, sweep points) and record worker-pool
+// statistics; the collector turns each span into a Report that
+// cmd/freerider-bench prints per figure and emits as JSON. Every method is
+// nil-receiver safe, so instrumented code pays nothing when no collector
+// is attached.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Report is one experiment's metrics snapshot.
+type Report struct {
+	Name            string  `json:"name"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	Points          int64   `json:"points,omitempty"`
+	Packets         int64   `json:"packets,omitempty"`
+	Samples         int64   `json:"samples,omitempty"`
+	Workers         int     `json:"workers,omitempty"`
+	BusySeconds     float64 `json:"busy_seconds,omitempty"`
+	PointsPerSecond float64 `json:"points_per_second,omitempty"`
+	Utilisation     float64 `json:"utilisation,omitempty"`
+}
+
+// String renders the report as a one-line bench log entry.
+func (r Report) String() string {
+	s := fmt.Sprintf("%s: %.3fs", r.Name, r.WallSeconds)
+	if r.Points > 0 {
+		s += fmt.Sprintf(", %d points (%.1f/s)", r.Points, r.PointsPerSecond)
+	}
+	if r.Packets > 0 {
+		s += fmt.Sprintf(", %d packets", r.Packets)
+	}
+	if r.Samples > 0 {
+		s += fmt.Sprintf(", %.2fM samples", float64(r.Samples)/1e6)
+	}
+	if r.Workers > 0 {
+		s += fmt.Sprintf(", %d workers at %.0f%% busy", r.Workers, r.Utilisation*100)
+	}
+	return s
+}
+
+// Collector accumulates reports from completed spans. The zero value and
+// the nil pointer are both usable; a nil collector discards everything.
+type Collector struct {
+	mu      sync.Mutex
+	reports []Report
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Start opens a named span. Safe on a nil collector (returns a nil span
+// whose methods all no-op).
+func (c *Collector) Start(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{c: c, name: name, start: time.Now()}
+}
+
+// Reports returns a copy of every report recorded so far, in end order.
+func (c *Collector) Reports() []Report {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Report, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// Span measures one experiment run. Counter methods are safe to call
+// concurrently from pool workers, and safe on a nil span.
+type Span struct {
+	c     *Collector
+	name  string
+	start time.Time
+
+	packets, samples, points atomic.Int64
+	busyNanos                atomic.Int64
+	workers                  atomic.Int64
+}
+
+// AddPackets counts excitation packets pushed through the pipeline.
+func (s *Span) AddPackets(n int64) {
+	if s != nil {
+		s.packets.Add(n)
+	}
+}
+
+// AddSamples counts complex-baseband samples processed.
+func (s *Span) AddSamples(n int64) {
+	if s != nil {
+		s.samples.Add(n)
+	}
+}
+
+// AddPoints counts produced sweep points (figure rows).
+func (s *Span) AddPoints(n int64) {
+	if s != nil {
+		s.points.Add(n)
+	}
+}
+
+// RecordPool folds one worker-pool run into the span: busy time
+// accumulates, the widest pool seen wins.
+func (s *Span) RecordPool(workers int, busy time.Duration) {
+	if s == nil {
+		return
+	}
+	s.busyNanos.Add(int64(busy))
+	for {
+		cur := s.workers.Load()
+		if int64(workers) <= cur || s.workers.CompareAndSwap(cur, int64(workers)) {
+			return
+		}
+	}
+}
+
+// End closes the span, files its report with the collector and returns it.
+func (s *Span) End() Report {
+	if s == nil {
+		return Report{}
+	}
+	wall := time.Since(s.start).Seconds()
+	r := Report{
+		Name:        s.name,
+		WallSeconds: wall,
+		Points:      s.points.Load(),
+		Packets:     s.packets.Load(),
+		Samples:     s.samples.Load(),
+		Workers:     int(s.workers.Load()),
+		BusySeconds: time.Duration(s.busyNanos.Load()).Seconds(),
+	}
+	if wall > 0 {
+		r.PointsPerSecond = float64(r.Points) / wall
+		if r.Workers > 0 {
+			u := r.BusySeconds / (wall * float64(r.Workers))
+			if u > 1 {
+				u = 1
+			}
+			r.Utilisation = u
+		}
+	}
+	s.c.mu.Lock()
+	s.c.reports = append(s.c.reports, r)
+	s.c.mu.Unlock()
+	return r
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanReport(t *testing.T) {
+	c := NewCollector()
+	sp := c.Start("fig10")
+	sp.AddPackets(48)
+	sp.AddSamples(1 << 20)
+	sp.AddPoints(12)
+	sp.RecordPool(4, 80*time.Millisecond)
+	sp.RecordPool(2, 20*time.Millisecond)
+	r := sp.End()
+
+	if r.Name != "fig10" || r.Packets != 48 || r.Points != 12 || r.Samples != 1<<20 {
+		t.Fatalf("report %+v", r)
+	}
+	if r.Workers != 4 {
+		t.Fatalf("workers %d, want max(4,2)=4", r.Workers)
+	}
+	if r.WallSeconds <= 0 || r.PointsPerSecond <= 0 {
+		t.Fatalf("derived metrics missing: %+v", r)
+	}
+	if r.Utilisation < 0 || r.Utilisation > 1 {
+		t.Fatalf("utilisation %g outside [0,1]", r.Utilisation)
+	}
+	got := c.Reports()
+	if len(got) != 1 || got[0].Name != "fig10" {
+		t.Fatalf("collector reports %+v", got)
+	}
+	if !strings.Contains(r.String(), "fig10") {
+		t.Fatalf("String() = %q", r.String())
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var c *Collector
+	sp := c.Start("x")
+	sp.AddPackets(1)
+	sp.AddSamples(1)
+	sp.AddPoints(1)
+	sp.RecordPool(4, time.Second)
+	if r := sp.End(); r.Name != "" {
+		t.Fatalf("nil span produced report %+v", r)
+	}
+	if c.Reports() != nil {
+		t.Fatal("nil collector returned reports")
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	c := NewCollector()
+	sp := c.Start("race")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				sp.AddPackets(1)
+				sp.AddSamples(2)
+				sp.AddPoints(1)
+			}
+		}()
+	}
+	wg.Wait()
+	r := sp.End()
+	if r.Packets != 8000 || r.Samples != 16000 || r.Points != 8000 {
+		t.Fatalf("lost updates: %+v", r)
+	}
+}

@@ -128,7 +128,10 @@ func TestSoftBeatsHardAtLowSNR(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cap := channel.ApplySNR(sig, snr, 300, int64(trial)+100)
+		cap, err := channel.ApplySNR(sig, snr, 300, int64(trial)+100)
+		if err != nil {
+			t.Fatal(err)
+		}
 		hard := NewReceiver()
 		hard.DetectionThreshold = 0
 		hard.CFOCorrection = false // no CFO present; isolate the decoders
