@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet bench soak soak-quick fuzz-faults ci
 
 build:
 	$(GO) build ./...
@@ -20,6 +20,22 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
-# ci is the gate: everything must build, pass vet, and pass the suite with
-# the race detector on.
-ci: build vet race
+# soak runs the chaos fault-injection soak at full effort: the intensity
+# sweep across all three radios plus a 4 kB quaternary transfer through the
+# faulted link. Exits non-zero on any invariant violation (panic,
+# worker-count divergence, non-monotone residual, failed transfer).
+soak:
+	$(GO) run ./cmd/freerider-bench -faults chaos soak
+
+# soak-quick is the CI-sized soak (fewer packets, 512 B transfer).
+soak-quick:
+	$(GO) run ./cmd/freerider-bench -quick -faults chaos soak
+
+# fuzz-faults smoke-fuzzes the fault-profile spec parser round-trip.
+fuzz-faults:
+	$(GO) test -run=^$$ -fuzz=FuzzFaultProfile -fuzztime=10s ./internal/faults
+
+# ci is the gate: everything must build, pass vet, pass the suite with the
+# race detector on, survive the quick chaos soak, and keep the fault-spec
+# parser fuzz-clean.
+ci: build vet race soak-quick fuzz-faults

@@ -7,12 +7,20 @@
 //
 // Usage:
 //
-//	freerider-bench [-quick] [-seed N] [-workers N] [-json]
+//	freerider-bench [-quick] [-seed N] [-workers N] [-json] [-faults SPEC]
 //	                [-cpuprofile FILE] [-memprofile FILE] <experiment|all>
 //
 // Experiments: fig3 fig4 fig10 fig11 fig12 fig13 fig14 fig15 fig16 fig17
 // fig17sim power plmrate redundancy pilots baselines collision quaternary
-// cfo waterfall table1 all
+// cfo waterfall table1 soak all
+//
+// -faults attaches a fault-injection profile (a preset like "bursty-wifi"
+// or "chaos", optionally "@0.5" intensity-scaled, or a custom
+// "burst:p01=0.1,p10=0.3,loss=12;..." spec) to every link the experiments
+// build. The soak experiment sweeps the profile's intensity across all
+// three radios, asserts the robustness invariants, and pushes a quaternary
+// Send transfer through the faulted link, reporting how the graceful-
+// degradation machinery coped.
 package main
 
 import (
@@ -23,11 +31,15 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"sort"
+	"strings"
 	"time"
+
+	freerider "repro"
 
 	"repro/internal/core"
 	"repro/internal/decoder"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/obs"
 )
 
@@ -46,6 +58,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "RNG seed for every experiment")
 	workers := flag.Int("workers", 0, "worker-pool size (0 = all cores); results do not depend on it")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	faultSpec := flag.String("faults", "none",
+		"fault profile for every link ("+strings.Join(faults.Names(), ", ")+", spec@intensity, or custom)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
@@ -53,6 +67,11 @@ func main() {
 	if flag.NArg() != 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	profile, err := faults.Parse(*faultSpec)
+	if err != nil {
+		fatal(err)
 	}
 
 	if *cpuProfile != "" {
@@ -75,8 +94,10 @@ func main() {
 	}
 	opt.Seed = *seed
 	opt.Workers = *workers
+	opt.Faults = profile
 	collector := obs.NewCollector()
 	opt.Obs = collector
+	soakFailed := false
 
 	runners := map[string]func() (result, error){
 		"fig3": func() (result, error) {
@@ -193,6 +214,78 @@ func main() {
 			}
 			return result{Title: "PHY sensitivity waterfalls (native links)", Rows: rows, lines: lines}, nil
 		},
+		"soak": func() (result, error) {
+			// With no -faults profile given, soak under full chaos.
+			soakProfile := profile
+			if soakProfile == nil {
+				var err error
+				if soakProfile, err = faults.Parse("chaos"); err != nil {
+					return result{}, err
+				}
+			}
+			res, err := experiments.Soak(soakProfile, opt)
+			if err != nil {
+				return result{}, err
+			}
+			lines := []string{"profile: " + res.Profile}
+			for _, c := range res.Cells {
+				lines = append(lines, c.String())
+			}
+
+			// Chaos transfer: push a real payload through the faulted link
+			// with the graceful-degradation machinery engaged end to end.
+			payloadBytes := 4096
+			if *quick {
+				payloadBytes = 512
+			}
+			payload := make([]byte, payloadBytes*8)
+			for i := range payload {
+				payload[i] = byte(i % 2)
+			}
+			sendOpts := freerider.DefaultSendOptions()
+			// Soak-sized attempt budget: full chaos stacks multi-slot
+			// excitation outages on brownout charge cycles, so roughly
+			// every other slot loses or corrupts a packet. 12 attempts of
+			// exponential backoff span ~200 fault-timeline slots — enough
+			// to decorrelate from any of the chaos preset's periodicities.
+			sendOpts.Attempts = 12
+			sendOpts.Quaternary = true
+			sendOpts.Faults = soakProfile
+			out, rep, sendErr := freerider.SendDetailed(freerider.WiFi, 4, payload, *seed, sendOpts)
+			lines = append(lines, fmt.Sprintf(
+				"transfer: %d B quaternary WiFi at 4 m under %s", payloadBytes, res.Profile))
+			if sendErr != nil {
+				res.Violations = append(res.Violations, "transfer failed: "+sendErr.Error())
+			} else if len(out) != len(payload) {
+				res.Violations = append(res.Violations, fmt.Sprintf(
+					"transfer returned %d of %d bits", len(out), len(payload)))
+			}
+			lines = append(lines, fmt.Sprintf(
+				"  chunks=%d packets=%d retransmissions=%d corrupt=%d faulted-losses=%d",
+				rep.Chunks, rep.Packets, rep.Retransmissions, rep.CorruptPackets, rep.FaultedLosses))
+			lines = append(lines, fmt.Sprintf(
+				"  backoff=%d slots (%.1f ms)  fallbacks=%d recoveries=%d final-quaternary=%v degraded=%v",
+				rep.BackoffSlots, rep.BackoffSeconds*1e3, rep.Fallbacks, rep.Recoveries,
+				rep.FinalQuaternary, rep.Degraded()))
+
+			for _, v := range res.Violations {
+				lines = append(lines, "VIOLATION: "+v)
+			}
+			if len(res.Violations) == 0 {
+				lines = append(lines, "invariants: PASS (no panics, worker-count bit-identity, residual monotone)")
+			} else {
+				soakFailed = true
+			}
+			type soakRows struct {
+				Soak     experiments.SoakResult      `json:"soak"`
+				Transfer freerider.DegradationReport `json:"transfer"`
+			}
+			return result{
+				Title: "chaos soak — fault-intensity sweep + degraded transfer",
+				Rows:  soakRows{res, rep},
+				lines: lines,
+			}, nil
+		},
 		"table1": func() (result, error) {
 			type row struct {
 				Decoded    string `json:"decoded"`
@@ -267,6 +360,10 @@ func main() {
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fatal(err)
 		}
+	}
+	if soakFailed {
+		fmt.Fprintln(os.Stderr, "soak: invariant violations (see above)")
+		os.Exit(1)
 	}
 }
 
@@ -351,7 +448,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-workers N] [-json] [-cpuprofile FILE] [-memprofile FILE] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-workers N] [-json] [-faults SPEC] [-cpuprofile FILE] [-memprofile FILE] <experiment>
 experiments:
   fig3        ambient packet-duration PDF + PLM aliasing (Fig 3)
   fig4        PLM scheduling accuracy vs distance (Fig 4)
@@ -371,8 +468,11 @@ experiments:
   cfo         carrier-frequency-offset robustness sweep
   waterfall   native PHY sensitivity curves (BER/packet rate vs SNR)
   table1      codeword translation logic table (Table 1)
+  soak        chaos soak: fault-intensity sweep + degraded transfer
   all         everything above
 flags: -workers bounds the deterministic worker pool (results never depend
-on it); -cpuprofile/-memprofile write pprof profiles; -json includes each
-experiment's run metrics under "metrics".`)
+on it); -faults attaches a fault profile (preset name, name@intensity, or
+"burst:p01=...;outage:period=...;..." spec) to every link — soak defaults
+to "chaos" when none is given; -cpuprofile/-memprofile write pprof
+profiles; -json includes each experiment's run metrics under "metrics".`)
 }

@@ -5,13 +5,18 @@
 //
 //	freerider-sim [-radio wifi|zigbee|bluetooth] [-distance M]
 //	              [-txdistance M] [-nlos] [-packets N] [-redundancy R]
-//	              [-payload BYTES] [-seed N]
+//	              [-payload BYTES] [-seed N] [-faults PROFILE]
+//
+// -faults injects a deterministic fault profile into the link: a preset
+// name (see freerider.FaultProfileNames), optionally intensity-scaled
+// ("chaos@0.5"), or a custom "burst:p01=0.1,p10=0.3,loss=12;..." spec.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro"
 	"repro/internal/channel"
@@ -26,6 +31,9 @@ func main() {
 	redundancy := flag.Int("redundancy", 0, "PHY units per tag bit (0 = radio default)")
 	payload := flag.Int("payload", 0, "excitation payload bytes (0 = radio default)")
 	seed := flag.Int64("seed", 1, "RNG seed")
+	faultSpec := flag.String("faults", "none",
+		"fault profile: "+strings.Join(freerider.FaultProfileNames(), ", ")+
+			", name@intensity, or a custom burst:...;outage:... spec")
 	flag.Parse()
 
 	var r freerider.Radio
@@ -41,9 +49,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	profile, err := freerider.ParseFaultProfile(*faultSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	cfg := freerider.DefaultConfig(r, *distance)
 	cfg.Link.TxToTag = *txDistance
 	cfg.Seed = *seed
+	cfg.Faults = profile
 	if *nlos {
 		cfg.Link.Deployment = channel.NLOS
 		cfg.Link.TxPowerDBm = 15
@@ -68,6 +83,9 @@ func main() {
 		cfg.Link.BackscatterRSSI(), cfg.Link.NoiseFloor, cfg.Link.SNRdB())
 	fmt.Printf("packet:          %d B payload, %.0f us airtime, %d tag bits\n",
 		cfg.PayloadSize, s.PacketDuration()*1e6, s.Capacity())
+	if profile != nil {
+		fmt.Printf("faults:          %s\n", profile)
+	}
 
 	res, err := s.Run(*packets)
 	if err != nil {

@@ -27,12 +27,15 @@ package freerider
 
 import (
 	"fmt"
+	"math/rand"
 
 	"repro/internal/bits"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/mac"
 	"repro/internal/plm"
+	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tag"
 )
@@ -86,74 +89,265 @@ func DefaultConfig(r Radio, tagToRxMetres float64) Config {
 // NewSession validates a configuration and prepares a link session.
 func NewSession(cfg Config) (*Session, error) { return core.NewSession(cfg) }
 
+// FaultProfile is a composable set of deterministic link impairments; see
+// internal/faults. Attach one via SendOptions.Faults or Config.Faults.
+type FaultProfile = faults.Profile
+
+// ParseFaultProfile parses a fault-profile spec: a preset name from
+// FaultProfileNames, "none"/"off", or a custom
+// "kind:key=val,...;kind:..." string, optionally suffixed with
+// "@intensity" in (0, 1].
+func ParseFaultProfile(spec string) (*FaultProfile, error) { return faults.Parse(spec) }
+
+// FaultProfileNames lists the built-in fault profiles.
+func FaultProfileNames() []string { return faults.Names() }
+
 // SendOptions tunes the Send helper.
 type SendOptions struct {
 	// Attempts bounds how many excitation packets Send spends on one chunk
-	// of tag bits before giving up; <= 0 selects DefaultSendAttempts. A
-	// backscatter link is lossy by nature — individual packets fade out even
-	// well inside the operating range — so a transfer retries a lost chunk
-	// instead of aborting on it.
+	// of tag bits before giving up. A backscatter link is lossy by nature —
+	// individual packets fade out even well inside the operating range — so
+	// a transfer retries a lost chunk instead of aborting on it. Attempts
+	// must be positive: SendWithOptions and SendDetailed reject <= 0 rather
+	// than silently substituting a default (Send itself uses
+	// DefaultSendAttempts; start from DefaultSendOptions to tweak it).
 	Attempts int
+	// Quaternary starts the transfer on the eq. 5 scheme: 2 tag bits per
+	// window at the 12 Mbps QPSK rate. WiFi only. When the link degrades,
+	// Send falls back to binary translation and probes its way back up
+	// (see DegradationReport) unless DisableFallback is set.
+	Quaternary bool
+	// DisableFallback pins the translation scheme for the whole transfer:
+	// a chunk that exhausts its attempt budget fails the transfer instead
+	// of degrading to binary.
+	DisableFallback bool
+	// RecoverAfter is how many consecutive first-attempt chunk deliveries
+	// a degraded transfer waits for before probing quaternary again; <= 0
+	// selects DefaultRecoverAfter.
+	RecoverAfter int
+	// Faults attaches a fault-injection profile to the link (nil = benign
+	// channel, bit-identical to a profile-free session).
+	Faults *FaultProfile
 }
 
-// DefaultSendAttempts is the per-chunk excitation-packet budget used when
-// SendOptions.Attempts is unset.
+// DefaultSendAttempts is the per-chunk excitation-packet budget Send uses
+// (and DefaultSendOptions carries).
 const DefaultSendAttempts = 3
+
+// DefaultRecoverAfter is how many consecutive clean chunks a degraded
+// transfer observes before probing quaternary translation again.
+const DefaultRecoverAfter = 4
+
+// DefaultSendOptions returns the options Send itself runs with; tweak
+// fields from here instead of building a SendOptions from zero (a zero
+// Attempts is rejected, not defaulted).
+func DefaultSendOptions() SendOptions {
+	return SendOptions{Attempts: DefaultSendAttempts, RecoverAfter: DefaultRecoverAfter}
+}
+
+// DegradationReport describes how hard a transfer had to fight the link:
+// what Send's graceful-degradation machinery (retransmission with backoff,
+// quaternary→binary fallback, recovery probing) actually did.
+type DegradationReport struct {
+	Chunks  int // chunks delivered (including re-runs after a fallback)
+	Packets int // excitation packets spent, probes included
+
+	// Retransmissions counts attempts beyond the first within a chunk;
+	// CorruptPackets the decoded-but-damaged ones among them (the
+	// integrity check a real deployment gets from a chunk CRC);
+	// FaultedLosses the failed attempts whose slot carried an injected
+	// fault — how much of the pain was the fault profile's doing.
+	Retransmissions int
+	CorruptPackets  int
+	FaultedLosses   int
+
+	// BackoffSlots is the packet-time Send sat out between attempts;
+	// BackoffSeconds the same in link airtime.
+	BackoffSlots   int
+	BackoffSeconds float64
+
+	// Fallbacks counts quaternary→binary downgrades; Recoveries successful
+	// probes back up; FinalQuaternary the scheme the transfer ended on.
+	Fallbacks       int
+	Recoveries      int
+	FinalQuaternary bool
+}
+
+// Degraded reports whether the transfer needed any degradation machinery.
+func (r DegradationReport) Degraded() bool {
+	return r.Retransmissions > 0 || r.Fallbacks > 0
+}
 
 // Send is the quickstart helper: it backscatters the given tag bits over a
 // default link of the chosen radio and distance, using as many excitation
 // packets as needed, and returns the decoded bits. Bits must be 0/1 values.
-// Each chunk is retransmitted up to DefaultSendAttempts times before the
-// transfer fails; use SendWithOptions to change the budget.
+// Each chunk is retransmitted up to DefaultSendAttempts times (with
+// exponential backoff between attempts) before the transfer fails; use
+// SendWithOptions to change the budget.
 func Send(r Radio, tagToRxMetres float64, bits []byte, seed int64) ([]byte, error) {
-	return SendWithOptions(r, tagToRxMetres, bits, seed, SendOptions{})
+	return SendWithOptions(r, tagToRxMetres, bits, seed, DefaultSendOptions())
 }
 
-// SendWithOptions is Send with an explicit retransmission budget.
+// SendWithOptions is Send with explicit options. opts.Attempts must be
+// positive.
 func SendWithOptions(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts SendOptions) ([]byte, error) {
+	out, _, err := SendDetailed(r, tagToRxMetres, bits, seed, opts)
+	return out, err
+}
+
+// SendDetailed is SendWithOptions plus the transfer's DegradationReport.
+// The report is meaningful even when the transfer fails (it covers the
+// work done up to the failure).
+//
+// Degradation model: a chunk that fails an attempt backs off exponentially
+// (in packet slots, with seed-derived jitter) before retrying, so
+// retransmissions escape burst fades instead of hammering into them. A
+// quaternary transfer whose chunk exhausts its budget falls back to binary
+// translation — half the rate, twice the phase margin — and, after
+// RecoverAfter consecutive first-attempt deliveries, risks one probe chunk
+// back at quaternary.
+func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts SendOptions) ([]byte, DegradationReport, error) {
+	var rep DegradationReport
 	for i, b := range bits {
 		if b > 1 {
-			return nil, fmt.Errorf("freerider: bit %d is %d, want 0 or 1", i, b)
+			return nil, rep, fmt.Errorf("freerider: bit %d is %d, want 0 or 1", i, b)
 		}
 	}
-	attempts := opts.Attempts
-	if attempts <= 0 {
-		attempts = DefaultSendAttempts
+	if opts.Attempts <= 0 {
+		return nil, rep, fmt.Errorf("freerider: SendOptions.Attempts is %d, want > 0 (start from DefaultSendOptions)", opts.Attempts)
+	}
+	recoverAfter := opts.RecoverAfter
+	if recoverAfter <= 0 {
+		recoverAfter = DefaultRecoverAfter
 	}
 	cfg := DefaultConfig(r, tagToRxMetres)
 	cfg.Seed = seed
+	cfg.Faults = opts.Faults
+	if opts.Quaternary {
+		if r != WiFi {
+			return nil, rep, fmt.Errorf("freerider: quaternary translation is only implemented for WiFi")
+		}
+		cfg.WiFiRateMbps = 12
+		cfg.Quaternary = true
+	}
 	s, err := NewSession(cfg)
 	if err != nil {
-		return nil, err
+		return nil, rep, err
 	}
-	capacity := s.Capacity()
-	if capacity == 0 {
-		return nil, fmt.Errorf("freerider: excitation packets carry no tag bits")
-	}
+	// Backoff randomness lives on its own derived stream: a transfer that
+	// never backs off draws nothing from it, keeping the clean-link fast
+	// path bit-identical to a build without any of this machinery.
+	backoffRng := rand.New(rand.NewSource(runner.DeriveSeed(seed, "freerider.send.backoff")))
+	slotTime := s.PacketDuration() + s.Config().InterPacketGap
+
 	out := make([]byte, 0, len(bits))
-	for off := 0; off < len(bits); off += capacity {
+	fellBack := false // currently degraded to binary
+	streak := 0       // consecutive first-attempt deliveries while degraded
+	for off, chunkIdx := 0, 0; off < len(bits); chunkIdx++ {
+		probing := false
+		if fellBack && streak >= recoverAfter {
+			if err := s.SetQuaternary(true); err != nil {
+				return nil, rep, err
+			}
+			probing = true
+			streak = 0
+		}
+		capacity := s.Capacity()
+		if capacity == 0 {
+			return nil, rep, fmt.Errorf("freerider: excitation packets carry no tag bits")
+		}
 		hi := off + capacity
 		if hi > len(bits) {
 			hi = len(bits)
 		}
-		delivered := false
-		for attempt := 0; attempt < attempts; attempt++ {
+		budget := opts.Attempts
+		if probing {
+			budget = 1 // a probe risks one packet, not a whole retry budget
+		}
+		attemptsUsed, delivered := 0, false
+		var decoded []byte
+		for attempt := 0; attempt < budget; attempt++ {
+			if attempt > 0 {
+				slots := backoffSlots(backoffRng, attempt)
+				s.AdvanceSlots(slots)
+				rep.BackoffSlots += slots
+				rep.BackoffSeconds += float64(slots) * slotTime
+				rep.Retransmissions++
+			}
 			pr, err := s.RunPacket(bits[off:hi])
 			if err != nil {
-				return nil, err
+				return nil, rep, err
 			}
-			if pr.Decoded {
-				out = append(out, pr.DecodedTag...)
+			rep.Packets++
+			attemptsUsed++
+			if pr.Decoded && pr.BitErrors == 0 {
+				decoded = pr.DecodedTag
 				delivered = true
 				break
 			}
+			if pr.Decoded {
+				rep.CorruptPackets++
+			}
+			if !pr.Fault.IsZero() {
+				rep.FaultedLosses++
+			}
 		}
 		if !delivered {
-			return nil, fmt.Errorf("freerider: chunk %d lost after %d attempts (link too weak at %.1f m?)",
-				off/capacity, attempts, tagToRxMetres)
+			if probing {
+				// The link is not ready yet: drop back to binary and run
+				// this chunk normally. No data was lost, only the probe.
+				if err := s.SetQuaternary(false); err != nil {
+					return nil, rep, err
+				}
+				continue
+			}
+			if s.Config().Quaternary && !opts.DisableFallback {
+				// Graceful degradation: halve the rate, double the phase
+				// margin, and give the chunk a fresh budget.
+				if err := s.SetQuaternary(false); err != nil {
+					return nil, rep, err
+				}
+				fellBack = true
+				streak = 0
+				rep.Fallbacks++
+				continue
+			}
+			rep.FinalQuaternary = s.Config().Quaternary
+			return nil, rep, fmt.Errorf("freerider: chunk %d lost after %d attempts (link too weak at %.1f m?)",
+				chunkIdx, attemptsUsed, tagToRxMetres)
 		}
+		if probing {
+			fellBack = false
+			rep.Recoveries++
+		}
+		if fellBack {
+			if attemptsUsed == 1 {
+				streak++
+			} else {
+				streak = 0
+			}
+		}
+		out = append(out, decoded...)
+		off = hi
+		rep.Chunks++
 	}
-	return out, nil
+	rep.FinalQuaternary = s.Config().Quaternary
+	return out, rep, nil
+}
+
+// backoffSlots returns the packet slots to sit out before retry number
+// attempt (1-based): exponential in the attempt with ±50% jitter, capped
+// so a deep retry still rejoins the timeline this side of a burst fade.
+func backoffSlots(rng *rand.Rand, attempt int) int {
+	base := 1 << (attempt - 1)
+	if base > 32 {
+		base = 32
+	}
+	n := int(float64(base)*(0.5+rng.Float64()) + 0.5)
+	if n < 1 {
+		n = 1
+	}
+	return n
 }
 
 // MACScheme selects the multi-tag coordination discipline.

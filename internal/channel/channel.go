@@ -92,13 +92,73 @@ type Link struct {
 	// 800 ns OFDM cyclic prefix, where the LTF equaliser absorbs them —
 	// one reason wideband OFDM WiFi is the most robust excitation.
 	Multipath []Tap
-	Seed      int64 // RNG seed for AWGN, fading and tap phases
+	// FadeModel selects the small-scale fading distribution; the zero
+	// value is FadeRician parameterised by FadingK.
+	FadeModel FadeModel
+	// Impairment, when non-nil, layers one packet's time-varying faults
+	// (burst loss, CFO drift, brownout truncation, impulsive noise) on top
+	// of the static model above.
+	Impairment *Impairment
+	Seed       int64 // RNG seed for AWGN, fading, tap phases and impulses
 }
 
 // Tap is one multipath echo relative to the direct path.
 type Tap struct {
 	Delay  float64 // seconds after the direct path
 	GainDB float64 // relative to the direct path (negative)
+}
+
+// FadeModel selects the per-packet small-scale fading distribution drawn
+// by Apply. The zero value keeps the historical behaviour (Rician with
+// FadingK, no fading when K <= 0), so existing configurations and the
+// calibration are unchanged; fault profiles reference the same enum so the
+// baseline fading model and the injected impairments never disagree.
+type FadeModel int
+
+// Available fading distributions.
+const (
+	// FadeRician draws sqrt(K/(K+1)) + CN(0, 1/(K+1)) using Link.FadingK;
+	// K <= 0 disables fading. This is the default.
+	FadeRician FadeModel = iota
+	// FadeRayleigh draws a pure CN(0, 1) gain; FadingK is ignored. The
+	// worst-case NLOS model GuardRider-style deployments assume.
+	FadeRayleigh
+	// FadeNone pins the channel gain to 1 regardless of FadingK — the
+	// deterministic baseline calibration sweeps use.
+	FadeNone
+)
+
+// String names the model.
+func (m FadeModel) String() string {
+	switch m {
+	case FadeRician:
+		return "rician"
+	case FadeRayleigh:
+		return "rayleigh"
+	case FadeNone:
+		return "none"
+	}
+	return fmt.Sprintf("FadeModel(%d)", int(m))
+}
+
+// Impairment is one packet's worth of time-varying channel faults, computed
+// by a fault process (internal/faults) and applied by Link.Apply on top of
+// the static link model. A nil Impairment is the benign stationary channel;
+// Apply's sample output and RNG draw sequence are unchanged in that case.
+type Impairment struct {
+	// ExtraLossDB is excess attenuation (deep fade or interference-
+	// equivalent SINR degradation) applied to the backscatter RSSI.
+	ExtraLossDB float64
+	// CFOHz is added to the link's static CFO (random-walk drift).
+	CFOHz float64
+	// Truncate, when in (0,1), zeroes the trailing 1-Truncate fraction of
+	// the reflected waveform: the tag browned out mid-packet and stopped
+	// reflecting. 0 (and >= 1) means the full packet is reflected.
+	Truncate float64
+	// ImpulseProb is the per-sample probability of an impulsive co-channel
+	// noise event; ImpulsePowerDBm is the mean power of one impulse.
+	ImpulseProb     float64
+	ImpulsePowerDBm float64
 }
 
 // Defaults calibrated in EXPERIMENTS.md §calibration.
@@ -144,6 +204,9 @@ func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signa
 	if excludeTagLoss {
 		rssi += l.TagLossDB
 	}
+	if l.Impairment != nil {
+		rssi -= l.Impairment.ExtraLossDB
+	}
 	amp := signal.AmplitudeForPowerDBm(rssi)
 	// Normalise the source to unit power first.
 	p := s.MeanPower()
@@ -168,16 +231,57 @@ func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signa
 			out.Samples[j] += v * g * tapGain
 		}
 	}
-	if l.CFOHz != 0 {
-		out.FrequencyShift(l.CFOHz)
+	if t := l.truncateFraction(); t > 0 {
+		// The tag browned out t of the way through the packet and stopped
+		// reflecting: everything after the cut is gone, echoes included.
+		cut := headroom + int(t*float64(len(s.Samples)))
+		for j := cut; j < len(out.Samples); j++ {
+			out.Samples[j] = 0
+		}
+	}
+	cfo := l.CFOHz
+	if l.Impairment != nil {
+		cfo += l.Impairment.CFOHz
+	}
+	if cfo != 0 {
+		out.FrequencyShift(cfo)
 	}
 	out.AddAWGN(signal.DBToPower(l.NoiseFloor), rng)
+	if imp := l.Impairment; imp != nil && imp.ImpulseProb > 0 {
+		// Impulsive co-channel noise: sparse high-power events on top of
+		// the thermal floor (microwave ovens, frequency-hopping bursts).
+		sigma := math.Sqrt(signal.DBToPower(imp.ImpulsePowerDBm) / 2)
+		for j := range out.Samples {
+			if rng.Float64() < imp.ImpulseProb {
+				out.Samples[j] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+			}
+		}
+	}
 	return out, nil
 }
 
-// fadeGain draws one packet's small-scale fading gain (complex, mean square
-// 1) from the link's Rician distribution.
+// truncateFraction returns the active brownout cut point in (0,1), or 0
+// when the full packet is reflected.
+func (l Link) truncateFraction() float64 {
+	if l.Impairment == nil {
+		return 0
+	}
+	if t := l.Impairment.Truncate; t > 0 && t < 1 {
+		return t
+	}
+	return 0
+}
+
+// fadeGain draws one packet's small-scale fading gain (complex, mean
+// square 1) from the link's configured FadeModel.
 func (l Link) fadeGain(rng *rand.Rand) complex128 {
+	switch l.FadeModel {
+	case FadeNone:
+		return 1
+	case FadeRayleigh:
+		s := math.Sqrt(0.5) // per real dimension, mean square 1 total
+		return complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
 	if l.FadingK <= 0 {
 		return 1
 	}

@@ -228,6 +228,164 @@ func TestMultipathAddsEchoEnergy(t *testing.T) {
 	}
 }
 
+func TestFadeModelConfig(t *testing.T) {
+	s := signal.New(1e6, 2000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	l.NoiseFloor = -200
+	l.FadingK = 4
+
+	// FadeNone pins the gain to 1 even with K set.
+	l.FadeModel = FadeNone
+	out, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := out.MeanPowerDBm(), l.BackscatterRSSI(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("FadeNone power %g, want exactly %g", got, want)
+	}
+
+	// Rayleigh ignores K and actually varies across seeds.
+	l.FadeModel = FadeRayleigh
+	var powers []float64
+	for seed := int64(1); seed <= 6; seed++ {
+		l.Seed = seed
+		out, err := l.Apply(s, 0, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		powers = append(powers, out.MeanPowerDBm())
+	}
+	varied := false
+	for _, p := range powers[1:] {
+		if math.Abs(p-powers[0]) > 0.5 {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatalf("Rayleigh fading produced constant power %v", powers)
+	}
+
+	// The zero value keeps the historical Rician behaviour bit for bit.
+	a := wifiLOSLink(5)
+	a.FadingK = 4
+	b := a
+	b.FadeModel = FadeRician
+	ca, _ := a.Apply(s, 10, false)
+	cb, _ := b.Apply(s, 10, false)
+	for i := range ca.Samples {
+		if ca.Samples[i] != cb.Samples[i] {
+			t.Fatal("zero-value FadeModel changed the Rician capture")
+		}
+	}
+}
+
+func TestImpairmentExtraLoss(t *testing.T) {
+	s := signal.New(1e6, 2000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	l.NoiseFloor = -200
+	clean, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Impairment = &Impairment{ExtraLossDB: 13}
+	faded, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := clean.MeanPowerDBm() - faded.MeanPowerDBm(); math.Abs(d-13) > 0.1 {
+		t.Fatalf("extra loss delivered %g dB, want 13", d)
+	}
+}
+
+func TestImpairmentTruncationZeroesTail(t *testing.T) {
+	s := signal.New(1e6, 1000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	l.NoiseFloor = -300 // isolate the reflected signal
+	l.Impairment = &Impairment{Truncate: 0.5}
+	out, err := l.Apply(s, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := &signal.Signal{Rate: out.Rate, Samples: out.Samples[100:600]}
+	tail := &signal.Signal{Rate: out.Rate, Samples: out.Samples[600:1100]}
+	if head.MeanPower() == 0 {
+		t.Fatal("head of truncated packet lost its signal")
+	}
+	// Only AWGN at -300 dBm survives beyond the cut.
+	if tail.MeanPower() > head.MeanPower()*1e-12 {
+		t.Fatalf("tail survived the brownout cut: head %g, tail %g",
+			head.MeanPower(), tail.MeanPower())
+	}
+}
+
+func TestImpairmentImpulsesAndCFO(t *testing.T) {
+	s := signal.New(1e6, 20000)
+	for i := range s.Samples {
+		s.Samples[i] = 1
+	}
+	l := wifiLOSLink(5)
+	clean, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Impairment = &Impairment{ImpulseProb: 0.01, ImpulsePowerDBm: -40}
+	noisy, err := l.Apply(s, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~200 impulses at -40 dBm dominate a ~-75 dBm capture.
+	if noisy.MeanPower() < 2*clean.MeanPower() {
+		t.Fatalf("impulse storm added no energy: %g vs %g", noisy.MeanPower(), clean.MeanPower())
+	}
+
+	// CFO drift rotates the capture exactly like static CFO of the sum.
+	a := wifiLOSLink(5)
+	a.CFOHz = 1000
+	a.Impairment = &Impairment{CFOHz: 500}
+	b := wifiLOSLink(5)
+	b.CFOHz = 1500
+	ca, _ := a.Apply(s, 0, false)
+	cb, _ := b.Apply(s, 0, false)
+	for i := range ca.Samples {
+		if ca.Samples[i] != cb.Samples[i] {
+			t.Fatal("drift CFO not additive with static CFO")
+		}
+	}
+}
+
+func TestNilImpairmentBitIdentical(t *testing.T) {
+	s := signal.New(1e6, 5000)
+	for i := range s.Samples {
+		s.Samples[i] = complex(float64(i%5), 1)
+	}
+	l := wifiLOSLink(8)
+	l.FadingK = 4
+	l.Multipath = []Tap{{Delay: 300e-9, GainDB: -6}}
+	base, err := l.Apply(s, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Impairment = nil // explicit: the benign path must not change at all
+	again, err := l.Apply(s, 50, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base.Samples {
+		if base.Samples[i] != again.Samples[i] {
+			t.Fatal("benign path changed")
+		}
+	}
+}
+
 func TestMultipathDeterministic(t *testing.T) {
 	s := signal.New(20e6, 500)
 	for i := range s.Samples {

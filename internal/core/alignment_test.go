@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bits"
 	"repro/internal/decoder"
+	"repro/internal/faults"
 	"repro/internal/tag"
 	"repro/internal/wifi"
 )
@@ -56,7 +57,7 @@ func TestMisalignedFlipsDestroyDecoding(t *testing.T) {
 		if _, err := sh.Shift(mod); err != nil {
 			t.Fatal(err)
 		}
-		cap, err := s.link(s.rng).Apply(mod, 400, false)
+		cap, err := s.link(s.rng, faults.Packet{}).Apply(mod, 400, false)
 		if err != nil {
 			t.Fatal(err)
 		}

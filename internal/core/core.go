@@ -16,6 +16,7 @@ import (
 	"repro/internal/bluetooth"
 	"repro/internal/channel"
 	"repro/internal/decoder"
+	"repro/internal/faults"
 	"repro/internal/runner"
 	"repro/internal/tag"
 	"repro/internal/wifi"
@@ -77,6 +78,10 @@ type Config struct {
 	// threshold; zero selects the per-radio calibrated default, which
 	// mimics commodity-chip sensitivity (see EXPERIMENTS.md §calibration).
 	DetectionThreshold float64
+	// Faults attaches a fault-injection profile: each packet slot runs
+	// under faults.Profile.At(Seed, slot). Nil disables fault injection
+	// and leaves every code path bit-identical to a fault-free build.
+	Faults *faults.Profile
 	// Seed drives every stochastic element of the session.
 	Seed int64
 }
@@ -162,44 +167,63 @@ type PacketResult struct {
 	AirTime    float64 // excitation packet duration, seconds
 	Samples    int     // complex-baseband samples in the receiver capture
 	DecodedTag []byte  // the decoded tag bits (nil when not decoded)
+	// Fault records the impairment this packet's slot ran under (zero
+	// when no profile is attached or the slot was clean).
+	Fault faults.Packet
 }
 
 // Session runs excitation packets through one link configuration.
 type Session struct {
 	cfg Config
 	rng *rand.Rand
+	// slot is the sequential RunPacket slot counter: the packet-time
+	// index the fault profile is addressed by. Run/RunParallel instead
+	// use the packet index as the slot.
+	slot int
 
 	wifiTX *wifi.Transmitter
 	zbTX   *zigbee.Transmitter
 	btTX   *bluetooth.Transmitter
 }
 
-// NewSession validates the configuration and prepares a session.
-func NewSession(cfg Config) (*Session, error) {
+func validate(cfg Config) error {
 	switch cfg.Radio {
 	case WiFi:
 		r, ok := wifi.Rates[cfg.WiFiRateMbps]
 		if !ok {
-			return nil, fmt.Errorf("core: unknown wifi rate %d Mbps", cfg.WiFiRateMbps)
+			return fmt.Errorf("core: unknown wifi rate %d Mbps", cfg.WiFiRateMbps)
 		}
 		if r.Modulation != wifi.BPSK && r.Modulation != wifi.QPSK {
-			return nil, fmt.Errorf("core: 180° codeword translation needs BPSK/QPSK subcarriers; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
+			return fmt.Errorf("core: 180° codeword translation needs BPSK/QPSK subcarriers; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
 		}
 		if cfg.Quaternary && r.Modulation != wifi.QPSK {
-			return nil, fmt.Errorf("core: quaternary (eq. 5) translation needs QPSK; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
+			return fmt.Errorf("core: quaternary (eq. 5) translation needs QPSK; %d Mbps uses %v", cfg.WiFiRateMbps, r.Modulation)
 		}
 	case ZigBee, Bluetooth:
 		if cfg.Quaternary {
-			return nil, fmt.Errorf("core: quaternary translation is only implemented for WiFi")
+			return fmt.Errorf("core: quaternary translation is only implemented for WiFi")
 		}
 	default:
-		return nil, fmt.Errorf("core: unknown radio %v", cfg.Radio)
+		return fmt.Errorf("core: unknown radio %v", cfg.Radio)
 	}
 	if cfg.PayloadSize <= 0 {
-		return nil, fmt.Errorf("core: payload size %d must be positive", cfg.PayloadSize)
+		return fmt.Errorf("core: payload size %d must be positive", cfg.PayloadSize)
 	}
 	if cfg.Redundancy <= 0 {
-		return nil, fmt.Errorf("core: redundancy %d must be positive", cfg.Redundancy)
+		return fmt.Errorf("core: redundancy %d must be positive", cfg.Redundancy)
+	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}
+
+// NewSession validates the configuration and prepares a session.
+func NewSession(cfg Config) (*Session, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
 	}
 	return &Session{
 		cfg:    cfg,
@@ -212,6 +236,21 @@ func NewSession(cfg Config) (*Session, error) {
 
 // Config returns the session's configuration.
 func (s *Session) Config() Config { return s.cfg }
+
+// SetQuaternary switches the WiFi translation scheme between quaternary
+// (eq. 5, 2 bits/window) and binary (eq. 4) mid-session — the graceful-
+// degradation lever freerider.Send pulls when quaternary demapping starts
+// taking bit errors. It re-validates the config; the slot counter and RNG
+// streams are untouched, so fault timelines stay aligned across the switch.
+func (s *Session) SetQuaternary(q bool) error {
+	cfg := s.cfg
+	cfg.Quaternary = q
+	if err := validate(cfg); err != nil {
+		return err
+	}
+	s.cfg = cfg
+	return nil
+}
 
 // Capacity returns how many tag bits one excitation packet carries.
 func (s *Session) Capacity() int {
@@ -281,22 +320,48 @@ func (s *Session) translator() tag.Translator {
 // and decodes them at the adjacent-channel receiver. Randomness (payload,
 // fading, noise) is drawn from the session's sequential RNG, so repeated
 // calls advance one shared stream; Run and RunParallel instead derive an
-// independent stream per packet.
+// independent stream per packet. Each call occupies the next packet slot
+// of the session's fault timeline (see AdvanceSlots).
 func (s *Session) RunPacket(tagBits []byte) (PacketResult, error) {
-	return s.runPacket(tagBits, s.rng, s.wifiTX)
+	slot := s.slot
+	s.slot++
+	return s.runPacket(tagBits, s.rng, s.wifiTX, slot)
+}
+
+// Slot returns the next packet slot RunPacket will occupy.
+func (s *Session) Slot() int { return s.slot }
+
+// AdvanceSlots lets packet-time pass without transmitting: a sender backing
+// off for n slots skips that stretch of the fault timeline, which is how
+// exponential backoff actually escapes a burst fade. Non-positive n is a
+// no-op.
+func (s *Session) AdvanceSlots(n int) {
+	if n > 0 {
+		s.slot += n
+	}
 }
 
 // runPacket is RunPacket with an explicit randomness source: rng drives
 // payload, fading and noise draws, and wtx supplies the WiFi scrambler
-// state (the one per-packet mutable piece of transmitter state).
-func (s *Session) runPacket(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter) (PacketResult, error) {
+// state (the one per-packet mutable piece of transmitter state). slot
+// addresses the fault profile; a slot whose excitation is out or whose tag
+// reservoir is dry short-circuits to a lost packet before any PHY work —
+// and before any rng draw, which is harmless because every packet runs on
+// a stream other packets never observe.
+func (s *Session) runPacket(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter, slot int) (PacketResult, error) {
+	pf := s.cfg.Faults.At(s.cfg.Seed, slot)
+	if pf.Outage || pf.SkipReflection {
+		// Nothing reaches the receiver: no excitation to ride on (outage)
+		// or no charge to reflect with (brownout). Slot time still passes.
+		return PacketResult{AirTime: s.PacketDuration(), Fault: pf}, nil
+	}
 	switch s.cfg.Radio {
 	case WiFi:
-		return s.runWiFi(tagBits, rng, wtx)
+		return s.runWiFi(tagBits, rng, wtx, pf)
 	case ZigBee:
-		return s.runZigBee(tagBits, rng)
+		return s.runZigBee(tagBits, rng, pf)
 	case Bluetooth:
-		return s.runBluetooth(tagBits, rng)
+		return s.runBluetooth(tagBits, rng, pf)
 	}
 	return PacketResult{}, fmt.Errorf("core: unknown radio %v", s.cfg.Radio)
 }
@@ -344,13 +409,17 @@ func (s *Session) zigbeeMPDU(rng *rand.Rand) []byte {
 	return f.Marshal()
 }
 
-func (s *Session) link(rng *rand.Rand) channel.Link {
+// link instantiates the configured link for one packet, seeding it from the
+// packet's RNG stream and attaching the slot's channel-level faults (nil
+// impairment for a clean slot, which keeps Apply on its benign path).
+func (s *Session) link(rng *rand.Rand, pf faults.Packet) channel.Link {
 	l := s.cfg.Link
 	l.Seed = rng.Int63()
+	l.Impairment = pf.Impairment()
 	return l
 }
 
-func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter) (PacketResult, error) {
+func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter, pf faults.Packet) (PacketResult, error) {
 	rate := wifi.Rates[s.cfg.WiFiRateMbps]
 	psdu := s.wifiPSDU(rng)
 	scramblerSeed := wtx.ScramblerSeed
@@ -358,7 +427,7 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res := PacketResult{AirTime: exc.Duration()}
+	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
 
 	// Reference stream: descrambled SERVICE + PSDU + tail + pad, which is
 	// what receiver 1 reports over the backhaul.
@@ -376,7 +445,7 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter)
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link(rng).Apply(backscattered, 400, false)
+	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -438,13 +507,13 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter)
 	return res, nil
 }
 
-func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand) (PacketResult, error) {
+func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand, pf faults.Packet) (PacketResult, error) {
 	payload := s.zigbeeMPDU(rng)
 	exc, err := s.zbTX.Transmit(payload)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res := PacketResult{AirTime: exc.Duration()}
+	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
 
 	fcs := bits.CRC16CCITT(payload)
 	body := append(append([]byte(nil), payload...), byte(fcs), byte(fcs>>8))
@@ -460,7 +529,7 @@ func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand) (PacketResult, error
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link(rng).Apply(backscattered, 400, false)
+	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -490,13 +559,13 @@ func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand) (PacketResult, error
 	return res, nil
 }
 
-func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand) (PacketResult, error) {
+func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand, pf faults.Packet) (PacketResult, error) {
 	payload := randomPayload(rng, s.cfg.PayloadSize)
 	exc, err := s.btTX.Transmit(payload)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res := PacketResult{AirTime: exc.Duration()}
+	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
 
 	ref, err := s.btTX.FrameBits(payload)
 	if err != nil {
@@ -512,7 +581,7 @@ func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand) (PacketResult, er
 	// The Bluetooth tag's codeword toggle already runs through the real
 	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
 	// is folded into TagLossDB like the others.
-	cap, err := s.link(rng).Apply(backscattered, 400, false)
+	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -601,7 +670,7 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 		// inheriting rotation order from the previous packet.
 		wtx = &wifi.Transmitter{ScramblerSeed: byte(1 + rng.Intn(127)), FixedSeed: true}
 	}
-	return s.runPacket(tagBits, rng, wtx)
+	return s.runPacket(tagBits, rng, wtx, idx)
 }
 
 func (r *SessionResult) accumulate(pr PacketResult, gap float64) {

@@ -36,6 +36,14 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 	if len(tagData) == 0 {
 		return MultiTagResult{}, fmt.Errorf("core: need at least one tag")
 	}
+	// A collision run occupies a packet slot of the fault timeline like any
+	// other transmission.
+	slot := s.slot
+	s.slot++
+	pf := s.cfg.Faults.At(s.cfg.Seed, slot)
+	if pf.Outage {
+		return MultiTagResult{PerTagBER: ones(len(tagData))}, nil
+	}
 	rate := wifi.Rates[s.cfg.WiFiRateMbps]
 	psdu := s.wifiPSDU(s.rng)
 	exc, err := s.wifiTX.Transmit(psdu, rate)
@@ -68,7 +76,7 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 		}
 	}
 
-	cap, err := s.link(s.rng).Apply(sum, 400, false)
+	cap, err := s.link(s.rng, pf).Apply(sum, 400, false)
 	if err != nil {
 		return MultiTagResult{}, err
 	}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/runner"
 )
@@ -27,6 +28,10 @@ type Options struct {
 	// Workers bounds the parallel worker pool; 0 means all cores. Results
 	// do not depend on it.
 	Workers int
+	// Faults attaches a fault-injection profile to every link session the
+	// experiments build, and its RoundCorruption hook to MAC runs. Nil
+	// keeps every link benign and bit-identical to a profile-free run.
+	Faults *faults.Profile
 	// Obs, when non-nil, receives per-experiment run metrics (wall time,
 	// packets, samples, pool utilisation).
 	Obs *obs.Collector

@@ -37,6 +37,7 @@ func linkSweep(domain string, radio core.Radio, distances []float64, opt Options
 	st, err := runner.MapStats(len(distances), opt.workers(), func(i int) error {
 		cfg := core.DefaultConfig(radio, distances[i])
 		cfg.Seed = runner.DeriveSeed(opt.Seed, "links."+domain, i)
+		cfg.Faults = opt.Faults
 		if mutate != nil {
 			mutate(&cfg)
 		}
@@ -152,6 +153,7 @@ func Fig14OperatingRegime(opt Options) ([]RegimePoint, error) {
 			cfg := core.DefaultConfig(jb.radio, rxd)
 			cfg.Link.TxToTag = jb.txd
 			cfg.Seed = runner.DeriveSeed(opt.Seed, "links.fig14", int(jb.radio), jb.txIdx, j)
+			cfg.Faults = opt.Faults
 			s, err := core.NewSession(cfg)
 			if err != nil {
 				return err

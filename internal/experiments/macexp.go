@@ -89,12 +89,14 @@ func Fig17MultiTag(rounds int, opt Options) ([]MultiTagPoint, error) {
 		seed := runner.DeriveSeed(opt.Seed, "mac.fig17", i)
 		aCfg := mac.DefaultConfig(mac.FramedSlottedAloha, n)
 		aCfg.Seed = seed
+		aCfg.RoundCorruption = opt.Faults.RoundCorruption(seed)
 		aloha, err := mac.Run(aCfg, rounds)
 		if err != nil {
 			return err
 		}
 		tCfg := mac.DefaultConfig(mac.TDM, n)
 		tCfg.Seed = seed
+		tCfg.RoundCorruption = opt.Faults.RoundCorruption(seed)
 		tdm, err := mac.Run(tCfg, rounds)
 		if err != nil {
 			return err

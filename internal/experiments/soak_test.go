@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestSoakChaosHoldsInvariants runs the chaos soak at CI effort and
+// demands a clean bill: all cells present, no invariant violations.
+func TestSoakChaosHoldsInvariants(t *testing.T) {
+	prof, err := faults.Parse("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Soak(prof, QuickOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(soakIntensities); len(res.Cells) != want {
+		t.Fatalf("%d cells, want %d", len(res.Cells), want)
+	}
+	for _, v := range res.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	// The full-intensity cells must actually hurt: chaos at λ=1 includes a
+	// periodic excitation outage, so every radio sees real packet loss.
+	for i, c := range res.Cells {
+		if c.Intensity == 1 && c.Residual <= res.Cells[i-3].Residual-1e-9 {
+			t.Errorf("%v: full chaos (%.3f) no worse than λ=%.2f (%.3f)",
+				c.Radio, c.Residual, res.Cells[i-3].Intensity, res.Cells[i-3].Residual)
+		}
+	}
+}
+
+// TestSoakDeterministic: two soaks of the same profile and options are
+// identical, cell for cell.
+func TestSoakDeterministic(t *testing.T) {
+	prof, err := faults.Parse("bursty-wifi@0.8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := QuickOptions()
+	a, err := Soak(prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 2 // a different harness pool must not change anything
+	b, err := Soak(prof, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("cell count diverged")
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d diverged:\n %+v\nvs %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}
+
+// TestSoakRequiresProfile: a nil profile is a harness mistake.
+func TestSoakRequiresProfile(t *testing.T) {
+	if _, err := Soak(nil, QuickOptions()); err == nil {
+		t.Fatal("nil profile accepted")
+	}
+}

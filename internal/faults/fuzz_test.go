@@ -1,0 +1,68 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzFaultProfile throws arbitrary specs at the profile parser. Any spec
+// must either be rejected with an error or produce a profile that (a)
+// validates, (b) renders back into a spec the parser accepts, and (c) is
+// semantically identical after the round trip — the fault timeline it
+// generates matches slot for slot. The soak harness and both CLIs feed
+// user-controlled -faults strings straight into Parse, so this is the
+// input boundary of the whole fault subsystem.
+func FuzzFaultProfile(f *testing.F) {
+	seeds := []string{
+		"none",
+		"chaos",
+		"bursty-wifi@0.5",
+		"flaky-excitation",
+		"brownout-tag@0.25",
+		"impulsive",
+		"burst:p01=0.1,p10=0.3,loss=12",
+		"burst:p01=0.15,p10=0.35,loss=12;drift:step=120,max=2500;impulse:prob=0.0002,power=-58",
+		"outage:period=24,len=5,start=6;brownout:harvest=0.55,cap=3@0.8",
+		"drift:step=0,max=0",
+		"burst:p01=1,p10=1,loss=0@1",
+		";;;",
+		"burst:p01=0.1@0.0001",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		if len(spec) > 4096 {
+			return // unbounded inputs only slow the fuzzer down
+		}
+		p, err := Parse(spec)
+		if err != nil {
+			return // rejection is a fine outcome; panicking is not
+		}
+		if p == nil {
+			// Only the explicit "none"/"off" forms may disable faults.
+			base := spec
+			if at := strings.LastIndex(base, "@"); at >= 0 {
+				base = base[:at]
+			}
+			if s := strings.TrimSpace(base); s != "none" && s != "off" {
+				t.Fatalf("spec %q silently parsed to no profile", spec)
+			}
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("parser accepted invalid profile from %q: %v", spec, err)
+		}
+		rendered := p.String()
+		q, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("round trip failed: %q -> %q: %v", spec, rendered, err)
+		}
+		for slot := 0; slot < 12; slot++ {
+			if a, b := p.At(42, slot), q.At(42, slot); a != b {
+				t.Fatalf("round trip changed the fault timeline at slot %d:\n %+v\nvs %+v\n(%q -> %q)",
+					slot, a, b, spec, rendered)
+			}
+		}
+	})
+}

@@ -1,0 +1,345 @@
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Preset profiles, selectable by name in Parse and the CLIs' -faults flag.
+// Parameters are chosen so that each profile visibly stresses a default
+// mid-range link without killing it: the soak harness asserts loss/BER
+// grow monotonically as their intensity is swept.
+var presets = map[string]Profile{
+	// bursty-wifi models GuardRider's "in the wild" channel: bursty
+	// co-channel interference arriving as a Gilbert–Elliott process (mean
+	// burst ≈ 3 slots, ~12 dB SINR hit), slow CFO drift, and sparse
+	// impulses. Packets stay detectable inside a burst, but the fragile
+	// quaternary demap starts taking bit errors — which is what exercises
+	// Send's binary fallback.
+	"bursty-wifi": {
+		Name:  "bursty-wifi",
+		Burst: &Burst{PGoodBad: 0.15, PBadGood: 0.35, ExtraLossDB: 12},
+		Drift: &Drift{StepHz: 120, MaxHz: 2500},
+		Impulse: &Impulse{
+			Prob:     0.0002,
+			PowerDBm: -58,
+		},
+	},
+	// flaky-excitation models Double-decker's excitation outages: the
+	// productive transmitter the tag rides on keeps disappearing.
+	"flaky-excitation": {
+		Name:   "flaky-excitation",
+		Outage: &Outage{PeriodSlots: 24, LengthSlots: 5, StartSlot: 6},
+		Burst:  &Burst{PGoodBad: 0.05, PBadGood: 0.4, ExtraLossDB: 8},
+	},
+	// brownout-tag starves the harvester: the reservoir refills slower
+	// than the reflection schedule drains it, so the tag skips and
+	// truncates reflections.
+	"brownout-tag": {
+		Name:     "brownout-tag",
+		Brownout: &Brownout{HarvestPerSlot: 0.55, Capacity: 3},
+	},
+	// impulsive is a co-channel impulse storm (microwave oven duty cycle).
+	"impulsive": {
+		Name:    "impulsive",
+		Impulse: &Impulse{Prob: 0.001, PowerDBm: -52},
+	},
+	// chaos combines every impairment at moderate strength — the soak
+	// harness default.
+	"chaos": {
+		Name:     "chaos",
+		Burst:    &Burst{PGoodBad: 0.1, PBadGood: 0.35, ExtraLossDB: 10},
+		Drift:    &Drift{StepHz: 80, MaxHz: 2000},
+		Outage:   &Outage{PeriodSlots: 32, LengthSlots: 3, StartSlot: 11},
+		Brownout: &Brownout{HarvestPerSlot: 0.7, Capacity: 3},
+		Impulse:  &Impulse{Prob: 0.0003, PowerDBm: -55},
+	},
+}
+
+// Names lists the preset profile names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(presets)+1)
+	for k := range presets {
+		out = append(out, k)
+	}
+	out = append(out, "none")
+	sort.Strings(out)
+	return out
+}
+
+// Parse builds a profile from a spec string:
+//
+//	none                          no faults (returns nil)
+//	bursty-wifi                   a preset by name
+//	chaos@0.5                     a preset at intensity 0.5
+//	burst:p01=0.1,p10=0.3,loss=12;outage:period=24,len=4,start=6@0.8
+//
+// The custom form is ';'-separated sections, each "kind:key=value,...".
+// Kinds and keys: burst (p01, p10, loss), drift (step, max), outage
+// (period, len, start), brownout (harvest, cap), impulse (prob, power).
+// An optional trailing @lambda scales the whole profile. Parse validates
+// ranges (probabilities in [0,1], non-negative magnitudes, positive
+// periods) and rejects NaN/Inf, unknown kinds and unknown keys.
+func Parse(spec string) (*Profile, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, fmt.Errorf("faults: empty profile spec")
+	}
+	intensity := 0.0
+	if at := strings.LastIndex(spec, "@"); at >= 0 {
+		lam, err := parseFloat(spec[at+1:])
+		if err != nil {
+			return nil, fmt.Errorf("faults: bad intensity %q: %v", spec[at+1:], err)
+		}
+		if lam <= 0 || lam > 1 {
+			return nil, fmt.Errorf("faults: intensity %g out of (0, 1]", lam)
+		}
+		intensity = lam
+		spec = spec[:at]
+	}
+	if spec == "none" || spec == "off" {
+		return nil, nil
+	}
+	if preset, ok := presets[spec]; ok {
+		p := preset
+		p.Intensity = intensity
+		return &p, nil
+	}
+	p := &Profile{Name: "custom", Intensity: intensity}
+	for _, section := range strings.Split(spec, ";") {
+		section = strings.TrimSpace(section)
+		if section == "" {
+			continue
+		}
+		kind, body, ok := strings.Cut(section, ":")
+		if !ok {
+			return nil, fmt.Errorf("faults: section %q is neither a preset (%s) nor kind:key=value", section, strings.Join(Names(), " "))
+		}
+		kv, err := parseKV(body)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %s: %v", kind, err)
+		}
+		switch strings.TrimSpace(kind) {
+		case "burst":
+			b := &Burst{}
+			if err := assign(kv, map[string]*float64{"p01": &b.PGoodBad, "p10": &b.PBadGood, "loss": &b.ExtraLossDB}); err != nil {
+				return nil, fmt.Errorf("faults: burst: %v", err)
+			}
+			p.Burst = b
+		case "drift":
+			d := &Drift{}
+			if err := assign(kv, map[string]*float64{"step": &d.StepHz, "max": &d.MaxHz}); err != nil {
+				return nil, fmt.Errorf("faults: drift: %v", err)
+			}
+			p.Drift = d
+		case "outage":
+			var period, length, start float64
+			if err := assign(kv, map[string]*float64{"period": &period, "len": &length, "start": &start}); err != nil {
+				return nil, fmt.Errorf("faults: outage: %v", err)
+			}
+			p.Outage = &Outage{PeriodSlots: int(period), LengthSlots: int(length), StartSlot: int(start)}
+		case "brownout":
+			b := &Brownout{}
+			if err := assign(kv, map[string]*float64{"harvest": &b.HarvestPerSlot, "cap": &b.Capacity}); err != nil {
+				return nil, fmt.Errorf("faults: brownout: %v", err)
+			}
+			p.Brownout = b
+		case "impulse":
+			im := &Impulse{}
+			if err := assign(kv, map[string]*float64{"prob": &im.Prob, "power": &im.PowerDBm}); err != nil {
+				return nil, fmt.Errorf("faults: impulse: %v", err)
+			}
+			p.Impulse = im
+		default:
+			return nil, fmt.Errorf("faults: unknown impairment kind %q", kind)
+		}
+	}
+	if p.Burst == nil && p.Drift == nil && p.Outage == nil && p.Brownout == nil && p.Impulse == nil {
+		return nil, fmt.Errorf("faults: spec %q defines no impairments", spec)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Validate checks every configured impairment's parameter ranges.
+func (p *Profile) Validate() error {
+	if p == nil {
+		return nil
+	}
+	if math.IsNaN(p.Intensity) || math.IsInf(p.Intensity, 0) || p.Intensity < 0 || p.Intensity > 1 {
+		return fmt.Errorf("faults: intensity %g out of [0, 1]", p.Intensity)
+	}
+	if b := p.Burst; b != nil {
+		if !inUnit(b.PGoodBad) || !inUnit(b.PBadGood) {
+			return fmt.Errorf("faults: burst transition probabilities (%g, %g) out of [0, 1]", b.PGoodBad, b.PBadGood)
+		}
+		if b.PBadGood == 0 && b.PGoodBad > 0 {
+			return fmt.Errorf("faults: burst with p10=0 never recovers")
+		}
+		if !finiteNonNeg(b.ExtraLossDB) {
+			return fmt.Errorf("faults: burst loss %g must be finite and >= 0", b.ExtraLossDB)
+		}
+	}
+	if d := p.Drift; d != nil {
+		if !finiteNonNeg(d.StepHz) || !finiteNonNeg(d.MaxHz) {
+			return fmt.Errorf("faults: drift (step=%g, max=%g) must be finite and >= 0", d.StepHz, d.MaxHz)
+		}
+	}
+	if o := p.Outage; o != nil {
+		if o.PeriodSlots <= 0 {
+			return fmt.Errorf("faults: outage period %d must be positive", o.PeriodSlots)
+		}
+		if o.LengthSlots < 0 || o.LengthSlots > o.PeriodSlots {
+			return fmt.Errorf("faults: outage length %d out of [0, period=%d]", o.LengthSlots, o.PeriodSlots)
+		}
+		if o.StartSlot < 0 {
+			return fmt.Errorf("faults: outage start %d must be >= 0", o.StartSlot)
+		}
+	}
+	if b := p.Brownout; b != nil {
+		if math.IsNaN(b.HarvestPerSlot) || b.HarvestPerSlot < 0 || b.HarvestPerSlot > comfortHarvest {
+			return fmt.Errorf("faults: brownout harvest %g out of [0, %g] (above %g the tag never browns out and intensity scaling loses monotonicity)",
+				b.HarvestPerSlot, comfortHarvest, comfortHarvest)
+		}
+		if math.IsNaN(b.Capacity) || math.IsInf(b.Capacity, 0) || b.Capacity < 0 {
+			return fmt.Errorf("faults: brownout capacity %g must be finite and >= 0", b.Capacity)
+		}
+	}
+	if im := p.Impulse; im != nil {
+		if !inUnit(im.Prob) {
+			return fmt.Errorf("faults: impulse probability %g out of [0, 1]", im.Prob)
+		}
+		if math.IsNaN(im.PowerDBm) || math.IsInf(im.PowerDBm, 0) {
+			return fmt.Errorf("faults: impulse power %g must be finite", im.PowerDBm)
+		}
+	}
+	return nil
+}
+
+// String renders the profile back into a spec Parse accepts: the preset
+// name when the profile is an unmodified preset, the canonical section
+// form otherwise, either way with an @intensity suffix when set.
+func (p *Profile) String() string {
+	if p == nil {
+		return "none"
+	}
+	suffix := ""
+	if p.Intensity > 0 {
+		suffix = "@" + strconv.FormatFloat(p.Intensity, 'g', -1, 64)
+	}
+	if preset, ok := presets[p.Name]; ok && equalImpairments(*p, preset) {
+		return p.Name + suffix
+	}
+	var sections []string
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	if b := p.Burst; b != nil {
+		sections = append(sections, fmt.Sprintf("burst:p01=%s,p10=%s,loss=%s", f(b.PGoodBad), f(b.PBadGood), f(b.ExtraLossDB)))
+	}
+	if d := p.Drift; d != nil {
+		sections = append(sections, fmt.Sprintf("drift:step=%s,max=%s", f(d.StepHz), f(d.MaxHz)))
+	}
+	if o := p.Outage; o != nil {
+		sections = append(sections, fmt.Sprintf("outage:period=%d,len=%d,start=%d", o.PeriodSlots, o.LengthSlots, o.StartSlot))
+	}
+	if b := p.Brownout; b != nil {
+		sections = append(sections, fmt.Sprintf("brownout:harvest=%s,cap=%s", f(b.HarvestPerSlot), f(b.Capacity)))
+	}
+	if im := p.Impulse; im != nil {
+		sections = append(sections, fmt.Sprintf("impulse:prob=%s,power=%s", f(im.Prob), f(im.PowerDBm)))
+	}
+	return strings.Join(sections, ";") + suffix
+}
+
+// equalImpairments compares two profiles' impairment content (not name or
+// intensity).
+func equalImpairments(a, b Profile) bool {
+	switch {
+	case (a.Burst == nil) != (b.Burst == nil),
+		(a.Drift == nil) != (b.Drift == nil),
+		(a.Outage == nil) != (b.Outage == nil),
+		(a.Brownout == nil) != (b.Brownout == nil),
+		(a.Impulse == nil) != (b.Impulse == nil):
+		return false
+	}
+	if a.Burst != nil && *a.Burst != *b.Burst {
+		return false
+	}
+	if a.Drift != nil && *a.Drift != *b.Drift {
+		return false
+	}
+	if a.Outage != nil && *a.Outage != *b.Outage {
+		return false
+	}
+	if a.Brownout != nil && *a.Brownout != *b.Brownout {
+		return false
+	}
+	if a.Impulse != nil && *a.Impulse != *b.Impulse {
+		return false
+	}
+	return true
+}
+
+func inUnit(v float64) bool { return !math.IsNaN(v) && v >= 0 && v <= 1 }
+
+func finiteNonNeg(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) && v >= 0 }
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("non-finite value %q", s)
+	}
+	return v, nil
+}
+
+// parseKV parses "k=v,k=v" into a map, rejecting duplicates.
+func parseKV(body string) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, part := range strings.Split(body, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("entry %q is not key=value", part)
+		}
+		k = strings.TrimSpace(k)
+		if _, dup := out[k]; dup {
+			return nil, fmt.Errorf("duplicate key %q", k)
+		}
+		fv, err := parseFloat(v)
+		if err != nil {
+			return nil, fmt.Errorf("value for %q: %v", k, err)
+		}
+		out[k] = fv
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no key=value entries")
+	}
+	return out, nil
+}
+
+// assign moves kv entries into their destinations, rejecting unknown keys.
+func assign(kv map[string]float64, dst map[string]*float64) error {
+	for k, v := range kv {
+		p, ok := dst[k]
+		if !ok {
+			keys := make([]string, 0, len(dst))
+			for d := range dst {
+				keys = append(keys, d)
+			}
+			sort.Strings(keys)
+			return fmt.Errorf("unknown key %q (want %s)", k, strings.Join(keys, ", "))
+		}
+		*p = v
+	}
+	return nil
+}

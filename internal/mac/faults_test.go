@@ -1,0 +1,140 @@
+package mac
+
+import (
+	"testing"
+
+	"repro/internal/faults"
+)
+
+// TestRoundCorruptionBlanksRounds: a corrupted PLM announcement silences
+// the whole population for that round — and with the default desync
+// recovery the tags simply rejoin on the next clean announcement instead
+// of stalling.
+func TestRoundCorruptionBlanksRounds(t *testing.T) {
+	cfg := DefaultConfig(TDM, 8)
+	cfg.RoundCorruption = func(round int) float64 {
+		if round < 3 {
+			return 1
+		}
+		return 0
+	}
+	res, err := Run(cfg, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, st := range res.Rounds {
+		if r < 3 {
+			if !st.Corrupted || st.Successes != 0 {
+				t.Fatalf("round %d should be corrupted and silent: %+v", r, st)
+			}
+		} else {
+			if st.Corrupted {
+				t.Fatalf("round %d should be clean: %+v", r, st)
+			}
+			if st.Successes != cfg.Tags {
+				t.Fatalf("round %d: tags did not rejoin after the corruption burst: %+v", r, st)
+			}
+		}
+	}
+}
+
+// TestDesyncStallUnderperformsRecovery is the ablation the recovery
+// behaviour justifies itself against: tags that replay stale frame
+// parameters collide into the live frame (and trample announcements),
+// delivering less than tags that sit a round out and resync.
+func TestDesyncStallUnderperformsRecovery(t *testing.T) {
+	margins := make([]float64, 12)
+	for i := range margins {
+		margins[i] = 50
+		if i%2 == 0 {
+			margins[i] = 3 // lossy downlink: frequent missed announcements
+		}
+	}
+	base := DefaultConfig(FramedSlottedAloha, 12)
+	base.TagMarginsDB = margins
+
+	recover := base
+	res, err := Run(recover, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stallCfg := base
+	stallCfg.DesyncStall = true
+	stalled, err := Run(stallCfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sawDesync := false
+	for _, st := range stalled.Rounds {
+		if st.Desynced > 0 {
+			sawDesync = true
+			break
+		}
+	}
+	if !sawDesync {
+		t.Fatal("stall ablation never produced a desynced transmission")
+	}
+	if stalled.TotalBits() >= res.TotalBits() {
+		t.Fatalf("stalling (%d bits) should underperform desync recovery (%d bits)",
+			stalled.TotalBits(), res.TotalBits())
+	}
+	for _, st := range res.Rounds {
+		if st.Desynced != 0 {
+			t.Fatal("recovery mode reported desynced transmissions")
+		}
+	}
+}
+
+// TestFaultProfileDrivesMAC wires a real fault profile's RoundCorruption
+// hook into the MAC: excitation-outage rounds carry no announcement, so
+// every tag misses them.
+func TestFaultProfileDrivesMAC(t *testing.T) {
+	profile, err := faults.Parse("flaky-excitation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(TDM, 4)
+	cfg.RoundCorruption = profile.RoundCorruption(cfg.Seed)
+	res, err := Run(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// flaky-excitation's outage windows open at round 6 for 5 rounds.
+	for r := 6; r <= 10; r++ {
+		st := res.Rounds[r]
+		if !st.Corrupted || st.Successes != 0 {
+			t.Fatalf("outage round %d not silenced: %+v", r, st)
+		}
+	}
+	if res.TotalBits() == 0 {
+		t.Fatal("non-outage rounds delivered nothing")
+	}
+}
+
+// TestFaultedMACDeterministic: runs with hooks attached stay reproducible.
+func TestFaultedMACDeterministic(t *testing.T) {
+	profile, _ := faults.Parse("chaos")
+	mk := func() Config {
+		cfg := DefaultConfig(FramedSlottedAloha, 6)
+		cfg.RoundCorruption = profile.RoundCorruption(cfg.Seed)
+		cfg.DesyncStall = true
+		return cfg
+	}
+	a, err := Run(mk(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(mk(), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalBits() != b.TotalBits() || a.Duration != b.Duration || len(a.Rounds) != len(b.Rounds) {
+		t.Fatal("faulted MAC run not reproducible")
+	}
+	for i := range a.Rounds {
+		if a.Rounds[i] != b.Rounds[i] {
+			t.Fatalf("round %d diverged: %+v vs %+v", i, a.Rounds[i], b.Rounds[i])
+		}
+	}
+}

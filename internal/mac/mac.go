@@ -62,6 +62,23 @@ type Config struct {
 	TagMarginsDB []float64
 	// Adaptive enables slot-count adaptation between rounds (Aloha only).
 	Adaptive bool
+	// RoundCorruption gives, per round, the probability that the PLM
+	// downlink announcement is corrupted for every tag at once — an
+	// excitation outage or a burst fade over the control channel rather
+	// than one tag's weak envelope margin. Nil means announcements are only
+	// lost per-tag via TagMarginsDB. Wire a fault profile in with
+	// faults.Profile.RoundCorruption.
+	RoundCorruption func(round int) float64
+	// DesyncStall ablates the desync recovery that is the default: a tag
+	// that missed the announcement normally stays silent and rejoins the
+	// next round it decodes, costing only its own airtime. With DesyncStall
+	// the tag instead replays its stale frame parameters — transmitting in
+	// a slot drawn from the slot count it last heard. The coordinator
+	// cannot attribute such a transmission to the announced round, so it
+	// never delivers: it only corrupts whatever slot it lands in, and a
+	// stale slot index past the current frame's end tramples the next
+	// round's announcement, desynchronising everyone.
+	DesyncStall bool
 	// Seed drives slot choices and message losses.
 	Seed int64
 }
@@ -88,6 +105,12 @@ type RoundStats struct {
 	Successes  int
 	Collisions int
 	Idle       int
+	// Corrupted marks a round whose PLM announcement no tag received
+	// (RoundCorruption fired, or a stale transmission trampled it).
+	Corrupted bool
+	// Desynced counts tags that transmitted on stale frame parameters this
+	// round (only under the DesyncStall ablation).
+	Desynced int
 }
 
 // Result aggregates a run.
@@ -148,43 +171,80 @@ func Run(cfg Config, rounds int) (Result, error) {
 	if cfg.Scheme == TDM {
 		slots = cfg.Tags
 	}
+	// lastSlots is each tag's view of the frame size — what it transmits
+	// against when it missed the announcement under the DesyncStall
+	// ablation. With recovery (the default) a desynced tag stays silent and
+	// simply resyncs from the next announcement it decodes.
+	lastSlots := make([]int, cfg.Tags)
+	for i := range lastSlots {
+		lastSlots[i] = slots
+	}
+	jamNext := false
 	for r := 0; r < rounds; r++ {
+		corrupted := jamNext
+		jamNext = false
+		if cfg.RoundCorruption != nil {
+			if p := cfg.RoundCorruption(r); p > 0 && rng.Float64() < p {
+				corrupted = true
+			}
+		}
+
 		// Tags must decode the PLM announcement to participate.
 		active := make([]int, 0, cfg.Tags)
+		var desynced []int
 		for i := 0; i < cfg.Tags; i++ {
 			p := plm.MessageSuccessProbability(margins[i], cfg.CtrlBits)
-			if rng.Float64() < p {
+			if !corrupted && rng.Float64() < p {
 				active = append(active, i)
+				lastSlots[i] = slots
+			} else if cfg.DesyncStall {
+				desynced = append(desynced, i)
 			}
 		}
 
 		var st RoundStats
 		st.Slots = slots
+		st.Corrupted = corrupted
+		st.Desynced = len(desynced)
 		switch cfg.Scheme {
 		case TDM:
-			// Every active tag owns its dedicated slot.
-			st.Successes = len(active)
-			st.Idle = slots - len(active)
-			for _, i := range active {
-				res.PerTagBits[i] += cfg.BitsPerSlot
+			if len(desynced) == 0 {
+				// Every active tag owns its dedicated slot.
+				st.Successes = len(active)
+				st.Idle = slots - len(active)
+				for _, i := range active {
+					res.PerTagBits[i] += cfg.BitsPerSlot
+				}
+				break
 			}
+			// A stalled TDM tag replays a stale schedule: its transmission
+			// lands one slot late, on top of its neighbour's.
+			occupancy := make([][]int, slots)
+			for _, i := range active {
+				occupancy[i] = append(occupancy[i], i)
+			}
+			for _, i := range desynced {
+				occupancy[(i+1)%slots] = append(occupancy[(i+1)%slots], -1-i)
+			}
+			countSlots(&st, occupancy, res.PerTagBits, cfg.BitsPerSlot)
 		case FramedSlottedAloha:
 			occupancy := make([][]int, slots)
 			for _, i := range active {
 				s := rng.Intn(slots)
 				occupancy[s] = append(occupancy[s], i)
 			}
-			for _, tagsIn := range occupancy {
-				switch len(tagsIn) {
-				case 0:
-					st.Idle++
-				case 1:
-					st.Successes++
-					res.PerTagBits[tagsIn[0]] += cfg.BitsPerSlot
-				default:
-					st.Collisions++
+			for _, i := range desynced {
+				s := rng.Intn(lastSlots[i])
+				if s >= slots {
+					// The stale frame was longer than the live one: the
+					// transmission spills past the frame's end and tramples
+					// the next round's announcement.
+					jamNext = true
+					continue
 				}
+				occupancy[s] = append(occupancy[s], -1-i)
 			}
+			countSlots(&st, occupancy, res.PerTagBits, cfg.BitsPerSlot)
 		}
 		res.Rounds = append(res.Rounds, st)
 		res.Duration += ctrlTime + float64(slots)*cfg.SlotTime + cfg.InterRoundDelay
@@ -194,6 +254,23 @@ func Run(cfg Config, rounds int) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// countSlots tallies slot outcomes. Synced transmitters appear as their tag
+// index and deliver when alone in a slot; stale transmissions are encoded
+// as -1-index and only ever corrupt the slot they land in.
+func countSlots(st *RoundStats, occupancy [][]int, perTag []int, bitsPerSlot int) {
+	for _, tagsIn := range occupancy {
+		switch {
+		case len(tagsIn) == 0:
+			st.Idle++
+		case len(tagsIn) == 1 && tagsIn[0] >= 0:
+			st.Successes++
+			perTag[tagsIn[0]] += bitsPerSlot
+		default:
+			st.Collisions++
+		}
+	}
 }
 
 // nextSlotCount applies Schoute's backlog estimate: each collision hides
