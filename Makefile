@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench soak soak-quick fuzz-faults ci
+.PHONY: build test race vet staticcheck bench bench-serve golden loadtest-quick soak soak-quick fuzz-faults ci
 
 build:
 	$(GO) build ./...
@@ -17,8 +17,43 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# staticcheck runs honnef.co/go/tools if installed; absent the binary it
+# reports and succeeds so `make ci` works on minimal images.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+# bench-serve benchmarks the HTTP service path (decode micro-batcher,
+# session pool) and appends one JSONL trajectory point per run to
+# BENCH_SERVE.json: ns/op plus the req/batch and hit-rate custom metrics.
+bench-serve:
+	@$(GO) test -bench='DecodeEndpoint|SimulateEndpoint' -benchtime=200x -run=^$$ ./internal/server \
+		| awk 'BEGIN { printf "{\"date\":\"%s\"", strftime("%Y-%m-%d") } \
+			/^Benchmark/ { \
+				name=$$1; sub(/-.*$$/, "", name); sub(/^Benchmark/, "", name); \
+				printf ",\"%s_ns_op\":%s", name, $$3; \
+				for (i=5; i<NF; i+=2) printf ",\"%s_%s\":%s", name, $$(i+1), $$i; \
+			} \
+			END { print "}" }' \
+		| sed 's#/#_per_#g' >> BENCH_SERVE.json
+	@tail -1 BENCH_SERVE.json
+
+# golden regenerates the PHY golden vectors after an intentional
+# calibration change. Review the diff before committing.
+golden:
+	$(GO) test -run TestGoldenVectors -update .
+
+# loadtest-quick is the service-layer race gate: 64 goroutines hammer
+# /v1/decode with mixed radio configs over real HTTP and every response
+# must be bit-identical to the serial baseline.
+loadtest-quick:
+	$(GO) test -race -count=1 -run 'TestDecodeConcurrentMixedRadios|TestSimulateConcurrentSharedSession|TestShutdownDrains' ./internal/server
 
 # soak runs the chaos fault-injection soak at full effort: the intensity
 # sweep across all three radios plus a 4 kB quaternary transfer through the
@@ -35,7 +70,8 @@ soak-quick:
 fuzz-faults:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultProfile -fuzztime=10s ./internal/faults
 
-# ci is the gate: everything must build, pass vet, pass the suite with the
-# race detector on, survive the quick chaos soak, and keep the fault-spec
-# parser fuzz-clean.
-ci: build vet race soak-quick fuzz-faults
+# ci is the gate: everything must build, pass vet (and staticcheck where
+# installed), pass the suite with the race detector on, hold the service
+# layer bit-identical under concurrent load, survive the quick chaos soak,
+# and keep the fault-spec parser fuzz-clean.
+ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults

@@ -1,0 +1,62 @@
+// Command freerider-serve exposes the FreeRider reproduction as an
+// HTTP/JSON service: stream-level codeword translation (/v1/encode,
+// /v1/decode), end-to-end link simulation (/v1/simulate), the experiment
+// sweeps (/v1/experiments/{name}), plus /healthz and /metrics.
+//
+// Usage:
+//
+//	freerider-serve [-addr :8080] [-workers N] [-max-inflight N]
+//	                [-batch-window D] [-batch-max N] [-pool-size N]
+//	                [-max-body BYTES]
+//
+// Concurrent decode requests are coalesced into batches of up to
+// -batch-max (gathered for at most -batch-window) and dispatched through
+// one deterministic worker-pool run; responses are bit-identical to
+// direct library calls. Each v1 endpoint admits at most -max-inflight
+// concurrent requests and sheds the excess with 429 + Retry-After.
+// SIGINT/SIGTERM trigger a graceful shutdown that finishes in-flight
+// requests and drains pending decode batches before exiting.
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", server.DefaultAddr, "listen address")
+	workers := flag.Int("workers", 0, "worker pool for batched decodes and sweeps (0 = all cores); results do not depend on it")
+	maxInflight := flag.Int("max-inflight", server.DefaultMaxInflight, "per-endpoint concurrent requests before 429 backpressure")
+	batchWindow := flag.Duration("batch-window", server.DefaultBatchWindow, "decode micro-batch coalescing window")
+	batchMax := flag.Int("batch-max", server.DefaultMaxBatch, "max decode requests per batch dispatch")
+	poolSize := flag.Int("pool-size", server.DefaultPoolSize, "session LRU capacity (distinct link configs kept warm)")
+	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		Addr:         *addr,
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		BatchWindow:  *batchWindow,
+		MaxBatch:     *batchMax,
+		PoolSize:     *poolSize,
+		MaxBodyBytes: *maxBody,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	log.Printf("freerider-serve listening on %s (max-inflight %d, batch window %s)",
+		*addr, *maxInflight, batchWindow.String())
+	start := time.Now()
+	if err := srv.ListenAndServe(ctx); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("freerider-serve drained and stopped after %s", time.Since(start).Round(time.Millisecond))
+}

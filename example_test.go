@@ -20,6 +20,23 @@ func ExampleSend() {
 	// Output: hi
 }
 
+// ExampleSendDetailed transfers a message and inspects the
+// DegradationReport to see how hard the link fought back: retransmission
+// and fallback counts, and whether the transfer degraded at all.
+func ExampleSendDetailed() {
+	bits := freerider.BitsFromBytes([]byte("hi"))
+	decoded, report, err := freerider.SendDetailed(
+		freerider.WiFi, 5, bits, 1, freerider.DefaultSendOptions())
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	msg, _ := freerider.BytesFromBits(decoded[:len(bits)])
+	fmt.Printf("%s degraded=%v retransmissions=%d\n",
+		msg, report.Degraded(), report.Retransmissions)
+	// Output: hi degraded=false retransmissions=0
+}
+
 // ExampleNewSession shows the lower-level per-packet API with a custom
 // configuration.
 func ExampleNewSession() {

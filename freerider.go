@@ -28,16 +28,19 @@ package freerider
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"repro/internal/bits"
 	"repro/internal/channel"
 	"repro/internal/core"
+	"repro/internal/decoder"
 	"repro/internal/faults"
 	"repro/internal/mac"
 	"repro/internal/plm"
 	"repro/internal/runner"
 	"repro/internal/sim"
 	"repro/internal/tag"
+	"repro/internal/zigbee"
 )
 
 // bit helpers re-exported for example programs and API users.
@@ -55,6 +58,122 @@ const (
 	ZigBee    = core.ZigBee
 	Bluetooth = core.Bluetooth
 )
+
+// RadioNames lists the wire names ParseRadio accepts, in Radio order.
+func RadioNames() []string { return []string{"wifi", "zigbee", "bluetooth"} }
+
+// ParseRadio maps a case-insensitive wire name ("wifi", "zigbee",
+// "bluetooth") to its Radio. It is the inverse of RadioKey.
+func ParseRadio(name string) (Radio, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "wifi":
+		return WiFi, nil
+	case "zigbee":
+		return ZigBee, nil
+	case "bluetooth":
+		return Bluetooth, nil
+	}
+	return 0, fmt.Errorf("freerider: unknown radio %q (want %s)", name, strings.Join(RadioNames(), ", "))
+}
+
+// RadioKey returns the stable wire name of a radio ("wifi", "zigbee",
+// "bluetooth") — the short key CLIs and the HTTP service use, as opposed
+// to Radio.String's human-readable form.
+func RadioKey(r Radio) string {
+	switch r {
+	case ZigBee:
+		return "zigbee"
+	case Bluetooth:
+		return "bluetooth"
+	}
+	return "wifi"
+}
+
+// WindowDecision is one decoded tag bit with its decision quality; see
+// decoder.WindowResult.
+type WindowDecision = decoder.WindowResult
+
+// streamAlphabet returns the exclusive upper bound of a radio's stream
+// elements: 2 for the bit streams of WiFi and Bluetooth, 16 for ZigBee's
+// 4-bit symbol stream.
+func streamAlphabet(r Radio) byte {
+	if r == ZigBee {
+		return 16
+	}
+	return 2
+}
+
+func validateStream(r Radio, name string, s []byte) error {
+	limit := streamAlphabet(r)
+	for i, v := range s {
+		if v >= limit {
+			return fmt.Errorf("freerider: %s element %d is %d, want < %d for %s", name, i, v, limit, RadioKey(r))
+		}
+	}
+	return nil
+}
+
+// decodeThreshold is the per-radio mismatch fraction above which a window
+// decodes as tag bit 1 (the same values core.Session uses): 0.5 for the
+// complementing WiFi/Bluetooth translations, 0.3 for ZigBee, whose
+// inverted chip sequence decodes to a different symbol only with the
+// codebook's confusion margin.
+func decodeThreshold(r Radio) float64 {
+	if r == ZigBee {
+		return 0.3
+	}
+	return 0.5
+}
+
+// translateElement returns the radio's element-level codeword translation:
+// what one stream element becomes under the tag's rotation when the
+// window's tag bit is 1.
+func translateElement(r Radio) func(byte) byte {
+	if r == ZigBee {
+		return func(s byte) byte {
+			t, err := zigbee.TranslatedSymbol(s)
+			if err != nil {
+				return s // unreachable after validateStream
+			}
+			return t
+		}
+	}
+	return func(b byte) byte { return b ^ 1 }
+}
+
+// EncodeStream applies codeword translation at stream level: given the
+// excitation reference stream (descrambled data bits for WiFi, 4-bit data
+// symbols for ZigBee, frame bits for Bluetooth) it returns the stream an
+// unmodified adjacent-channel receiver decodes when the tag modulates
+// tagBits onto it, one tag bit per window of `window` elements, plus how
+// many tag bits fit. It is the exact forward model DecodeStream inverts on
+// clean streams, and the translation other receiver stacks re-implement
+// when they interoperate with FreeRider tags.
+func EncodeStream(r Radio, ref, tagBits []byte, window int) ([]byte, int, error) {
+	if err := validateStream(r, "ref", ref); err != nil {
+		return nil, 0, err
+	}
+	return decoder.EncodeWindows(ref, tagBits, window, translateElement(r))
+}
+
+// DecodeStream recovers tag bits from a pair of aligned codeword streams —
+// the excitation stream (known to the transmitter or reported by receiver
+// 1 over the backhaul) and the stream receiver 2 decoded on the adjacent
+// channel — using the radio's calibrated per-window majority threshold.
+// One WindowDecision is returned per complete window; DecisionBits
+// flattens them.
+func DecodeStream(r Radio, ref, rx []byte, window int) ([]WindowDecision, error) {
+	if err := validateStream(r, "ref", ref); err != nil {
+		return nil, err
+	}
+	if err := validateStream(r, "rx", rx); err != nil {
+		return nil, err
+	}
+	return decoder.DecodeWindows(ref, rx, window, decodeThreshold(r))
+}
+
+// DecisionBits extracts just the tag bits from a DecodeStream result.
+func DecisionBits(ws []WindowDecision) []byte { return decoder.Bits(ws) }
 
 // Config describes one backscatter link end to end; see core.Config.
 type Config = core.Config

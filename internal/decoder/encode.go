@@ -1,0 +1,39 @@
+package decoder
+
+import "fmt"
+
+// EncodeWindows is the stream-level forward direction of Table 1: it
+// returns the codeword stream an adjacent-channel receiver decodes when a
+// tag modulates tagBits onto the reference stream, one tag bit per window
+// of `window` elements. translate maps a single element to its tag-bit-1
+// counterpart — a bit flip for the complementing translations (WiFi,
+// Bluetooth), or the chip-complement confusion symbol for ZigBee — and
+// tag-bit-0 windows pass through unchanged. Elements past the last
+// complete window are reflected unmodified. It returns the encoded stream
+// plus how many tag bits were consumed (bounded by both the tag data and
+// the number of complete windows), so EncodeWindows followed by
+// DecodeWindows on clean streams recovers exactly the consumed bits.
+func EncodeWindows(ref, tagBits []byte, window int, translate func(byte) byte) ([]byte, int, error) {
+	if window <= 0 {
+		return nil, 0, fmt.Errorf("decoder: window %d must be positive", window)
+	}
+	if translate == nil {
+		return nil, 0, fmt.Errorf("decoder: nil translate function")
+	}
+	for i, b := range tagBits {
+		if b > 1 {
+			return nil, 0, fmt.Errorf("decoder: tag bit %d is %d, want 0 or 1", i, b)
+		}
+	}
+	out := append([]byte(nil), ref...)
+	used := 0
+	for lo := 0; lo+window <= len(ref) && used < len(tagBits); lo += window {
+		if tagBits[used] == 1 {
+			for i := lo; i < lo+window; i++ {
+				out[i] = translate(ref[i])
+			}
+		}
+		used++
+	}
+	return out, used, nil
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	freerider "repro"
+
+	"repro/internal/runner"
+)
+
+// errDraining is returned by submit once the batcher has begun shutdown.
+var errDraining = errors.New("server: draining, not accepting new work")
+
+// decodeJob is one /v1/decode request's parsed payload plus its reply
+// channel (buffered so dispatch never blocks on a slow reader).
+type decodeJob struct {
+	radio  freerider.Radio
+	ref    []byte
+	rx     []byte
+	window int
+	out    chan decodeJobResult
+}
+
+type decodeJobResult struct {
+	windows []freerider.WindowDecision
+	err     error
+}
+
+// batcher coalesces concurrent decode requests into single worker-pool
+// dispatches: the first request of a batch waits at most `window` for
+// followers (or until `maxBatch` have gathered), then the whole batch runs
+// through one runner.Map call. Each job decodes independently into its own
+// slot, so batching is invisible in the results — only in the dispatch
+// count. close() drains: submissions already accepted are still served,
+// later ones fail with errDraining.
+type batcher struct {
+	jobs    chan *decodeJob
+	done    chan struct{}
+	window  time.Duration
+	max     int
+	workers int
+
+	// mu fences submission against shutdown: submitters hold it shared
+	// while enqueueing, close() takes it exclusively before closing done.
+	// After close() sets closed, nothing can enter jobs, so the loop's
+	// final non-blocking drain is guaranteed to observe every accepted
+	// job. Without this fence a submit racing close() could win the
+	// buffered send *after* the loop exited and wait forever on out.
+	mu     sync.RWMutex
+	closed bool
+
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+
+	// metrics
+	batches  atomic.Int64
+	batched  atomic.Int64
+	maxSeen  atomic.Int64
+	rejected atomic.Int64
+}
+
+func newBatcher(window time.Duration, maxBatch, workers int) *batcher {
+	b := &batcher{
+		jobs:    make(chan *decodeJob, maxBatch),
+		done:    make(chan struct{}),
+		window:  window,
+		max:     maxBatch,
+		workers: workers,
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b
+}
+
+// submit hands one job to the batch loop. On nil return the caller is
+// guaranteed exactly one result on job.out, even across shutdown.
+func (b *batcher) submit(ctx context.Context, j *decodeJob) error {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if b.closed {
+		b.rejected.Add(1)
+		return errDraining
+	}
+	// done cannot close while we hold the read lock, so a successful send
+	// here is always observed by the loop (live or draining).
+	select {
+	case b.jobs <- j:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (b *batcher) loop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case j := <-b.jobs:
+			b.dispatch(b.gather(j))
+		case <-b.done:
+			// Drain: serve everything already accepted, then exit.
+			for {
+				select {
+				case j := <-b.jobs:
+					b.dispatch(b.gather(j))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// gather collects followers behind the first job until the coalescing
+// window elapses, the batch fills, or shutdown begins.
+func (b *batcher) gather(first *decodeJob) []*decodeJob {
+	batch := append(make([]*decodeJob, 0, b.max), first)
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.max {
+		select {
+		case j := <-b.jobs:
+			batch = append(batch, j)
+		case <-timer.C:
+			return batch
+		case <-b.done:
+			return batch
+		}
+	}
+	return batch
+}
+
+// dispatch runs one batch through the deterministic worker pool. Job i
+// writes result slot i only, so outputs are bit-identical to running each
+// request serially regardless of batch composition or worker count.
+func (b *batcher) dispatch(batch []*decodeJob) {
+	b.batches.Add(1)
+	b.batched.Add(int64(len(batch)))
+	for {
+		cur := b.maxSeen.Load()
+		if int64(len(batch)) <= cur || b.maxSeen.CompareAndSwap(cur, int64(len(batch))) {
+			break
+		}
+	}
+	results := make([]decodeJobResult, len(batch))
+	// fn never returns an error: per-job failures travel in the job's own
+	// result slot so one bad request cannot fail its batch peers.
+	_ = runner.Map(len(batch), b.workers, func(i int) error {
+		j := batch[i]
+		ws, err := freerider.DecodeStream(j.radio, j.ref, j.rx, j.window)
+		results[i] = decodeJobResult{windows: ws, err: err}
+		return nil
+	})
+	for i, j := range batch {
+		j.out <- results[i]
+	}
+}
+
+// close begins shutdown and blocks until the loop has drained.
+func (b *batcher) close() {
+	b.closeOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		close(b.done)
+	})
+	b.wg.Wait()
+}
+
+// batcherStats is the /metrics view of the batcher.
+type batcherStats struct {
+	Batches      int64   `json:"batches"`
+	Requests     int64   `json:"requests"`
+	MaxBatch     int64   `json:"max_batch"`
+	MeanBatch    float64 `json:"mean_batch"`
+	DrainRejects int64   `json:"drain_rejects,omitempty"`
+}
+
+func (b *batcher) stats() batcherStats {
+	st := batcherStats{
+		Batches:      b.batches.Load(),
+		Requests:     b.batched.Load(),
+		MaxBatch:     b.maxSeen.Load(),
+		DrainRejects: b.rejected.Load(),
+	}
+	if st.Batches > 0 {
+		st.MeanBatch = float64(st.Requests) / float64(st.Batches)
+	}
+	return st
+}

@@ -1,0 +1,491 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	freerider "repro"
+
+	"repro/internal/channel"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/obs"
+)
+
+// ---- JSON plumbing ----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// readJSON decodes the request body into v, translating the two transport
+// failure classes to their status codes: oversize bodies (cut off by the
+// middleware's MaxBytesReader) to 413 and malformed JSON to 400. It
+// reports whether decoding succeeded; on failure the response is written.
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	if err := dec.Decode(v); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				"request body exceeds %d bytes", tooBig.Limit)
+			return false
+		}
+		writeError(w, http.StatusBadRequest, "malformed JSON: %v", err)
+		return false
+	}
+	return true
+}
+
+// ---- stream wire format ----------------------------------------------
+
+// Streams travel as strings, one character per element: '0'/'1' for the
+// bit streams of WiFi and Bluetooth, hex digits '0'..'f' for ZigBee's
+// 4-bit symbols. Compact, readable in a curl transcript, and trivially
+// diffable against direct library output.
+
+func parseStream(r freerider.Radio, field, s string) ([]byte, error) {
+	out := make([]byte, len(s))
+	zig := r == freerider.ZigBee
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c == '0' || c == '1':
+			out[i] = c - '0'
+		case zig && c >= '2' && c <= '9':
+			out[i] = c - '0'
+		case zig && c >= 'a' && c <= 'f':
+			out[i] = c - 'a' + 10
+		case zig && c >= 'A' && c <= 'F':
+			out[i] = c - 'A' + 10
+		default:
+			return nil, fmt.Errorf("%s[%d]: invalid element %q for %s", field, i, string(c), freerider.RadioKey(r))
+		}
+	}
+	return out, nil
+}
+
+const hexDigits = "0123456789abcdef"
+
+func formatStream(vals []byte) string {
+	var b strings.Builder
+	b.Grow(len(vals))
+	for _, v := range vals {
+		b.WriteByte(hexDigits[v&0x0f])
+	}
+	return b.String()
+}
+
+// ---- /v1/encode -------------------------------------------------------
+
+type encodeRequest struct {
+	Radio   string `json:"radio"`
+	Ref     string `json:"ref"`
+	TagBits string `json:"tag_bits"`
+	Window  int    `json:"window"`
+}
+
+type encodeResponse struct {
+	Radio       string `json:"radio"`
+	RX          string `json:"rx"`
+	TagBitsUsed int    `json:"tag_bits_used"`
+	Windows     int    `json:"windows"`
+}
+
+func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
+	var req encodeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	radio, err := freerider.ParseRadio(req.Radio)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ref, err := parseStream(radio, "ref", req.Ref)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	tagBits, err := parseStream(freerider.WiFi, "tag_bits", req.TagBits) // tag bits are always 0/1
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rx, used, err := freerider.EncodeStream(radio, ref, tagBits, req.Window)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeResponse{
+		Radio:       freerider.RadioKey(radio),
+		RX:          formatStream(rx),
+		TagBitsUsed: used,
+		Windows:     len(ref) / req.Window,
+	})
+}
+
+// ---- /v1/decode -------------------------------------------------------
+
+type decodeRequest struct {
+	Radio  string `json:"radio"`
+	Ref    string `json:"ref"`
+	RX     string `json:"rx"`
+	Window int    `json:"window"`
+}
+
+type decodeResponse struct {
+	Radio    string    `json:"radio"`
+	TagBits  string    `json:"tag_bits"`
+	Windows  int       `json:"windows"`
+	Mismatch []float64 `json:"mismatch"`
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	var req decodeRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	radio, err := freerider.ParseRadio(req.Radio)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	ref, err := parseStream(radio, "ref", req.Ref)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	rx, err := parseStream(radio, "rx", req.RX)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	job := &decodeJob{
+		radio: radio, ref: ref, rx: rx, window: req.Window,
+		out: make(chan decodeJobResult, 1),
+	}
+	if err := s.batcher.submit(r.Context(), job); err != nil {
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	res := <-job.out
+	if res.err != nil {
+		writeError(w, http.StatusBadRequest, "%v", res.err)
+		return
+	}
+	resp := decodeResponse{
+		Radio:    freerider.RadioKey(radio),
+		TagBits:  formatStream(freerider.DecisionBits(res.windows)),
+		Windows:  len(res.windows),
+		Mismatch: make([]float64, len(res.windows)),
+	}
+	for i, wd := range res.windows {
+		resp.Mismatch[i] = wd.MismatchFraction
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// ---- /v1/simulate -----------------------------------------------------
+
+type simulateRequest struct {
+	Radio       string  `json:"radio"`
+	Distance    float64 `json:"distance"`
+	TxDistance  float64 `json:"tx_distance,omitempty"`
+	NLOS        bool    `json:"nlos,omitempty"`
+	Packets     int     `json:"packets"`
+	PayloadSize int     `json:"payload_size,omitempty"`
+	Redundancy  int     `json:"redundancy,omitempty"`
+	RateMbps    int     `json:"rate_mbps,omitempty"`
+	Quaternary  bool    `json:"quaternary,omitempty"`
+	Seed        int64   `json:"seed"`
+	Faults      string  `json:"faults,omitempty"`
+}
+
+type simulateResponse struct {
+	Radio          string             `json:"radio"`
+	ConfigKey      string             `json:"config_key"`
+	CacheHit       bool               `json:"cache_hit"`
+	CapacityBits   int                `json:"capacity_bits"`
+	AirtimeSeconds float64            `json:"airtime_seconds"`
+	Result         core.SessionResult `json:"result"`
+	ThroughputBps  float64            `json:"throughput_bps"`
+	BER            float64            `json:"ber"`
+	LossRate       float64            `json:"loss_rate"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	var req simulateRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	radio, err := freerider.ParseRadio(req.Radio)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Distance <= 0 {
+		writeError(w, http.StatusBadRequest, "distance %g must be positive metres", req.Distance)
+		return
+	}
+	if req.Packets <= 0 || req.Packets > s.cfg.MaxPackets {
+		writeError(w, http.StatusBadRequest, "packets %d outside [1, %d]", req.Packets, s.cfg.MaxPackets)
+		return
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if req.Faults == "" {
+		req.Faults = "none"
+	}
+	profile, err := freerider.ParseFaultProfile(req.Faults)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	key := configKey("simulate", freerider.RadioKey(radio), req.Distance, req.TxDistance,
+		req.NLOS, req.PayloadSize, req.Redundancy, req.RateMbps, req.Quaternary,
+		req.Seed, req.Faults)
+	sess, hit, err := s.pool.get(key, func() (*core.Session, error) {
+		cfg := freerider.DefaultConfig(radio, req.Distance)
+		cfg.Seed = req.Seed
+		cfg.Faults = profile
+		if req.TxDistance > 0 {
+			cfg.Link.TxToTag = req.TxDistance
+		}
+		if req.NLOS {
+			cfg.Link.Deployment = channel.NLOS
+			cfg.Link.TxPowerDBm = 15
+			cfg.Link.FadingK = 1.5
+		}
+		if req.PayloadSize > 0 {
+			cfg.PayloadSize = req.PayloadSize
+		}
+		if req.Redundancy > 0 {
+			cfg.Redundancy = req.Redundancy
+		}
+		if req.RateMbps > 0 {
+			cfg.WiFiRateMbps = req.RateMbps
+		}
+		cfg.Quaternary = req.Quaternary
+		return freerider.NewSession(cfg)
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	res, err := sess.RunParallel(req.Packets, s.cfg.Workers)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, simulateResponse{
+		Radio:          freerider.RadioKey(radio),
+		ConfigKey:      key,
+		CacheHit:       hit,
+		CapacityBits:   sess.Capacity(),
+		AirtimeSeconds: sess.PacketDuration(),
+		Result:         res,
+		ThroughputBps:  res.ThroughputBps(),
+		BER:            res.BER(),
+		LossRate:       res.LossRate(),
+	})
+}
+
+// ---- /v1/experiments/{name} ------------------------------------------
+
+// experimentEntry adapts one figure/study runner to the service. Effort
+// knobs (windows, rounds, messages, samples) take the bench CLI's -quick
+// values unless the request asks for ?full=1.
+type experimentEntry struct {
+	Title string
+	Run   func(opt experiments.Options, full bool) (any, error)
+}
+
+// experimentRegistry is the servable subset of the bench suite: the
+// sample-level sweeps, the MAC studies and the closed-form tables. The
+// long-running chaos soak and waterfall stay CLI-only.
+var experimentRegistry = map[string]experimentEntry{
+	"fig3": {"Fig 3 — ambient packet durations on channel 6",
+		func(opt experiments.Options, full bool) (any, error) {
+			samples := 100000
+			if full {
+				samples = 1000000
+			}
+			return experiments.Fig3AmbientDurations(samples, opt)
+		}},
+	"fig4": {"Fig 4 — PLM scheduling-message delivery vs distance (15 dBm)",
+		func(opt experiments.Options, full bool) (any, error) {
+			messages := 2000
+			if full {
+				messages = 20000
+			}
+			return experiments.Fig4PLMAccuracy(messages, opt)
+		}},
+	"fig10": {"Fig 10 — WiFi LOS backscatter vs distance",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.Fig10WiFiLOS(opt) }},
+	"fig11": {"Fig 11 — WiFi NLOS backscatter vs distance",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.Fig11WiFiNLOS(opt) }},
+	"fig12": {"Fig 12 — ZigBee LOS backscatter vs distance",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.Fig12ZigBeeLOS(opt) }},
+	"fig13": {"Fig 13 — Bluetooth LOS backscatter vs distance",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.Fig13BluetoothLOS(opt) }},
+	"fig14": {"Fig 14 — operating regime: max RX-to-tag vs TX-to-tag distance",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.Fig14OperatingRegime(opt) }},
+	"fig15": {"Fig 15 — WiFi throughput with and without backscatter",
+		func(opt experiments.Options, full bool) (any, error) {
+			return experiments.Fig15WiFiCoexistence(expWindows(full), opt)
+		}},
+	"fig16": {"Fig 16 — backscatter throughput with WiFi traffic present/absent",
+		func(opt experiments.Options, full bool) (any, error) {
+			return experiments.Fig16BackscatterUnderWiFi(expWindows(full), opt)
+		}},
+	"fig17": {"Fig 17 — multi-tag aggregate throughput and Jain fairness",
+		func(opt experiments.Options, full bool) (any, error) {
+			return experiments.Fig17MultiTag(expRounds(full), opt)
+		}},
+	"fig17sim": {"Fig 17 (firmware-level) — per-pulse PLM losses through real tag state machines",
+		func(opt experiments.Options, full bool) (any, error) {
+			return experiments.Fig17FirmwareLevel(expRounds(full), opt)
+		}},
+	"power": {"§3.3 — tag power budget",
+		func(experiments.Options, bool) (any, error) { return experiments.PowerBudget(), nil }},
+	"plmrate": {"§2.4.2 — PLM downlink rate",
+		func(experiments.Options, bool) (any, error) {
+			return map[string]float64{"rate_bps": experiments.PLMRateBps()}, nil
+		}},
+	"redundancy": {"§3.2.1 — OFDM symbols per tag bit (redundancy study)",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.RedundancySweep(opt) }},
+	"pilots": {"§3.2.1 — pilot phase tracking ablation",
+		func(opt experiments.Options, _ bool) (any, error) {
+			without, with, err := experiments.PilotTrackingAblation(opt)
+			return map[string]float64{"ber_tracking_off": without, "ber_tracking_on": with}, err
+		}},
+	"baselines": {"§1 motivation — FreeRider vs HitchHike on mixed traffic",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.BaselineAvailability(opt) }},
+	"collision": {"§2.4.1 — slot-collision physics (superposed tags at sample level)",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.CollisionStudy(opt) }},
+	"quaternary": {"eq. 4 vs eq. 5 — binary vs quaternary phase translation (12 Mbps QPSK)",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.QuaternaryStudy(opt) }},
+	"cfo": {"carrier-frequency-offset robustness (pilot-free tracking)",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.CFOStudy(opt) }},
+}
+
+func expWindows(full bool) int {
+	if full {
+		return 300
+	}
+	return 100
+}
+
+func expRounds(full bool) int {
+	if full {
+		return 12
+	}
+	return 8
+}
+
+type experimentResponse struct {
+	Name    string       `json:"name"`
+	Title   string       `json:"title"`
+	Full    bool         `json:"full"`
+	Seed    int64        `json:"seed"`
+	Rows    any          `json:"rows"`
+	Metrics []obs.Report `json:"metrics,omitempty"`
+}
+
+func (s *Server) handleExperiment(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	entry, ok := experimentRegistry[name]
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown experiment %q (GET /v1/experiments lists them)", name)
+		return
+	}
+	q := r.URL.Query()
+	full := q.Get("full") == "1" || q.Get("full") == "true"
+	seed := int64(1)
+	if v := q.Get("seed"); v != "" {
+		parsed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "seed: %v", err)
+			return
+		}
+		seed = parsed
+	}
+	profile, err := freerider.ParseFaultProfile(valueOr(q.Get("faults"), "none"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	opt := experiments.QuickOptions()
+	if full {
+		opt = experiments.DefaultOptions()
+	}
+	opt.Seed = seed
+	opt.Workers = s.cfg.Workers
+	opt.Faults = profile
+	collector := obs.NewCollector()
+	opt.Obs = collector
+
+	rows, err := entry.Run(opt, full)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%s: %v", name, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, experimentResponse{
+		Name: name, Title: entry.Title, Full: full, Seed: seed,
+		Rows: rows, Metrics: collector.Reports(),
+	})
+}
+
+func (s *Server) handleExperimentList(w http.ResponseWriter, _ *http.Request) {
+	type item struct {
+		Name  string `json:"name"`
+		Title string `json:"title"`
+	}
+	items := make([]item, 0, len(experimentRegistry))
+	for name, e := range experimentRegistry {
+		items = append(items, item{name, e.Title})
+	}
+	// Stable listing order for clients and tests.
+	for i := 1; i < len(items); i++ {
+		for j := i; j > 0 && items[j].Name < items[j-1].Name; j-- {
+			items[j], items[j-1] = items[j-1], items[j]
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": items})
+}
+
+func valueOr(v, def string) string {
+	if v == "" {
+		return def
+	}
+	return v
+}
+
+// ---- /healthz ---------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": timeSince(s.start),
+	})
+}

@@ -1,0 +1,29 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// metricsResponse is the GET /metrics payload: per-endpoint counters and
+// latency histograms (internal/obs), the session pool's measured hit
+// rate, and the decode micro-batcher's coalescing statistics.
+type metricsResponse struct {
+	UptimeSeconds float64                         `json:"uptime_seconds"`
+	Endpoints     map[string]obs.EndpointSnapshot `json:"endpoints"`
+	SessionPool   poolStats                       `json:"session_pool"`
+	Batcher       batcherStats                    `json:"batcher"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, metricsResponse{
+		UptimeSeconds: timeSince(s.start),
+		Endpoints:     s.endpoints.Snapshot(),
+		SessionPool:   s.pool.stats(),
+		Batcher:       s.batcher.stats(),
+	})
+}
+
+func timeSince(t time.Time) float64 { return time.Since(t).Seconds() }

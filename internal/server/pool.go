@@ -1,0 +1,115 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// sessionPool is an LRU cache of constructed core.Sessions keyed by a
+// hash of the link configuration. Building a session validates the config
+// and instantiates the PHY transmitters; a hot config pays that once.
+//
+// Cached sessions are shared across concurrent requests, which is sound
+// because the pool only hands them to the Run/RunParallel paths: those
+// derive every random draw (payload, scrambler seed, fading, noise) from
+// (Config.Seed, packet index) on private streams and never touch the
+// session's sequential RNG or slot counter. The stateful RunPacket API is
+// deliberately not served from the pool.
+type sessionPool struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	byKey map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+type poolItem struct {
+	key  string
+	sess *core.Session
+}
+
+func newSessionPool(capacity int) *sessionPool {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &sessionPool{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+}
+
+// get returns the session for key, building it on a miss, and reports
+// whether the call was a cache hit. Concurrent misses on the same key may
+// build twice; sessions are deterministic, so whichever construction wins
+// the insert race serves everyone.
+func (p *sessionPool) get(key string, build func() (*core.Session, error)) (*core.Session, bool, error) {
+	p.mu.Lock()
+	if el, ok := p.byKey[key]; ok {
+		p.ll.MoveToFront(el)
+		p.hits++
+		sess := el.Value.(*poolItem).sess
+		p.mu.Unlock()
+		return sess, true, nil
+	}
+	p.mu.Unlock()
+
+	sess, err := build() // construct outside the lock
+	if err != nil {
+		return nil, false, err
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if el, ok := p.byKey[key]; ok {
+		// Lost the insert race: serve the incumbent for stability.
+		p.ll.MoveToFront(el)
+		p.misses++
+		return el.Value.(*poolItem).sess, false, nil
+	}
+	p.misses++
+	p.byKey[key] = p.ll.PushFront(&poolItem{key: key, sess: sess})
+	for p.ll.Len() > p.cap {
+		oldest := p.ll.Back()
+		p.ll.Remove(oldest)
+		delete(p.byKey, oldest.Value.(*poolItem).key)
+		p.evictions++
+	}
+	return sess, false, nil
+}
+
+// poolStats is the /metrics view of the pool.
+type poolStats struct {
+	Size      int     `json:"size"`
+	Capacity  int     `json:"capacity"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func (p *sessionPool) stats() poolStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	st := poolStats{
+		Size: p.ll.Len(), Capacity: p.cap,
+		Hits: p.hits, Misses: p.misses, Evictions: p.evictions,
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}
+
+// configKey hashes the session-defining fields of a simulate request into
+// the pool key. The packet count is deliberately excluded — it is a run
+// parameter, not session state — so sweeps over n share one session.
+func configKey(parts ...any) string {
+	h := sha256.New()
+	for _, part := range parts {
+		fmt.Fprintf(h, "%v\x1f", part)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+}

@@ -1,0 +1,169 @@
+// Package server exposes the FreeRider reproduction as an HTTP/JSON
+// service (cmd/freerider-serve): the library's hot paths — stream-level
+// codeword translation (/v1/encode, /v1/decode), end-to-end link
+// simulation (/v1/simulate) and the experiment sweeps
+// (/v1/experiments/{name}) — plus /healthz and /metrics.
+//
+// The middle layer is where the serving engineering lives:
+//
+//   - a session pool caching constructed PHY/codebook state keyed by a
+//     hash of the link configuration (LRU with a measured hit rate), so a
+//     hot config pays NewSession once;
+//   - a micro-batcher coalescing concurrent /v1/decode requests into one
+//     deterministic worker-pool dispatch;
+//   - per-endpoint concurrency gates that turn overload into 429 +
+//     Retry-After instead of unbounded goroutines;
+//   - graceful shutdown that stops accepting, lets in-flight handlers
+//     finish (http.Server.Shutdown) and then drains the batcher.
+//
+// Every response is bit-identical to the corresponding direct library
+// call: decode batches run on runner.Map with per-index isolation, and
+// cached sessions are only used through the Run/RunParallel paths, which
+// derive all randomness from (seed, packet index) and never mutate
+// session state.
+package server
+
+import (
+	"context"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultAddr         = ":8080"
+	DefaultMaxInflight  = 64
+	DefaultBatchWindow  = 2 * time.Millisecond
+	DefaultMaxBatch     = 64
+	DefaultPoolSize     = 32
+	DefaultMaxBodyBytes = 8 << 20
+	DefaultMaxPackets   = 2000
+
+	// shutdownGrace bounds how long ListenAndServe waits for in-flight
+	// requests once its context is cancelled.
+	shutdownGrace = 10 * time.Second
+)
+
+// Config tunes the service; zero values select the defaults above.
+type Config struct {
+	// Addr is the listen address for ListenAndServe.
+	Addr string
+	// Workers bounds the worker pool used for batched decodes and
+	// simulate/experiment sweeps (0 = all cores). Results never depend
+	// on it.
+	Workers int
+	// MaxInflight is the per-endpoint concurrency bound; a request
+	// arriving with the gate full is rejected with 429 + Retry-After.
+	MaxInflight int
+	// BatchWindow is how long the decode micro-batcher holds the first
+	// request of a batch while coalescing followers.
+	BatchWindow time.Duration
+	// MaxBatch caps how many decode requests one dispatch carries.
+	MaxBatch int
+	// PoolSize is the session LRU capacity (distinct link configs kept
+	// constructed).
+	PoolSize int
+	// MaxBodyBytes caps request bodies; oversize requests get 413.
+	MaxBodyBytes int64
+	// MaxPackets caps the per-request packet count of /v1/simulate.
+	MaxPackets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = DefaultAddr
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = DefaultBatchWindow
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.PoolSize <= 0 {
+		c.PoolSize = DefaultPoolSize
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = DefaultMaxBodyBytes
+	}
+	if c.MaxPackets <= 0 {
+		c.MaxPackets = DefaultMaxPackets
+	}
+	return c
+}
+
+// Server is the assembled service: handlers, batcher, session pool,
+// gates and metrics. Create with New, serve via Handler or
+// ListenAndServe, and Close when done to drain the batcher.
+type Server struct {
+	cfg       Config
+	mux       *http.ServeMux
+	batcher   *batcher
+	pool      *sessionPool
+	endpoints *obs.EndpointSet
+	gates     map[string]*runner.Gate
+	start     time.Time
+}
+
+// New builds a server from the config (zero values take defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		batcher:   newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.Workers),
+		pool:      newSessionPool(cfg.PoolSize),
+		endpoints: obs.NewEndpointSet(),
+		gates:     map[string]*runner.Gate{},
+		start:     time.Now(),
+	}
+	s.routes()
+	return s
+}
+
+// routes wires every endpoint through the instrumentation middleware.
+// The v1 endpoints are gated; health and metrics always answer.
+func (s *Server) routes() {
+	s.mux.HandleFunc("POST /v1/encode", s.instrument("encode", true, s.handleEncode))
+	s.mux.HandleFunc("POST /v1/decode", s.instrument("decode", true, s.handleDecode))
+	s.mux.HandleFunc("POST /v1/simulate", s.instrument("simulate", true, s.handleSimulate))
+	s.mux.HandleFunc("GET /v1/experiments/{name}", s.instrument("experiments", true, s.handleExperiment))
+	s.mux.HandleFunc("GET /v1/experiments", s.instrument("experiments-list", false, s.handleExperimentList))
+	s.mux.HandleFunc("GET /healthz", s.instrument("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrument("metrics", false, s.handleMetrics))
+}
+
+// Handler returns the root handler (for tests and embedding).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close drains the decode batcher: pending batches run to completion and
+// later submissions fail with 503. Call after in-flight HTTP handlers
+// have finished (ListenAndServe orders this for you).
+func (s *Server) Close() { s.batcher.close() }
+
+// ListenAndServe serves until ctx is cancelled, then shuts down
+// gracefully: the listener closes, in-flight handlers get shutdownGrace
+// to finish (draining their decode batches with them), and only then is
+// the batcher closed. Returns nil on a clean shutdown.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	httpSrv := &http.Server{Addr: s.cfg.Addr, Handler: s.mux}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		s.Close()
+		return err
+	case <-ctx.Done():
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
+	err := httpSrv.Shutdown(shutdownCtx)
+	s.Close()
+	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
+	return err
+}

@@ -1,0 +1,401 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	freerider "repro"
+)
+
+// newTestServer builds a server with fast test-sized knobs plus a live
+// httptest listener; both are torn down with the test.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.BatchWindow == 0 {
+		cfg.BatchWindow = 200 * time.Microsecond
+	}
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close() // waits for in-flight requests, mirroring http.Server.Shutdown
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, out any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			t.Fatalf("unmarshal %s: %v\n%s", url, err, data)
+		}
+	}
+	return resp
+}
+
+// testStream builds a deterministic reference stream for a radio.
+func testStream(r freerider.Radio, n int, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	limit := 2
+	if r == freerider.ZigBee {
+		limit = 16
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = byte(rng.Intn(limit))
+	}
+	return out
+}
+
+func streamString(vals []byte) string { return formatStream(vals) }
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got map[string]any
+	resp := getJSON(t, ts.URL+"/healthz", &got)
+	if resp.StatusCode != http.StatusOK || got["status"] != "ok" {
+		t.Fatalf("healthz = %d %v", resp.StatusCode, got)
+	}
+}
+
+// TestEncodeDecodeRoundTrip drives /v1/encode into /v1/decode for every
+// radio and checks both against the direct library calls bit for bit.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, radio := range []freerider.Radio{freerider.WiFi, freerider.ZigBee, freerider.Bluetooth} {
+		name := freerider.RadioKey(radio)
+		t.Run(name, func(t *testing.T) {
+			const window = 4
+			ref := testStream(radio, 64, 7)
+			tagBits := []byte{1, 0, 1, 1, 0, 1, 0, 0, 1, 1, 0, 1, 1, 1, 0, 0}
+
+			wantRX, used, err := freerider.EncodeStream(radio, ref, tagBits, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			resp, body := postJSON(t, ts.URL+"/v1/encode", encodeRequest{
+				Radio: name, Ref: streamString(ref), TagBits: streamString(tagBits), Window: window,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("encode: %d %s", resp.StatusCode, body)
+			}
+			var enc encodeResponse
+			if err := json.Unmarshal(body, &enc); err != nil {
+				t.Fatal(err)
+			}
+			if enc.RX != streamString(wantRX) {
+				t.Fatalf("encode rx diverges from library:\n got %s\nwant %s", enc.RX, streamString(wantRX))
+			}
+			if enc.TagBitsUsed != used {
+				t.Fatalf("tag_bits_used = %d, want %d", enc.TagBitsUsed, used)
+			}
+
+			resp, body = postJSON(t, ts.URL+"/v1/decode", decodeRequest{
+				Radio: name, Ref: streamString(ref), RX: enc.RX, Window: window,
+			})
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("decode: %d %s", resp.StatusCode, body)
+			}
+			var dec decodeResponse
+			if err := json.Unmarshal(body, &dec); err != nil {
+				t.Fatal(err)
+			}
+			want := streamString(tagBits[:used])
+			if dec.TagBits != want {
+				t.Fatalf("round trip lost tag bits: got %s want %s", dec.TagBits, want)
+			}
+
+			// And the decode response must match the direct library call.
+			ws, err := freerider.DecodeStream(radio, ref, wantRX, window)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if dec.TagBits != streamString(freerider.DecisionBits(ws)) {
+				t.Fatalf("decode endpoint diverges from DecodeStream")
+			}
+			for i, wd := range ws {
+				if dec.Mismatch[i] != wd.MismatchFraction {
+					t.Fatalf("mismatch[%d] = %v, want %v", i, dec.Mismatch[i], wd.MismatchFraction)
+				}
+			}
+		})
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for _, path := range []string{"/v1/encode", "/v1/decode", "/v1/simulate"} {
+		resp, err := http.Post(ts.URL+path, "application/json", strings.NewReader("{not json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s malformed JSON: got %d, want 400", path, resp.StatusCode)
+		}
+	}
+}
+
+func TestUnknownRadio(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, body := postJSON(t, ts.URL+"/v1/decode", decodeRequest{Radio: "lora", Ref: "01", RX: "01", Window: 1})
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(body), "unknown radio") {
+		t.Fatalf("unknown radio: got %d %s", resp.StatusCode, body)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/simulate", simulateRequest{Radio: "lte", Distance: 5, Packets: 1})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("simulate unknown radio: got %d", resp.StatusCode)
+	}
+}
+
+func TestInvalidStreamElement(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Hex digits are valid for ZigBee but not for WiFi bit streams.
+	resp, body := postJSON(t, ts.URL+"/v1/decode", decodeRequest{Radio: "wifi", Ref: "01a1", RX: "0101", Window: 2})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid element: got %d %s", resp.StatusCode, body)
+	}
+}
+
+func TestOversizeBody(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	big := decodeRequest{Radio: "wifi", Ref: strings.Repeat("01", 400), RX: strings.Repeat("01", 400), Window: 4}
+	resp, body := postJSON(t, ts.URL+"/v1/decode", big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize body: got %d %s, want 413", resp.StatusCode, body)
+	}
+}
+
+// TestBackpressure fills an endpoint's gate and checks the next request
+// is shed with 429 + Retry-After rather than queued.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInflight: 2})
+	gate := s.gates["decode"]
+	for i := 0; i < gate.Capacity(); i++ {
+		if !gate.TryEnter() {
+			t.Fatalf("gate refused slot %d of %d", i, gate.Capacity())
+		}
+	}
+	defer func() {
+		for i := 0; i < gate.Capacity(); i++ {
+			gate.Leave()
+		}
+	}()
+	resp, body := postJSON(t, ts.URL+"/v1/decode", decodeRequest{Radio: "wifi", Ref: "0101", RX: "0101", Window: 2})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over capacity: got %d %s, want 429", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 response missing Retry-After")
+	}
+	// Other endpoints keep their own gates: healthz and simulate answer.
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz gated by decode backpressure: %d", resp.StatusCode)
+	}
+}
+
+// TestSimulate checks the endpoint against a direct library run bit for
+// bit, and that a repeated config is served from the session pool.
+func TestSimulate(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	req := simulateRequest{Radio: "zigbee", Distance: 4, Packets: 2, Seed: 3}
+
+	cfg := freerider.DefaultConfig(freerider.ZigBee, 4)
+	cfg.Seed = 3
+	sess, err := freerider.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate: %d %s", resp.StatusCode, body)
+	}
+	var got simulateResponse
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.CacheHit {
+		t.Error("first request reported a cache hit")
+	}
+	if got.Result != want {
+		t.Fatalf("simulate diverges from direct Run:\n got %+v\nwant %+v", got.Result, want)
+	}
+
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("simulate (repeat): %d %s", resp.StatusCode, body)
+	}
+	var again simulateResponse
+	if err := json.Unmarshal(body, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.CacheHit {
+		t.Error("repeat request missed the session pool")
+	}
+	if again.Result != want {
+		t.Fatalf("cached session diverges from direct Run:\n got %+v\nwant %+v", again.Result, want)
+	}
+	if st := s.pool.stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("pool stats = %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxPackets: 10})
+	cases := []simulateRequest{
+		{Radio: "wifi", Distance: 0, Packets: 1},             // bad distance
+		{Radio: "wifi", Distance: 5, Packets: 0},             // bad packets
+		{Radio: "wifi", Distance: 5, Packets: 11},            // over MaxPackets
+		{Radio: "wifi", Distance: 5, Packets: 1, RateMbps: 54},  // non-BPSK/QPSK rate
+		{Radio: "zigbee", Distance: 5, Packets: 1, Quaternary: true}, // quaternary off-WiFi
+		{Radio: "wifi", Distance: 5, Packets: 1, Faults: "no-such-profile"},
+	}
+	for i, c := range cases {
+		resp, body := postJSON(t, ts.URL+"/v1/simulate", c)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("case %d: got %d %s, want 400", i, resp.StatusCode, body)
+		}
+	}
+}
+
+func TestExperimentEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	var got experimentResponse
+	resp := getJSON(t, ts.URL+"/v1/experiments/power", &got)
+	if resp.StatusCode != http.StatusOK || got.Name != "power" || got.Rows == nil {
+		t.Fatalf("experiments/power: %d %+v", resp.StatusCode, got)
+	}
+	if resp := getJSON(t, ts.URL+"/v1/experiments/no-such-figure", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown experiment: got %d, want 404", resp.StatusCode)
+	}
+	var list map[string][]map[string]string
+	if resp := getJSON(t, ts.URL+"/v1/experiments", &list); resp.StatusCode != http.StatusOK {
+		t.Fatalf("experiments list: %d", resp.StatusCode)
+	}
+	if len(list["experiments"]) != len(experimentRegistry) {
+		t.Fatalf("listing has %d entries, registry %d", len(list["experiments"]), len(experimentRegistry))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	postJSON(t, ts.URL+"/v1/decode", decodeRequest{Radio: "wifi", Ref: "01010101", RX: "01010101", Window: 4})
+	var got metricsResponse
+	if resp := getJSON(t, ts.URL+"/metrics", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	dec, ok := got.Endpoints["decode"]
+	if !ok || dec.Requests != 1 {
+		t.Fatalf("decode endpoint metrics = %+v", got.Endpoints)
+	}
+	if dec.Latency.Count != 1 || dec.Latency.MeanMs <= 0 {
+		t.Fatalf("decode latency histogram = %+v", dec.Latency)
+	}
+	if got.Batcher.Requests != 1 || got.Batcher.Batches != 1 {
+		t.Fatalf("batcher stats = %+v", got.Batcher)
+	}
+}
+
+// TestShutdownDrains submits decode work, closes the server, and checks
+// that accepted jobs completed while later submissions are refused.
+func TestShutdownDrains(t *testing.T) {
+	s := New(Config{BatchWindow: 200 * time.Microsecond})
+	ref := testStream(freerider.WiFi, 32, 1)
+	rx, _, err := freerider.EncodeStream(freerider.WiFi, ref, []byte{1, 0, 1, 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 8
+	results := make([][]byte, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := httptest.NewRequest("POST", "/v1/decode", strings.NewReader(fmt.Sprintf(
+				`{"radio":"wifi","ref":"%s","rx":"%s","window":4}`, formatStream(ref), formatStream(rx))))
+			rec := httptest.NewRecorder()
+			s.Handler().ServeHTTP(rec, req)
+			if rec.Code == http.StatusOK {
+				results[i] = rec.Body.Bytes()
+			}
+		}(i)
+	}
+	wg.Wait() // handlers done = their batches were served
+	s.Close()
+
+	want := streamString(freerider.DecisionBits(mustDecode(t, freerider.WiFi, ref, rx, 4)))
+	for i, body := range results {
+		if body == nil {
+			t.Fatalf("request %d failed before shutdown", i)
+		}
+		var dec decodeResponse
+		if err := json.Unmarshal(body, &dec); err != nil {
+			t.Fatal(err)
+		}
+		if dec.TagBits != want {
+			t.Fatalf("request %d: tag bits %s, want %s", i, dec.TagBits, want)
+		}
+	}
+
+	// Post-close: the batcher refuses new work with 503.
+	req := httptest.NewRequest("POST", "/v1/decode", strings.NewReader(fmt.Sprintf(
+		`{"radio":"wifi","ref":"%s","rx":"%s","window":4}`, formatStream(ref), formatStream(rx))))
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("post-close decode: got %d, want 503", rec.Code)
+	}
+}
+
+func mustDecode(t *testing.T, r freerider.Radio, ref, rx []byte, window int) []freerider.WindowDecision {
+	t.Helper()
+	ws, err := freerider.DecodeStream(r, ref, rx, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ws
+}
