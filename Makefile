@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-serve golden loadtest-quick soak soak-quick fuzz-faults ci
+.PHONY: build test race vet staticcheck bench bench-serve bench-dsp bench-dsp-baseline golden loadtest-quick soak soak-quick fuzz-faults ci
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,37 @@ bench-serve:
 		| sed 's#/#_per_#g' >> BENCH_SERVE.json
 	@tail -1 BENCH_SERVE.json
 
+# bench-dsp is the DSP-hot-path regression gate. It benchmarks the FFT
+# plans, convolution, the per-radio end-to-end packet (core
+# BenchmarkSessionRunPacket), the channel application per fading model and
+# the fault layer, appends one JSONL trajectory point to BENCH_DSP.json,
+# and fails if any benchmark regresses past the checked-in
+# BENCH_DSP_BASELINE.json: >15% ns/op, or allocs/op beyond
+# max(old*1.10, old+16). Fixed iteration counts and min-across--count=5
+# keep the gate stable on noisy shared machines: microsecond-scale
+# kernels get 2000 iterations per count, the millisecond-scale per-packet
+# benches get 100. After an intentional perf-relevant change, re-record
+# with `make bench-dsp-baseline` and review the baseline diff like any
+# other golden.
+BENCH_DSP_TIME_FAST ?= 2000x
+BENCH_DSP_TIME_E2E ?= 100x
+BENCH_DSP_COUNT ?= 5
+BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|CalibrationProbe'
+
+bench-dsp:
+	@( $(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
+		-benchtime=$(BENCH_DSP_TIME_FAST) -count=$(BENCH_DSP_COUNT) \
+		./internal/signal ./internal/channel ./internal/faults ; \
+	$(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
+		-benchtime=$(BENCH_DSP_TIME_E2E) -count=$(BENCH_DSP_COUNT) \
+		./internal/core ) \
+		| $(GO) run ./tools/benchgate -baseline BENCH_DSP_BASELINE.json -out BENCH_DSP.json $(BENCHGATE_FLAGS)
+
+# bench-dsp-baseline re-records BENCH_DSP_BASELINE.json from the current
+# tree. Only run it for intentional performance changes.
+bench-dsp-baseline:
+	@$(MAKE) bench-dsp BENCHGATE_FLAGS=-update
+
 # golden regenerates the PHY golden vectors after an intentional
 # calibration change. Review the diff before committing.
 golden:
@@ -73,5 +104,6 @@ fuzz-faults:
 # ci is the gate: everything must build, pass vet (and staticcheck where
 # installed), pass the suite with the race detector on, hold the service
 # layer bit-identical under concurrent load, survive the quick chaos soak,
-# and keep the fault-spec parser fuzz-clean.
-ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults
+# keep the fault-spec parser fuzz-clean, and stay within the DSP
+# benchmark budget.
+ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults bench-dsp

@@ -7,7 +7,7 @@
 //
 //	freerider-serve [-addr :8080] [-workers N] [-max-inflight N]
 //	                [-batch-window D] [-batch-max N] [-pool-size N]
-//	                [-max-body BYTES]
+//	                [-max-body BYTES] [-admin-addr 127.0.0.1:6060]
 //
 // Concurrent decode requests are coalesced into batches of up to
 // -batch-max (gathered for at most -batch-window) and dispatched through
@@ -22,12 +22,49 @@ import (
 	"context"
 	"flag"
 	"log"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
 )
+
+// startAdmin brings up the optional admin listener serving /debug/pprof.
+// Profiling endpoints leak heap contents and goroutine stacks, so the
+// listener refuses to come up on anything but a loopback address: the bind
+// must name a loopback IP (or localhost) explicitly — ":6060"-style
+// all-interface binds are rejected before the socket opens.
+func startAdmin(addr string) {
+	host, _, err := net.SplitHostPort(addr)
+	if err != nil {
+		log.Fatalf("admin-addr %q: %v", addr, err)
+	}
+	if host != "localhost" {
+		ip := net.ParseIP(host)
+		if ip == nil || !ip.IsLoopback() {
+			log.Fatalf("admin-addr %q is not loopback; pprof is only served on 127.0.0.1/::1/localhost", addr)
+		}
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatalf("admin listener: %v", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("admin pprof listening on %s (loopback only)", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, mux); err != nil {
+			log.Printf("admin listener stopped: %v", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", server.DefaultAddr, "listen address")
@@ -37,7 +74,12 @@ func main() {
 	batchMax := flag.Int("batch-max", server.DefaultMaxBatch, "max decode requests per batch dispatch")
 	poolSize := flag.Int("pool-size", server.DefaultPoolSize, "session LRU capacity (distinct link configs kept warm)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
+	adminAddr := flag.String("admin-addr", "", "loopback-only admin listener serving /debug/pprof (disabled when empty)")
 	flag.Parse()
+
+	if *adminAddr != "" {
+		startAdmin(*adminAddr)
+	}
 
 	srv := server.New(server.Config{
 		Addr:         *addr,

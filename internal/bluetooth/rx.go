@@ -106,8 +106,35 @@ func (rx *Receiver) receive(cap *signal.Signal, firstOnly bool) []*RxFrame {
 // the tag leaves the sync header unmodified, so detection works even when
 // the body bits are translated and the frame no longer parses.
 func (rx *Receiver) Detect(cap *signal.Signal) (int, float64) {
-	disc := Discriminate(cap.Clone().Filter(rx.channelFilter))
-	return rx.detect(disc, 0)
+	return rx.Demod(cap).Detect()
+}
+
+// Demodulated is one channel-filter + FM-discrimination pass over a
+// capture. Detect and RawBitsAt both start from the discriminator output,
+// so callers that need both (the backscatter decoder detects the sync and
+// then slices raw bits) run the expensive 129-tap channel filter once
+// instead of once per query.
+type Demodulated struct {
+	rx   *Receiver
+	disc []float64
+}
+
+// Demod channel-filters and FM-discriminates the capture once, returning a
+// pass that answers Detect and RawBitsAt queries against the shared
+// discriminator output. The results are bit-identical to the one-shot
+// methods, which perform exactly this pass internally.
+func (rx *Receiver) Demod(cap *signal.Signal) *Demodulated {
+	return &Demodulated{rx: rx, disc: Discriminate(cap.Clone().Filter(rx.channelFilter))}
+}
+
+// Detect is Receiver.Detect against the shared discriminator pass.
+func (d *Demodulated) Detect() (int, float64) {
+	return d.rx.detect(d.disc, 0)
+}
+
+// RawBitsAt is Receiver.RawBitsAt against the shared discriminator pass.
+func (d *Demodulated) RawBitsAt(start, nBits int) []byte {
+	return rawBitsFrom(d.disc, start, nBits)
 }
 
 // Discriminate converts a baseband capture into instantaneous frequency,
@@ -255,7 +282,10 @@ func min(a, b int) int {
 // it over the backhaul) and extracts tag data by comparing streams, so it
 // does not depend on the translated frame parsing cleanly.
 func (rx *Receiver) RawBitsAt(cap *signal.Signal, start, nBits int) []byte {
-	disc := Discriminate(cap.Clone().Filter(rx.channelFilter))
+	return rawBitsFrom(Discriminate(cap.Clone().Filter(rx.channelFilter)), start, nBits)
+}
+
+func rawBitsFrom(disc []float64, start, nBits int) []byte {
 	out := make([]byte, 0, nBits)
 	for i := 0; i < nBits; i++ {
 		lo := start + i*SamplesPerBit

@@ -16,6 +16,7 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
+	"sync"
 
 	"repro/internal/signal"
 )
@@ -191,14 +192,31 @@ func (l Link) ExcitationRSSIAtTag() float64 {
 // SNRdB returns the backscatter link SNR at the receiver.
 func (l Link) SNRdB() float64 { return l.BackscatterRSSI() - l.NoiseFloor }
 
+// rngPool recycles *rand.Rand instances across Apply calls: the default
+// source carries a ~5 KB state table, and Seed re-initialises that state
+// completely, so a pooled generator seeded with l.Seed produces exactly
+// the draw sequence a fresh rand.New(rand.NewSource(l.Seed)) would.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
 // Apply scales a unit-power baseband signal to the link's receive power and
 // adds thermal noise, returning a new capture with headroom samples of
 // leading and trailing noise. The tag-side losses must already be embedded
 // in the waveform (the tag model applies its own mixer), so callers pass
 // excludeTagLoss=true when the waveform was produced by the tag model.
 func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signal.Signal, error) {
+	out := signal.New(0, 0)
+	if err := l.ApplyTo(out, s, headroom, excludeTagLoss); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ApplyTo is Apply writing into dst, reusing dst's sample capacity when
+// large enough so per-packet callers can recycle one capture buffer. dst
+// must not alias s. Steady state allocates nothing.
+func (l Link) ApplyTo(dst *signal.Signal, s *signal.Signal, headroom int, excludeTagLoss bool) error {
 	if s == nil || len(s.Samples) == 0 {
-		return nil, fmt.Errorf("channel: empty input signal")
+		return fmt.Errorf("channel: empty input signal")
 	}
 	rssi := l.BackscatterRSSI()
 	if excludeTagLoss {
@@ -211,10 +229,22 @@ func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signa
 	// Normalise the source to unit power first.
 	p := s.MeanPower()
 	if p <= 0 {
-		return nil, fmt.Errorf("channel: zero-power input signal")
+		return fmt.Errorf("channel: zero-power input signal")
 	}
-	out := signal.New(s.Rate, len(s.Samples)+2*headroom)
-	rng := rand.New(rand.NewSource(l.Seed))
+	n := len(s.Samples) + 2*headroom
+	dst.Rate = s.Rate
+	if cap(dst.Samples) >= n {
+		dst.Samples = dst.Samples[:n]
+		for i := range dst.Samples {
+			dst.Samples[i] = 0
+		}
+	} else {
+		dst.Samples = make([]complex128, n)
+	}
+	out := dst
+	rng := rngPool.Get().(*rand.Rand)
+	defer rngPool.Put(rng)
+	rng.Seed(l.Seed)
 	g := complex(amp/math.Sqrt(p), 0) * l.fadeGain(rng)
 	for i, v := range s.Samples {
 		out.Samples[headroom+i] = v * g
@@ -257,7 +287,7 @@ func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signa
 			}
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // truncateFraction returns the active brownout cut point in (0,1), or 0

@@ -1,0 +1,37 @@
+package core
+
+import "testing"
+
+// BenchmarkSessionRunPacket times one full sample-level backscatter packet
+// (ambient TX → tag codeword translation → channel → receiver → tag
+// decode) per radio on a warm Session. bench-dsp tracks its ns/op and
+// allocs/op; the allocs figure is the steady-state heap traffic of the
+// whole per-packet pipeline, so regressions in any pooled fast path show
+// up here even when the kernel-level zero-alloc tests still pass.
+func BenchmarkSessionRunPacket(b *testing.B) {
+	for _, radio := range []Radio{WiFi, ZigBee, Bluetooth} {
+		b.Run(radio.String(), func(b *testing.B) {
+			cfg := DefaultConfig(radio, 5)
+			s, err := NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tagBits := make([]byte, s.Capacity())
+			for i := range tagBits {
+				tagBits[i] = byte(i) & 1
+			}
+			// Warm the signal/arena and session pools so b.N measures
+			// steady state rather than first-packet pool fills.
+			if _, err := s.RunPacket(tagBits); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := s.RunPacket(tagBits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

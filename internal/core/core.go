@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/bluetooth"
@@ -18,6 +19,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/faults"
 	"repro/internal/runner"
+	"repro/internal/signal"
 	"repro/internal/tag"
 	"repro/internal/wifi"
 	"repro/internal/zigbee"
@@ -409,6 +411,17 @@ func (s *Session) zigbeeMPDU(rng *rand.Rand) []byte {
 	return f.Marshal()
 }
 
+// capturePool recycles the receiver-side capture buffers (hundreds of KB
+// per packet). Decoded frames copy everything they keep — payload bytes,
+// bit slices — so a capture can be recycled as soon as its packet's decode
+// finishes; RunParallel workers share the Session, hence a sync.Pool
+// rather than Session fields.
+var capturePool = sync.Pool{New: func() any { return signal.New(0, 0) }}
+
+// packetRNGPool recycles the per-packet RNGs RunParallel's derived streams
+// use (the default source carries a ~5 KB state table).
+var packetRNGPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
 // link instantiates the configured link for one packet, seeding it from the
 // packet's RNG stream and attaching the slot's channel-level faults (nil
 // impairment for a clean slot, which keeps Apply on its benign path).
@@ -445,8 +458,9 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter,
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
-	if err != nil {
+	cap := capturePool.Get().(*signal.Signal)
+	defer capturePool.Put(cap)
+	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -529,8 +543,9 @@ func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand, pf faults.Packet) (P
 	if _, err := sh.Shift(backscattered); err != nil {
 		return PacketResult{}, err
 	}
-	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
-	if err != nil {
+	cap := capturePool.Get().(*signal.Signal)
+	defer capturePool.Put(cap)
+	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -581,22 +596,26 @@ func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand, pf faults.Packet)
 	// The Bluetooth tag's codeword toggle already runs through the real
 	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
 	// is folded into TagLossDB like the others.
-	cap, err := s.link(rng, pf).Apply(backscattered, 400, false)
-	if err != nil {
+	cap := capturePool.Get().(*signal.Signal)
+	defer capturePool.Put(cap)
+	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
 
 	rx := bluetooth.NewReceiver()
 	rx.DetectionThreshold = s.cfg.detectionThreshold(btDetectionThreshold)
-	start, q := rx.Detect(cap)
+	// One channel-filter + discriminator pass answers both the sync
+	// detection and the raw bit slicing.
+	demod := rx.Demod(cap)
+	start, q := demod.Detect()
 	if start < 0 || q < rx.DetectionThreshold {
 		return res, nil
 	}
 	res.Detected = true
 	res.RSSI = s.cfg.Link.BackscatterRSSI()
 
-	raw := rx.RawBitsAt(cap, start, len(ref))
+	raw := demod.RawBitsAt(start, len(ref))
 	if len(raw) < len(ref) {
 		return res, nil
 	}
@@ -658,7 +677,11 @@ func (r SessionResult) LossRate() float64 {
 // ran before or on which worker this one lands, which is what makes Run
 // and RunParallel bit-identical.
 func (s *Session) runPacketAt(idx int) (PacketResult, error) {
-	rng := rand.New(rand.NewSource(runner.DeriveSeed(s.cfg.Seed, "core.packet", idx)))
+	// Seed fully re-initialises a pooled generator's state, so the stream
+	// is exactly what a fresh rand.New(rand.NewSource(seed)) would draw.
+	rng := packetRNGPool.Get().(*rand.Rand)
+	defer packetRNGPool.Put(rng)
+	rng.Seed(runner.DeriveSeed(s.cfg.Seed, "core.packet", idx))
 	tagBits := make([]byte, s.Capacity())
 	for j := range tagBits {
 		tagBits[j] = byte(rng.Intn(2))

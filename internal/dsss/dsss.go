@@ -246,8 +246,8 @@ func (rx *Receiver) Detect(cap *signal.Signal) (int, float64) {
 			}
 			energy += cmplx.Abs(acc)
 		}
-		for i := start; i < start+8*BitSamples; i++ {
-			v := cap.Samples[i]
+		win := cap.Samples[start : start+8*BitSamples : start+8*BitSamples]
+		for _, v := range win {
 			power += real(v)*real(v) + imag(v)*imag(v)
 		}
 		if power <= 0 {

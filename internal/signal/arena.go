@@ -1,0 +1,122 @@
+package signal
+
+import "sync"
+
+// Arena is a scratch-buffer allocator for the per-packet DSP kernels.
+// Buffers are checked out with Complex/Float/Bytes/Int32 and all returned
+// at once by Release; the arena itself cycles through a sync.Pool, so a
+// steady-state packet path performs zero heap allocations once the pools
+// are warm.
+//
+// Ownership rules (see DESIGN.md §8): an arena serves one goroutine at a
+// time; every buffer obtained from it is valid only until Release and must
+// never be stored in a result that outlives the call — copy into a fresh
+// allocation for anything that escapes. Release returns every outstanding
+// buffer, so callers never release individual buffers.
+type Arena struct {
+	cFree, cUsed [][]complex128
+	fFree, fUsed [][]float64
+	bFree, bUsed [][]byte
+	iFree, iUsed [][]int32
+}
+
+var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
+
+// GetArena checks an arena out of the pool. Pair with Release, typically
+// via defer.
+func GetArena() *Arena { return arenaPool.Get().(*Arena) }
+
+// Release returns every buffer handed out since checkout and puts the
+// arena back into the pool. Using any previously returned buffer after
+// Release is a data race with the arena's next owner.
+func (a *Arena) Release() {
+	a.cFree = append(a.cFree, a.cUsed...)
+	a.fFree = append(a.fFree, a.fUsed...)
+	a.bFree = append(a.bFree, a.bUsed...)
+	a.iFree = append(a.iFree, a.iUsed...)
+	a.cUsed = a.cUsed[:0]
+	a.fUsed = a.fUsed[:0]
+	a.bUsed = a.bUsed[:0]
+	a.iUsed = a.iUsed[:0]
+	arenaPool.Put(a)
+}
+
+// Complex returns a zeroed scratch slice of n complex128 values.
+func (a *Arena) Complex(n int) []complex128 {
+	for i, b := range a.cFree {
+		if cap(b) >= n {
+			last := len(a.cFree) - 1
+			a.cFree[i] = a.cFree[last]
+			a.cFree = a.cFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.cUsed = append(a.cUsed, b)
+			return b
+		}
+	}
+	b := make([]complex128, n)
+	a.cUsed = append(a.cUsed, b)
+	return b
+}
+
+// Float returns a zeroed scratch slice of n float64 values.
+func (a *Arena) Float(n int) []float64 {
+	for i, b := range a.fFree {
+		if cap(b) >= n {
+			last := len(a.fFree) - 1
+			a.fFree[i] = a.fFree[last]
+			a.fFree = a.fFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.fUsed = append(a.fUsed, b)
+			return b
+		}
+	}
+	b := make([]float64, n)
+	a.fUsed = append(a.fUsed, b)
+	return b
+}
+
+// Bytes returns a zeroed scratch slice of n bytes.
+func (a *Arena) Bytes(n int) []byte {
+	for i, b := range a.bFree {
+		if cap(b) >= n {
+			last := len(a.bFree) - 1
+			a.bFree[i] = a.bFree[last]
+			a.bFree = a.bFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.bUsed = append(a.bUsed, b)
+			return b
+		}
+	}
+	b := make([]byte, n)
+	a.bUsed = append(a.bUsed, b)
+	return b
+}
+
+// Int32 returns a zeroed scratch slice of n int32 values.
+func (a *Arena) Int32(n int) []int32 {
+	for i, b := range a.iFree {
+		if cap(b) >= n {
+			last := len(a.iFree) - 1
+			a.iFree[i] = a.iFree[last]
+			a.iFree = a.iFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.iUsed = append(a.iUsed, b)
+			return b
+		}
+	}
+	b := make([]int32, n)
+	a.iUsed = append(a.iUsed, b)
+	return b
+}

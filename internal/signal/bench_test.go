@@ -77,3 +77,33 @@ func BenchmarkSquareWaveMix(b *testing.B) {
 		s.SquareWaveMix(5e6, 0)
 	}
 }
+
+// benchProbeSink keeps the calibration workload observable so the
+// compiler cannot delete it.
+var benchProbeSink complex128
+
+// BenchmarkCalibrationProbe is a fixed pure-CPU workload (cache-resident
+// complex multiply-accumulate, no allocation, no code under test) used by
+// tools/benchgate to normalise every other benchmark: machine-wide
+// slowdowns on shared CI hardware scale the probe and the DSP kernels
+// alike, so gating on the probe-relative ratio cancels them. Its absolute
+// ns/op is meaningless and must never be "optimised".
+func BenchmarkCalibrationProbe(b *testing.B) {
+	buf := make([]complex128, 4096)
+	for i := range buf {
+		buf[i] = complex(float64(i%17)*0.25, float64(i%29)*0.125)
+	}
+	w := complex(0.999, 0.0447)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := complex(0, 0)
+		for pass := 0; pass < 8; pass++ {
+			for _, v := range buf {
+				acc += v * w
+				w *= complex(real(v)*1e-6+1, 0)
+			}
+		}
+		benchProbeSink = acc
+	}
+}

@@ -3,68 +3,39 @@ package signal
 import (
 	"fmt"
 	"math"
-	"math/bits"
 )
 
 // FFT computes the in-place radix-2 decimation-in-time FFT of x. The length
 // must be a power of two. The transform is unnormalised (standard DFT sum).
+// The twiddle factors and bit-reversal permutation come from the cached
+// per-size Plan, so steady-state calls allocate nothing.
 func FFT(x []complex128) error {
-	return fftDir(x, false)
+	if len(x) == 0 {
+		return nil
+	}
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return err
+	}
+	return p.FFT(x)
 }
 
 // IFFT computes the inverse FFT of x in place, including the 1/N
 // normalisation, so IFFT(FFT(x)) == x.
 func IFFT(x []complex128) error {
-	if err := fftDir(x, true); err != nil {
-		return err
-	}
-	n := complex(float64(len(x)), 0)
-	for i := range x {
-		x[i] /= n
-	}
-	return nil
-}
-
-func fftDir(x []complex128, inverse bool) error {
-	n := len(x)
-	if n == 0 {
+	if len(x) == 0 {
 		return nil
 	}
-	if n&(n-1) != 0 {
-		return fmt.Errorf("signal: FFT length %d is not a power of two", n)
+	p, err := PlanFor(len(x))
+	if err != nil {
+		return err
 	}
-	// Bit-reversal permutation.
-	shift := 64 - uint(bits.Len(uint(n-1)))
-	for i := 0; i < n; i++ {
-		j := int(bits.Reverse64(uint64(i)) >> shift)
-		if j > i {
-			x[i], x[j] = x[j], x[i]
-		}
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size >> 1
-		theta := sign * 2 * math.Pi / float64(size)
-		wStep := complex(math.Cos(theta), math.Sin(theta))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				a := x[start+k]
-				b := x[start+k+half] * w
-				x[start+k] = a + b
-				x[start+k+half] = a - b
-				w *= wStep
-			}
-		}
-	}
-	return nil
+	return p.IFFT(x)
 }
 
 // FFTShift reorders FFT output so the zero-frequency bin sits in the middle
-// of the slice (negative frequencies first). Returns a new slice.
+// of the slice (negative frequencies first). Returns a new slice; use
+// FFTShiftInPlace on a hot path.
 func FFTShift(x []complex128) []complex128 {
 	n := len(x)
 	out := make([]complex128, n)
@@ -74,13 +45,21 @@ func FFTShift(x []complex128) []complex128 {
 	return out
 }
 
-// Spectrum returns the power spectrum (|X[k]|^2 / N^2) of the first power-of-
-// two prefix of the signal, ordered with DC at bin 0.
+// Spectrum returns the power spectrum (|X[k]|^2 / N^2) over the first n
+// samples of the signal, ordered with DC at bin 0. n must be a power of two
+// no larger than the signal: silently zero-padding past the end would
+// report a spectrum of a signal that was never captured, so a too-large n
+// is an explicit error.
 func (s *Signal) Spectrum(n int) ([]float64, error) {
 	if n <= 0 || n&(n-1) != 0 {
 		return nil, fmt.Errorf("signal: spectrum size %d not a power of two", n)
 	}
-	buf := make([]complex128, n)
+	if n > len(s.Samples) {
+		return nil, fmt.Errorf("signal: spectrum size %d exceeds signal length %d", n, len(s.Samples))
+	}
+	a := GetArena()
+	defer a.Release()
+	buf := a.Complex(n)
 	copy(buf, s.Samples)
 	if err := FFT(buf); err != nil {
 		return nil, err
@@ -95,6 +74,8 @@ func (s *Signal) Spectrum(n int) ([]float64, error) {
 
 // Goertzel evaluates the DFT of x at a single normalised frequency f (cycles
 // per sample), useful for cheap tone detection in the FSK demodulator tests.
+// The phasor recurrence hoists all trigonometry out of the loop: one
+// cos/sin pair per call regardless of the block length.
 func Goertzel(x []complex128, f float64) complex128 {
 	// Direct correlation: sum x[n]·exp(-j2πfn). For the short blocks used in
 	// tests this is clearer than the classical recurrence and numerically

@@ -77,6 +77,91 @@ func Convolve(x []complex128, h []float64) []complex128 {
 	return out
 }
 
+// ConvolveInto is Convolve with caller-provided storage: the result is
+// appended to dst[:0] and the intermediate full-length product comes from
+// the arena, so a warm caller allocates nothing. The multiply–accumulate
+// order is exactly Convolve's, so the output is bit-identical.
+func ConvolveInto(dst, x []complex128, h []float64, a *Arena) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return dst[:0]
+	}
+	full := a.Complex(len(x) + len(h) - 1)
+	for i, xv := range x {
+		row := full[i : i+len(h) : i+len(h)]
+		for j, hv := range h {
+			row[j] += xv * complex(hv, 0)
+		}
+	}
+	delay := (len(h) - 1) / 2
+	return append(dst[:0], full[delay:delay+len(x)]...)
+}
+
+// ConvolveFFTThreshold is the tap count above which overlap-save FFT
+// convolution (ConvolveFFT) beats the direct form. It is advisory: the
+// FFT path reorders floating-point summation and is therefore NOT
+// bit-identical to Convolve, so bit-exact paths (anything feeding the
+// golden vectors or the RunParallel identity check) must keep calling
+// Convolve/ConvolveInto regardless of tap count.
+const ConvolveFFTThreshold = 128
+
+// ConvolveFFT computes the same "same"-aligned filtering as Convolve using
+// overlap-save FFT blocks. Results agree with Convolve only to floating-
+// point tolerance (summation order differs) — this path is opt-in for
+// analysis and offline tooling, never a silent replacement on decode paths.
+func ConvolveFFT(x []complex128, h []float64) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
+	m := len(h)
+	n := 1
+	for n < 4*m || n < 64 {
+		n <<= 1
+	}
+	p, err := PlanFor(n)
+	if err != nil {
+		return Convolve(x, h) // unreachable: n is a power of two
+	}
+	hf := make([]complex128, n)
+	for i, hv := range h {
+		hf[i] = complex(hv, 0)
+	}
+	p.FFT(hf)
+
+	a := GetArena()
+	defer a.Release()
+	block := a.Complex(n)
+	fullLen := len(x) + m - 1
+	full := a.Complex(fullLen)
+	// Overlap-save: each block covers input x[pos-m+1 : pos-m+1+n]; after
+	// the circular convolution, entries m-1..n-1 are valid linear-convolution
+	// outputs full[pos : pos+L].
+	L := n - m + 1
+	for pos := 0; pos < fullLen; pos += L {
+		for i := 0; i < n; i++ {
+			idx := pos - m + 1 + i
+			if idx >= 0 && idx < len(x) {
+				block[i] = x[idx]
+			} else {
+				block[i] = 0
+			}
+		}
+		p.FFT(block)
+		for i := range block {
+			block[i] *= hf[i]
+		}
+		p.IFFT(block)
+		lim := L
+		if pos+lim > fullLen {
+			lim = fullLen - pos
+		}
+		copy(full[pos:pos+lim], block[m-1:m-1+lim])
+	}
+	delay := (m - 1) / 2
+	out := make([]complex128, len(x))
+	copy(out, full[delay:delay+len(x)])
+	return out
+}
+
 // Filter applies h to the signal in place (same alignment) and returns it.
 func (s *Signal) Filter(h []float64) *Signal {
 	s.Samples = Convolve(s.Samples, h)

@@ -3,6 +3,8 @@ package wifi
 import (
 	"math"
 	"math/cmplx"
+
+	"repro/internal/signal"
 )
 
 // estimateCFOFromLTF returns the carrier frequency offset in Hz estimated
@@ -95,16 +97,5 @@ func (t *phaseTracker) correct(pts [NumData]complex128, m Modulation) [NumData]c
 // derotate removes a frequency offset of cfo Hz from samples in place,
 // with the phase reference at index 0.
 func derotate(samples []complex128, cfo float64) {
-	if cfo == 0 {
-		return
-	}
-	step := cmplx.Exp(complex(0, -2*math.Pi*cfo/SampleRate))
-	rot := complex(1, 0)
-	for i := range samples {
-		samples[i] *= rot
-		rot *= step
-		if i&0x3FF == 0x3FF {
-			rot /= complex(cmplx.Abs(rot), 0)
-		}
-	}
+	signal.Derotate(samples, cfo, SampleRate)
 }

@@ -1,6 +1,10 @@
 package wifi
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/signal"
+)
 
 // The 802.11 convolutional code: constraint length 7, generator polynomials
 // g0 = 133 (octal) and g1 = 171 (octal). FreeRider's equation 9 is exactly
@@ -25,14 +29,18 @@ func parity7(x int) byte {
 // is responsible for appending the 6 zero tail bits before encoding. Output
 // is A0 B0 A1 B1 ... (interleaved coded streams, as 802.11 transmits them).
 func ConvEncode(in []byte) []byte {
-	out := make([]byte, 0, len(in)*2)
+	return convEncodeInto(make([]byte, 0, len(in)*2), in)
+}
+
+// convEncodeInto appends the rate-1/2 encoding of in to dst.
+func convEncodeInto(dst, in []byte) []byte {
 	state := 0 // 6-bit shift register of previous inputs
 	for _, b := range in {
 		reg := ((int(b) & 1) << 6) | state
-		out = append(out, parity7(reg&genA), parity7(reg&genB))
+		dst = append(dst, parity7(reg&genA), parity7(reg&genB))
 		state = reg >> 1
 	}
-	return out
+	return dst
 }
 
 // puncture patterns: for each period position, whether the A and B bits are
@@ -48,6 +56,11 @@ var punctureKeep = map[CodingRate][][2]bool{
 // Puncture removes coded bits from the rate-1/2 stream (pairs A,B per input
 // bit) according to the 802.11 puncturing pattern for rate r.
 func Puncture(coded []byte, r CodingRate) ([]byte, error) {
+	return punctureInto(make([]byte, 0, len(coded)), coded, r)
+}
+
+// punctureInto appends the punctured stream to dst.
+func punctureInto(dst, coded []byte, r CodingRate) ([]byte, error) {
 	if len(coded)%2 != 0 {
 		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
 	}
@@ -55,7 +68,7 @@ func Puncture(coded []byte, r CodingRate) ([]byte, error) {
 	if pattern == nil {
 		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
 	}
-	out := make([]byte, 0, len(coded))
+	out := dst
 	for i := 0; i*2 < len(coded); i++ {
 		keep := pattern[i%len(pattern)]
 		if keep[0] {
@@ -95,6 +108,21 @@ func Depuncture(punctured []byte, r CodingRate, nInfoBits int) ([]byte, error) {
 	return out, nil
 }
 
+// expectEAB[s<<1|in] packs the expected coded pair (A<<1 | B) for the
+// transition out of state s with input bit in. Computed once: the trellis
+// never changes.
+var expectEAB = buildExpectEAB()
+
+func buildExpectEAB() (t [numStates * 2]byte) {
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := (in << 6) | s
+			t[s<<1|in] = parity7(reg&genA)<<1 | parity7(reg&genB)
+		}
+	}
+	return t
+}
+
 // ViterbiDecode performs hard-decision maximum-likelihood decoding of a
 // rate-1/2 coded stream (pairs A,B per information bit; bits may be the
 // erasure marker). It assumes the encoder started in the zero state and was
@@ -102,6 +130,15 @@ func Depuncture(punctured []byte, r CodingRate, nInfoBits int) ([]byte, error) {
 // (including the tail). For every trellis step it stores the predecessor
 // state and input bit of the survivor path, then traces back from the zero
 // state.
+//
+// The add-compare-select loop walks next states rather than source states:
+// next state ns has exactly the two predecessors s0 = (2·ns) mod 64 and
+// s0+1, both under input bit ns>>5. Integer metrics make this trivially
+// bit-identical to the historical source-state sweep as long as ties keep
+// resolving to the lower predecessor (the old strict `<` let the earlier s
+// win), which the s1-only-on-strictly-better comparison below preserves.
+// The traceback matrix is one flat pooled buffer instead of n small slices,
+// so steady-state decodes allocate only the returned bit slice.
 func ViterbiDecode(coded []byte) ([]byte, error) {
 	if len(coded)%2 != 0 {
 		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
@@ -112,49 +149,108 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 	}
 	const inf = int32(1) << 30
 
-	type branch struct{ a, b byte }
-	var expect [numStates][2]branch
-	for s := 0; s < numStates; s++ {
-		for in := 0; in < 2; in++ {
-			reg := (in << 6) | s
-			expect[s][in] = branch{parity7(reg & genA), parity7(reg & genB)}
-		}
-	}
-
-	metric := make([]int32, numStates)
-	next := make([]int32, numStates)
+	var mA, mB [numStates]int32
+	metric, next := &mA, &mB
 	for i := range metric {
 		metric[i] = inf
 	}
 	metric[0] = 0
 
-	// prev[t][ns] packs predecessor state (6 bits) and input bit (bit 6).
-	prev := make([][]byte, n)
+	arena := signal.GetArena()
+	defer arena.Release()
+	// prev[t*numStates+ns] packs predecessor state (6 bits) and input bit
+	// (bit 6).
+	prev := arena.Bytes(n * numStates)
+
 	for t := 0; t < n; t++ {
-		prev[t] = make([]byte, numStates)
 		ra, rb := coded[2*t], coded[2*t+1]
-		for i := range next {
-			next[i] = inf
-		}
-		for s := 0; s < numStates; s++ {
-			m := metric[s]
-			if m >= inf {
-				continue
+		// Per-step branch costs indexed by the expected pair A<<1|B.
+		var costT [4]int32
+		for eab := 0; eab < 4; eab++ {
+			ea, eb := byte(eab>>1), byte(eab&1)
+			var c int32
+			if ra != erasure && ra != ea {
+				c++
 			}
-			for in := 0; in < 2; in++ {
-				e := expect[s][in]
-				cost := m
-				if ra != erasure && ra != e.a {
-					cost++
+			if rb != erasure && rb != eb {
+				c++
+			}
+			costT[eab] = c
+		}
+		pt := prev[t*numStates : t*numStates+numStates : t*numStates+numStates]
+		// Butterfly over predecessor pairs: states s0 = 2k and s1 = 2k+1
+		// feed next state k under input 0 and next state k+32 under input 1,
+		// so each pair of metrics is loaded once for both successors.
+		//
+		// The trellis is a de Bruijn graph on 6-bit states: every state is
+		// reachable from state 0 in exactly 6 steps, so from step 6 onward
+		// all 64 metrics are finite and the infinity guards of the startup
+		// loop can be dropped (ties still resolve to the lower predecessor).
+		if t >= 6 {
+			for k := 0; k < 32; k++ {
+				s0 := 2 * k
+				m0, m1 := metric[s0], metric[s0+1]
+				a0 := m0 + costT[expectEAB[s0<<1]&3]
+				a1 := m1 + costT[expectEAB[(s0+1)<<1]&3]
+				if a1 < a0 {
+					next[k] = a1
+					pt[k] = byte(s0 + 1)
+				} else {
+					next[k] = a0
+					pt[k] = byte(s0)
 				}
-				if rb != erasure && rb != e.b {
-					cost++
+				b0 := m0 + costT[expectEAB[s0<<1|1]&3]
+				b1 := m1 + costT[expectEAB[(s0+1)<<1|1]&3]
+				if b1 < b0 {
+					next[k+32] = b1
+					pt[k+32] = byte(s0+1) | 1<<6
+				} else {
+					next[k+32] = b0
+					pt[k+32] = byte(s0) | 1<<6
 				}
-				ns := ((in << 6) | s) >> 1
-				if cost < next[ns] {
-					next[ns] = cost
-					prev[t][ns] = byte(s) | byte(in)<<6
-				}
+			}
+			metric, next = next, metric
+			continue
+		}
+		for k := 0; k < 32; k++ {
+			s0 := 2 * k
+			s1 := s0 + 1
+			m0, m1 := metric[s0], metric[s1]
+			a0, a1 := m0, m1
+			if a0 < inf {
+				a0 += costT[expectEAB[s0<<1]]
+			}
+			if a1 < inf {
+				a1 += costT[expectEAB[s1<<1]]
+			}
+			switch {
+			case a1 < a0:
+				next[k] = a1
+				pt[k] = byte(s1)
+			case a0 < inf:
+				next[k] = a0
+				pt[k] = byte(s0)
+			default:
+				next[k] = inf
+				pt[k] = 0
+			}
+			b0, b1 := m0, m1
+			if b0 < inf {
+				b0 += costT[expectEAB[s0<<1|1]]
+			}
+			if b1 < inf {
+				b1 += costT[expectEAB[s1<<1|1]]
+			}
+			switch {
+			case b1 < b0:
+				next[k+32] = b1
+				pt[k+32] = byte(s1) | 1<<6
+			case b0 < inf:
+				next[k+32] = b0
+				pt[k+32] = byte(s0) | 1<<6
+			default:
+				next[k+32] = inf
+				pt[k+32] = 0
 			}
 		}
 		metric, next = next, metric
@@ -171,7 +267,7 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 	}
 	out := make([]byte, n)
 	for t := n - 1; t >= 0; t-- {
-		p := prev[t][state]
+		p := prev[t*numStates+state]
 		out[t] = (p >> 6) & 1
 		state = int(p & 0x3F)
 	}

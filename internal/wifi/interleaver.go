@@ -1,6 +1,35 @@
 package wifi
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
+
+// interleaverPerm caches the §17.3.5.7 permutation per (NCBPS, NBPSC):
+// perm[k] is the output position of input bit k. The table is pure index
+// arithmetic, so precomputing it cannot change a single bit of the
+// interleaved stream.
+var interleaverPerm sync.Map // [2]int{NCBPS, NBPSC} -> []int32
+
+func permFor(r Rate) []int32 {
+	key := [2]int{r.NCBPS, r.NBPSC}
+	if p, ok := interleaverPerm.Load(key); ok {
+		return p.([]int32)
+	}
+	n := r.NCBPS
+	s := r.NBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	perm := make([]int32, n)
+	for k := 0; k < n; k++ {
+		i := (n/16)*(k%16) + k/16
+		j := s*(i/s) + (i+n-16*i/n)%s
+		perm[k] = int32(j)
+	}
+	actual, _ := interleaverPerm.LoadOrStore(key, perm)
+	return actual.([]int32)
+}
 
 // Interleave applies the 802.11a/g per-symbol block interleaver
 // (§17.3.5.7) to one OFDM symbol's worth of coded bits. The two
@@ -9,40 +38,46 @@ import "fmt"
 // crosses a symbol boundary — the property FreeRider relies on when it
 // spreads one tag bit over whole OFDM symbols.
 func Interleave(in []byte, r Rate) ([]byte, error) {
-	n := r.NCBPS
-	if len(in) != n {
-		return nil, fmt.Errorf("wifi: interleaver input %d bits, want NCBPS=%d", len(in), n)
-	}
-	s := r.NBPSC / 2
-	if s < 1 {
-		s = 1
-	}
-	out := make([]byte, n)
-	for k := 0; k < n; k++ {
-		i := (n/16)*(k%16) + k/16
-		j := s*(i/s) + (i+n-16*i/n)%s
-		out[j] = in[k]
+	out := make([]byte, r.NCBPS)
+	if err := interleaveInto(out, in, r); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
-// Deinterleave inverts Interleave for one OFDM symbol.
-func Deinterleave(in []byte, r Rate) ([]byte, error) {
+// interleaveInto is Interleave writing into caller storage (len NCBPS).
+func interleaveInto(out, in []byte, r Rate) error {
 	n := r.NCBPS
 	if len(in) != n {
-		return nil, fmt.Errorf("wifi: deinterleaver input %d bits, want NCBPS=%d", len(in), n)
+		return fmt.Errorf("wifi: interleaver input %d bits, want NCBPS=%d", len(in), n)
 	}
-	s := r.NBPSC / 2
-	if s < 1 {
-		s = 1
+	perm := permFor(r)
+	for k, j := range perm {
+		out[j] = in[k]
 	}
-	out := make([]byte, n)
-	for k := 0; k < n; k++ {
-		i := (n/16)*(k%16) + k/16
-		j := s*(i/s) + (i+n-16*i/n)%s
-		out[k] = in[j]
+	return nil
+}
+
+// Deinterleave inverts Interleave for one OFDM symbol.
+func Deinterleave(in []byte, r Rate) ([]byte, error) {
+	out := make([]byte, r.NCBPS)
+	if err := deinterleaveInto(out, in, r); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// deinterleaveInto is Deinterleave writing into caller storage (len NCBPS).
+func deinterleaveInto(out, in []byte, r Rate) error {
+	n := r.NCBPS
+	if len(in) != n {
+		return fmt.Errorf("wifi: deinterleaver input %d bits, want NCBPS=%d", len(in), n)
+	}
+	perm := permFor(r)
+	for k, j := range perm {
+		out[k] = in[j]
+	}
+	return nil
 }
 
 // InterleaveSymbols applies the interleaver across a multi-symbol stream

@@ -68,6 +68,18 @@ func Map(bitsIn []byte, m Modulation) (complex128, error) {
 // Demap converts a (possibly noisy) constellation point back into NBPSC
 // hard-decision bits by nearest-level slicing per axis.
 func Demap(pt complex128, m Modulation) ([]byte, error) {
+	_, perAxis, err := levelsFor(m)
+	if err != nil {
+		return nil, err
+	}
+	return demapPointInto(make([]byte, 0, 2*perAxis), pt, m)
+}
+
+// demapPointInto appends pt's NBPSC hard-decision bits to dst without
+// allocating (given capacity). The nearest-level scan and strict-< best
+// comparison are exactly Demap's historical slicing, so decisions — and
+// therefore bits — are identical.
+func demapPointInto(dst []byte, pt complex128, m Modulation) ([]byte, error) {
 	levels, perAxis, err := levelsFor(m)
 	if err != nil {
 		return nil, err
@@ -83,18 +95,17 @@ func Demap(pt complex128, m Modulation) ([]byte, error) {
 		}
 		return best
 	}
-	toBits := func(idx, n int) []byte {
-		out := make([]byte, n)
-		for i := 0; i < n; i++ {
-			out[i] = byte(idx>>(n-1-i)) & 1
+	idx := slice(real(pt))
+	for i := 0; i < perAxis; i++ {
+		dst = append(dst, byte(idx>>(perAxis-1-i))&1)
+	}
+	if m != BPSK {
+		idx = slice(imag(pt))
+		for i := 0; i < perAxis; i++ {
+			dst = append(dst, byte(idx>>(perAxis-1-i))&1)
 		}
-		return out
 	}
-	if m == BPSK {
-		return toBits(slice(real(pt)), perAxis), nil
-	}
-	out := toBits(slice(real(pt)), perAxis)
-	return append(out, toBits(slice(imag(pt)), perAxis)...), nil
+	return dst, nil
 }
 
 // MapSymbolBits maps NCBPS interleaved bits onto the 48 data subcarriers of
@@ -116,13 +127,17 @@ func MapSymbolBits(in []byte, r Rate) ([NumData]complex128, error) {
 
 // DemapSymbol recovers NCBPS hard bits from 48 equalised data subcarriers.
 func DemapSymbol(pts [NumData]complex128, r Rate) ([]byte, error) {
-	out := make([]byte, 0, r.NCBPS)
+	return demapSymbolInto(make([]byte, 0, r.NCBPS), pts, r)
+}
+
+// demapSymbolInto appends one symbol's NCBPS hard bits to dst.
+func demapSymbolInto(dst []byte, pts [NumData]complex128, r Rate) ([]byte, error) {
 	for i := 0; i < NumData; i++ {
-		b, err := Demap(pts[i], r.Modulation)
+		var err error
+		dst, err = demapPointInto(dst, pts[i], r.Modulation)
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, b...)
 	}
-	return out, nil
+	return dst, nil
 }

@@ -11,18 +11,28 @@ import (
 // samples) from 48 data points and the pilot polarity index symIdx
 // (0 = SIGNAL symbol).
 func AssembleSymbol(data [NumData]complex128, symIdx int) ([]complex128, error) {
-	var freq [FFTSize]complex128
+	out := make([]complex128, SymbolLen)
+	a := signal.GetArena()
+	defer a.Release()
+	if err := assembleSymbolInto(out, data, symIdx, a); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// assembleSymbolInto writes the SymbolLen samples of one OFDM symbol into
+// dst using arena scratch, allocating nothing on a warm arena.
+func assembleSymbolInto(dst []complex128, data [NumData]complex128, symIdx int, a *signal.Arena) error {
+	td := a.Complex(FFTSize)
 	for i, k := range DataSubcarriers {
-		freq[binFor(k)] = data[i]
+		td[binFor(k)] = data[i]
 	}
 	p := PilotPolarity(symIdx)
 	for _, pl := range PilotSubcarriers {
-		freq[binFor(pl.Index)] = complex(pl.Polarity*p, 0)
+		td[binFor(pl.Index)] = complex(pl.Polarity*p, 0)
 	}
-	td := make([]complex128, FFTSize)
-	copy(td, freq[:])
 	if err := signal.IFFT(td); err != nil {
-		return nil, err
+		return err
 	}
 	// The IFFT includes 1/N; rescale so mean symbol power is ~1 regardless
 	// of FFT convention: multiply by N/sqrt(Nused).
@@ -30,10 +40,9 @@ func AssembleSymbol(data [NumData]complex128, symIdx int) ([]complex128, error) 
 	for i := range td {
 		td[i] *= scale
 	}
-	out := make([]complex128, 0, SymbolLen)
-	out = append(out, td[FFTSize-CPLen:]...)
-	out = append(out, td...)
-	return out, nil
+	copy(dst[:CPLen], td[FFTSize-CPLen:])
+	copy(dst[CPLen:SymbolLen], td)
+	return nil
 }
 
 // sqrtNused normalises symbol power to the 52 used subcarriers.
@@ -44,12 +53,20 @@ var sqrtNused = math.Sqrt(52)
 // means no equalisation), and returns the 48 data points and 4 pilot points
 // (in PilotSubcarriers order).
 func DisassembleSymbol(td []complex128, h []complex128) ([NumData]complex128, [NumPilots]complex128, error) {
+	a := signal.GetArena()
+	defer a.Release()
+	return disassembleSymbolBuf(td, h, a.Complex(FFTSize))
+}
+
+// disassembleSymbolBuf is DisassembleSymbol with caller-provided FFT
+// scratch (FFTSize samples, fully overwritten), so per-symbol loops can
+// reuse one buffer for a whole packet.
+func disassembleSymbolBuf(td []complex128, h []complex128, buf []complex128) ([NumData]complex128, [NumPilots]complex128, error) {
 	var data [NumData]complex128
 	var pilots [NumPilots]complex128
 	if len(td) != SymbolLen {
 		return data, pilots, fmt.Errorf("wifi: symbol has %d samples, want %d", len(td), SymbolLen)
 	}
-	buf := make([]complex128, FFTSize)
 	copy(buf, td[CPLen:])
 	if err := signal.FFT(buf); err != nil {
 		return data, pilots, err
@@ -82,6 +99,9 @@ func binFor(k int) int {
 	}
 	return FFTSize + k
 }
+
+// usedBins caches UsedBins for the receiver's hot loops.
+var usedBins = UsedBins()
 
 // UsedBins returns the FFT bins of all 52 used subcarriers.
 func UsedBins() []int {

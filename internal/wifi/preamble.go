@@ -2,6 +2,8 @@ package wifi
 
 import (
 	"math"
+	"math/cmplx"
+	"sync"
 
 	"repro/internal/signal"
 )
@@ -41,10 +43,37 @@ func buildLTFFreq() map[int]complex128 {
 // LTFValue returns the known LTF value on subcarrier k (0 for unused).
 func LTFValue(k int) complex128 { return ltfFreq[k] }
 
+// The preamble and LTF are pure functions of spec constants, so they are
+// synthesised once and served from these templates afterwards. The conjugate
+// LTF and its power feed the matched-filter scan in detectTiming.
+var (
+	templateOnce sync.Once
+	preambleTmpl []complex128
+	ltfTmpl      []complex128
+	ltfConjTmpl  []complex128
+	ltfTmplPower float64
+)
+
+func initTemplates() {
+	ltfTmpl = buildLTFTime()
+	preambleTmpl = buildPreamble()
+	ltfConjTmpl = make([]complex128, len(ltfTmpl))
+	for i, v := range ltfTmpl {
+		ltfConjTmpl[i] = cmplx.Conj(v)
+		ltfTmplPower += real(v)*real(v) + imag(v)*imag(v)
+	}
+}
+
 // Preamble synthesises the 320-sample legacy preamble: 10 repetitions of the
 // 16-sample short symbol (160 samples) followed by a 32-sample cyclic prefix
-// and two 64-sample long training symbols (160 samples).
+// and two 64-sample long training symbols (160 samples). The caller owns the
+// returned copy.
 func Preamble() []complex128 {
+	templateOnce.Do(initTemplates)
+	return append([]complex128(nil), preambleTmpl...)
+}
+
+func buildPreamble() []complex128 {
 	out := make([]complex128, 0, PreambleLen)
 
 	// STF: IFFT of S, periodic with period 16; take 160 samples.
@@ -63,15 +92,21 @@ func Preamble() []complex128 {
 	}
 
 	// LTF: 32-sample CP + two copies of the 64-sample long symbol.
-	lt := LTFTime()
+	lt := ltfTmpl
 	out = append(out, lt[FFTSize-32:]...)
 	out = append(out, lt...)
 	out = append(out, lt...)
 	return out
 }
 
-// LTFTime returns the 64-sample time-domain long training symbol.
+// LTFTime returns the 64-sample time-domain long training symbol. The
+// caller owns the returned copy.
 func LTFTime() []complex128 {
+	templateOnce.Do(initTemplates)
+	return append([]complex128(nil), ltfTmpl...)
+}
+
+func buildLTFTime() []complex128 {
 	var freq [FFTSize]complex128
 	scale := complex(float64(FFTSize)/sqrtNused, 0)
 	for k, v := range ltfFreq {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
+	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/signal"
@@ -139,16 +140,31 @@ func ltfPeriodicity(s []complex128, start int) float64 {
 
 // detectTiming finds the best LTF matched-filter alignment.
 func (rx *Receiver) detectTiming(cap *signal.Signal, from int) (int, float64) {
-	lt := LTFTime()
-	var ltPow float64
-	for _, v := range lt {
-		ltPow += real(v)*real(v) + imag(v)*imag(v)
-	}
+	templateOnce.Do(initTemplates)
+	lt := ltfConjTmpl
+	ltPow := ltfTmplPower
 	n := len(cap.Samples)
 	// The first LTF copy begins at preambleStart+192. Search for two
 	// consecutive correlation peaks 64 samples apart.
 	best, bestQ := -1, 0.0
+	// Long scans (the early break below only fires from an offset that
+	// itself clears the q1 gate, so a capture whose data region never
+	// correlates is scanned end to end) are pre-screened with an FFT
+	// matched-filter pass that proves q1 < 0.5 for almost every offset;
+	// the exact loop body then runs only on the survivors. Screened-out
+	// offsets have no side effects in this loop, so the result is
+	// bit-identical to the plain scan.
+	last := n - PreambleLen - SymbolLen
+	var pass []byte
+	if last-from+1 >= screenMinOffsets {
+		a := signal.GetArena()
+		defer a.Release()
+		pass = ltfScreen(cap.Samples, from+192, last-from+1, a)
+	}
 	for i := from; i+PreambleLen+SymbolLen <= n; i++ {
+		if pass != nil && pass[i-from] == 0 {
+			continue
+		}
 		// Candidate position of first LTF symbol.
 		p := i + 192
 		c1, p1 := corr64(cap.Samples[p:], lt)
@@ -178,17 +194,129 @@ func (rx *Receiver) detectTiming(cap *signal.Signal, from int) (int, float64) {
 	return best, bestQ
 }
 
-func corr64(x []complex128, ref []complex128) (complex128, float64) {
-	if len(x) < len(ref) {
+// corr64 correlates x against a template supplied in conjugated form
+// (cref[i] = conj(ref[i])). Conjugation is exact and the real-arithmetic
+// body below performs the same multiplies and adds, in the same order, as
+// the historical `acc += x[i] * cmplx.Conj(ref[i])` loop, so the result is
+// bit-identical while the matched-filter scan avoids per-sample conjugation
+// and bounds checks.
+func corr64(x []complex128, cref []complex128) (complex128, float64) {
+	if len(x) < len(cref) {
 		return 0, 0
 	}
-	var acc complex128
-	var pow float64
-	for i, r := range ref {
-		acc += x[i] * cmplx.Conj(r)
-		pow += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+	x = x[:len(cref):len(cref)]
+	var accR, accI, pow float64
+	for i, c := range cref {
+		v := x[i]
+		vr, vi := real(v), imag(v)
+		cr, ci := real(c), imag(c)
+		accR += vr*cr - vi*ci
+		accI += vr*ci + vi*cr
+		pow += vr*vr + vi*vi
 	}
-	return acc, pow
+	return complex(accR, accI), pow
+}
+
+// The overlap-save matched-filter screen. Each block of screenFFTSize
+// input samples yields screenBlockOut correlation outputs against the
+// 64-tap LTF template, turning the O(64·n) scan into O(n·log n) for the
+// common case where nothing past the preamble correlates.
+const (
+	screenFFTSize    = 512
+	screenBlockOut   = screenFFTSize - FFTSize + 1
+	screenMinOffsets = 2048
+)
+
+var (
+	screenOnce sync.Once
+	// screenH is the screenFFTSize-point FFT of the time-reversed
+	// conjugated LTF, so multiplying by it in the frequency domain
+	// computes the same cross-correlation corr64 evaluates directly.
+	screenH []complex128
+)
+
+func initScreen() {
+	templateOnce.Do(initTemplates)
+	h := make([]complex128, screenFFTSize)
+	for j := 0; j < FFTSize; j++ {
+		h[j] = ltfConjTmpl[FFTSize-1-j]
+	}
+	plan, err := signal.PlanFor(screenFFTSize)
+	if err != nil {
+		panic(err)
+	}
+	if err := plan.FFT(h); err != nil {
+		panic(err)
+	}
+	screenH = h
+}
+
+// ltfScreen marks which candidate LTF positions p in [p0, p0+count) could
+// possibly pass detectTiming's exact q1 ≥ 0.5 gate. An offset is screened
+// out only when the FFT correlation estimate proves q1 < 0.4 with margin:
+// the FFT and the sliding-window power prefix sums differ from the exact
+// per-offset computation by relative errors many orders of magnitude below
+// the 0.4-vs-0.5 slack, and windows whose power estimate is too small to
+// bound reliably are passed through to the exact check instead. Survivors
+// are re-evaluated by the unchanged exact loop body, so screening never
+// changes detection results.
+func ltfScreen(s []complex128, p0, count int, a *signal.Arena) []byte {
+	screenOnce.Do(initScreen)
+	pass := a.Bytes(count) // zeroed: offsets default to screened-out
+	region := s[p0 : p0+count+FFTSize-1]
+	pre := a.Float(len(region) + 1)
+	sum := 0.0
+	for i, v := range region {
+		sum += real(v)*real(v) + imag(v)*imag(v)
+		pre[i+1] = sum
+	}
+	// Windows below 1e-5 of the mean power cannot be bounded against
+	// prefix-sum cancellation error; pass them to the exact check.
+	guard := 1e-5 * float64(FFTSize) * (sum / float64(len(region)))
+	plan, err := signal.PlanFor(screenFFTSize)
+	if err != nil {
+		// Unreachable (power-of-two size); fail open to the exact scan.
+		for i := range pass {
+			pass[i] = 1
+		}
+		return pass
+	}
+	buf := a.Complex(screenFFTSize)
+	// (0.4·sqrt(p1·ltPow))² threshold factor. The inverse transform below is
+	// unnormalised (outputs scaled by exactly N, a power of two), so the
+	// N² is folded into the threshold rather than divided out per sample.
+	thr := 0.16 * ltfTmplPower * float64(screenFFTSize) * float64(screenFFTSize)
+	for base := 0; base < count; base += screenBlockOut {
+		avail := len(s) - (p0 + base)
+		if avail > screenFFTSize {
+			avail = screenFFTSize
+		}
+		copy(buf, s[p0+base:p0+base+avail])
+		for t := avail; t < screenFFTSize; t++ {
+			buf[t] = 0
+		}
+		if plan.FFT(buf) != nil {
+			break
+		}
+		for t := range buf {
+			buf[t] *= screenH[t]
+		}
+		if plan.InverseRaw(buf) != nil {
+			break
+		}
+		lim := count - base
+		if lim > screenBlockOut {
+			lim = screenBlockOut
+		}
+		for u := 0; u < lim; u++ {
+			c := buf[FFTSize-1+u]
+			pw := pre[base+u+FFTSize] - pre[base+u]
+			if pw <= guard || real(c)*real(c)+imag(c)*imag(c) >= thr*pw {
+				pass[base+u] = 1
+			}
+		}
+	}
+	return pass
 }
 
 // decodeFrom decodes a PPDU whose preamble starts at sample start.
@@ -197,32 +325,38 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	if len(s) < start+PreambleLen+SymbolLen {
 		return nil, ErrTruncated
 	}
+	// Every sample-domain scratch buffer in this decode comes from one
+	// arena; none of them outlives the call (the packet carries only bit
+	// and byte slices), so releasing on return is safe.
+	arena := signal.GetArena()
+	defer arena.Release()
 	if rx.CFOCorrection {
 		// Work on a corrected copy of the packet region: coarse estimate
 		// from the LTF copies, then (after SIGNAL tells us the length) a
 		// cyclic-prefix refinement over the whole data region.
-		work := append([]complex128(nil), s[start:]...)
-		cfo := estimateCFOFromLTF(work[160:320])
-		derotate(work, cfo)
-		s = make([]complex128, start, start+len(work))
-		s = append(s, work...)
+		buf := arena.Complex(len(s))
+		copy(buf[start:], s[start:])
+		cfo := estimateCFOFromLTF(buf[start+160 : start+320])
+		derotate(buf[start:], cfo)
+		s = buf
 	}
 
-	h, snr := estimateChannel(s[start+160 : start+320])
+	h, snr := estimateChannel(s[start+160:start+320], arena)
 
 	// SIGNAL symbol.
+	fftBuf := arena.Complex(FFTSize)
 	sigStart := start + PreambleLen
-	data, _, err := DisassembleSymbol(s[sigStart:sigStart+SymbolLen], h)
+	data, _, err := disassembleSymbolBuf(s[sigStart:sigStart+SymbolLen], h, fftBuf)
 	if err != nil {
 		return nil, err
 	}
 	r6 := Rates[6]
-	sigBits, err := DemapSymbol(data, r6)
+	sigBits, err := demapSymbolInto(arena.Bytes(r6.NCBPS)[:0], data, r6)
 	if err != nil {
 		return nil, err
 	}
-	deinter, err := Deinterleave(sigBits, r6)
-	if err != nil {
+	deinter := arena.Bytes(r6.NCBPS)
+	if err := deinterleaveInto(deinter, sigBits, r6); err != nil {
 		return nil, err
 	}
 	decoded, err := ViterbiDecode(deinter)
@@ -245,24 +379,27 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		// then re-estimate the channel on the re-corrected samples.
 		residual := refineCFOFromCP(s[dataStart:], nSym)
 		if residual != 0 {
-			work := append([]complex128(nil), s[start:dataStart+nSym*SymbolLen]...)
-			derotate(work, residual)
-			s = append(s[:start:start], work...)
-			h, snr = estimateChannel(s[start+160 : start+320])
+			end := dataStart + nSym*SymbolLen
+			buf := arena.Complex(end)
+			copy(buf[start:], s[start:end])
+			derotate(buf[start:], residual)
+			s = buf
+			h, snr = estimateChannel(s[start+160:start+320], arena)
 		}
 	}
 
-	// Data symbols.
+	// Data symbols. demapped escapes into the packet, so it is a real
+	// allocation; the deinterleaved coded stream stays on the arena.
 	var tracker phaseTracker
 	demapped := make([]byte, 0, nSym*rate.NCBPS)
-	coded := make([]byte, 0, nSym*rate.NCBPS)
+	coded := arena.Bytes(nSym * rate.NCBPS)
 	var soft []float64
 	if rx.SoftDecision {
 		soft = make([]float64, 0, nSym*rate.NCBPS)
 	}
 	for i := 0; i < nSym; i++ {
 		off := dataStart + i*SymbolLen
-		pts, pilots, err := DisassembleSymbol(s[off:off+SymbolLen], h)
+		pts, pilots, err := disassembleSymbolBuf(s[off:off+SymbolLen], h, fftBuf)
 		if err != nil {
 			return nil, err
 		}
@@ -272,16 +409,13 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		if rx.CFOCorrection {
 			pts = tracker.correct(pts, rate.Modulation)
 		}
-		symBits, err := DemapSymbol(pts, rate)
+		demapped, err = demapSymbolInto(demapped, pts, rate)
 		if err != nil {
 			return nil, err
 		}
-		demapped = append(demapped, symBits...)
-		d, err := Deinterleave(symBits, rate)
-		if err != nil {
+		if err := deinterleaveInto(coded[i*rate.NCBPS:(i+1)*rate.NCBPS], demapped[i*rate.NCBPS:], rate); err != nil {
 			return nil, err
 		}
-		coded = append(coded, d...)
 		if rx.SoftDecision {
 			llrs, err := SoftDemapSymbol(pts, rate)
 			if err != nil {
@@ -342,14 +476,16 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 }
 
 // estimateChannel least-squares estimates H on each used bin from the two
-// LTF copies (samples are the 160-sample LTF portion: 32 CP + 2×64).
-func estimateChannel(ltf []complex128) ([]complex128, float64) {
-	h := make([]complex128, FFTSize)
-	sum := make([]complex128, FFTSize)
+// LTF copies (samples are the 160-sample LTF portion: 32 CP + 2×64). The
+// returned estimate lives on the caller's arena and is only valid until its
+// Release.
+func estimateChannel(ltf []complex128, a *signal.Arena) ([]complex128, float64) {
+	h := a.Complex(FFTSize)
+	sum := a.Complex(FFTSize)
 	var noise float64
-	first := make([]complex128, FFTSize)
+	first := a.Complex(FFTSize)
+	buf := a.Complex(FFTSize)
 	for rep := 0; rep < 2; rep++ {
-		buf := make([]complex128, FFTSize)
 		copy(buf, ltf[32+rep*FFTSize:32+(rep+1)*FFTSize])
 		if err := signal.FFT(buf); err != nil {
 			return nil, 0
@@ -358,7 +494,7 @@ func estimateChannel(ltf []complex128) ([]complex128, float64) {
 		for i := range buf {
 			buf[i] *= inv
 		}
-		for _, bin := range UsedBins() {
+		for _, bin := range usedBins {
 			sum[bin] += buf[bin]
 			if rep == 0 {
 				first[bin] = buf[bin]

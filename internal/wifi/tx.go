@@ -26,23 +26,40 @@ func NewTransmitter() *Transmitter {
 // the PSDU at the given rate. The returned signal has unit mean power over
 // the data portion; the channel model applies the TX power.
 func (t *Transmitter) Transmit(psdu []byte, rate Rate) (*signal.Signal, error) {
-	if len(psdu) < 1 || len(psdu) > 4095 {
-		return nil, fmt.Errorf("wifi: PSDU length %d outside [1, 4095]", len(psdu))
-	}
 	out := signal.New(SampleRate, 0)
-	out.Samples = append(out.Samples, Preamble()...)
-
-	sig, err := signalSymbol(rate, len(psdu))
-	if err != nil {
+	if err := t.TransmitTo(out, psdu, rate); err != nil {
 		return nil, err
 	}
-	out.Samples = append(out.Samples, sig...)
+	return out, nil
+}
 
-	data, err := t.dataSymbols(psdu, rate)
-	if err != nil {
-		return nil, err
+// TransmitTo synthesises the PPDU into dst, reusing its sample capacity
+// when large enough; all intermediate bit streams and symbol buffers come
+// from a scratch arena, so a warm caller allocates at most the output
+// growth. dst.Rate is set to the 802.11 sample rate.
+func (t *Transmitter) TransmitTo(dst *signal.Signal, psdu []byte, rate Rate) error {
+	if len(psdu) < 1 || len(psdu) > 4095 {
+		return fmt.Errorf("wifi: PSDU length %d outside [1, 4095]", len(psdu))
 	}
-	out.Samples = append(out.Samples, data...)
+	templateOnce.Do(initTemplates)
+	nSym := NumDataSymbols(len(psdu), rate)
+	total := PreambleLen + SymbolLen + nSym*SymbolLen
+	dst.Rate = SampleRate
+	if cap(dst.Samples) >= total {
+		dst.Samples = dst.Samples[:total]
+	} else {
+		dst.Samples = make([]complex128, total)
+	}
+	copy(dst.Samples[:PreambleLen], preambleTmpl)
+
+	a := signal.GetArena()
+	defer a.Release()
+	if err := signalSymbolInto(dst.Samples[PreambleLen:PreambleLen+SymbolLen], rate, len(psdu), a); err != nil {
+		return err
+	}
+	if err := t.dataSymbolsInto(dst.Samples[PreambleLen+SymbolLen:], psdu, rate, nSym, a); err != nil {
+		return err
+	}
 
 	if !t.FixedSeed {
 		t.ScramblerSeed = (t.ScramblerSeed + 1) & 0x7F
@@ -50,7 +67,7 @@ func (t *Transmitter) Transmit(psdu []byte, rate Rate) (*signal.Signal, error) {
 			t.ScramblerSeed = 1
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // NumDataSymbols returns how many OFDM data symbols a PSDU of n bytes
@@ -93,10 +110,10 @@ func CodedBits(psdu []byte, rate Rate, scramblerSeed byte) ([]byte, error) {
 	return InterleaveSymbols(punct, rate)
 }
 
-// signalSymbol encodes the 24-bit SIGNAL field: always BPSK rate 1/2, never
-// scrambled.
-func signalSymbol(rate Rate, length int) ([]complex128, error) {
-	b := make([]byte, 0, 24)
+// signalSymbolInto encodes the 24-bit SIGNAL field (always BPSK rate 1/2,
+// never scrambled) into dst (SymbolLen samples).
+func signalSymbolInto(dst []complex128, rate Rate, length int, a *signal.Arena) error {
+	b := a.Bytes(24)[:0]
 	for i := 3; i >= 0; i-- { // RATE bits transmitted b3 first
 		b = append(b, (rate.SignalBits>>uint(i))&1)
 	}
@@ -111,28 +128,30 @@ func signalSymbol(rate Rate, length int) ([]complex128, error) {
 	b = append(b, parity)
 	b = append(b, 0, 0, 0, 0, 0, 0) // tail
 
-	coded := ConvEncode(b)
 	r6 := Rates[6]
-	inter, err := InterleaveSymbols(coded, r6)
-	if err != nil {
-		return nil, err
+	coded := convEncodeInto(a.Bytes(2 * len(b))[:0], b)
+	inter := a.Bytes(r6.NCBPS)
+	if err := interleaveInto(inter, coded, r6); err != nil {
+		return err
 	}
 	pts, err := MapSymbolBits(inter, r6)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	return AssembleSymbol(pts, 0)
+	return assembleSymbolInto(dst, pts, 0, a)
 }
 
-// dataSymbols encodes SERVICE + PSDU + tail + pad.
-func (t *Transmitter) dataSymbols(psdu []byte, rate Rate) ([]complex128, error) {
-	nSym := NumDataSymbols(len(psdu), rate)
+// dataSymbolsInto encodes SERVICE + PSDU + tail + pad into dst
+// (nSym·SymbolLen samples).
+func (t *Transmitter) dataSymbolsInto(dst []complex128, psdu []byte, rate Rate, nSym int, a *signal.Arena) error {
 	nBits := nSym * rate.NDBPS
 
-	raw := make([]byte, 0, nBits)
-	raw = append(raw, make([]byte, ServiceBits)...) // SERVICE: all zero
-	raw = append(raw, bits.FromBytes(psdu)...)
-	raw = append(raw, make([]byte, nBits-len(raw))...) // tail + pad zeros
+	raw := a.Bytes(nBits) // zeroed: SERVICE, tail and pad stay 0
+	for i, by := range psdu {
+		for j := 0; j < 8; j++ {
+			raw[ServiceBits+8*i+j] = (by >> uint(j)) & 1
+		}
+	}
 
 	sc := NewScrambler(t.ScramblerSeed)
 	scrambled := sc.Scramble(raw)
@@ -143,27 +162,25 @@ func (t *Transmitter) dataSymbols(psdu []byte, rate Rate) ([]complex128, error) 
 		scrambled[tailStart+i] = 0
 	}
 
-	coded := ConvEncode(scrambled)
-	punct, err := Puncture(coded, rate.Coding)
+	coded := convEncodeInto(a.Bytes(2 * nBits)[:0], scrambled)
+	punct, err := punctureInto(a.Bytes(2 * nBits)[:0], coded, rate.Coding)
 	if err != nil {
-		return nil, err
-	}
-	inter, err := InterleaveSymbols(punct, rate)
-	if err != nil {
-		return nil, err
+		return err
 	}
 
-	out := make([]complex128, 0, nSym*SymbolLen)
+	inter := a.Bytes(rate.NCBPS)
 	for s := 0; s < nSym; s++ {
-		pts, err := MapSymbolBits(inter[s*rate.NCBPS:(s+1)*rate.NCBPS], rate)
-		if err != nil {
-			return nil, err
+		if err := interleaveInto(inter, punct[s*rate.NCBPS:(s+1)*rate.NCBPS], rate); err != nil {
+			return err
 		}
-		sym, err := AssembleSymbol(pts, s+1) // pilot index 0 is SIGNAL
+		pts, err := MapSymbolBits(inter, rate)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		out = append(out, sym...)
+		// Pilot index 0 is SIGNAL.
+		if err := assembleSymbolInto(dst[s*SymbolLen:(s+1)*SymbolLen], pts, s+1, a); err != nil {
+			return err
+		}
 	}
-	return out, nil
+	return nil
 }

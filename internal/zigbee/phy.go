@@ -53,7 +53,7 @@ func ModulateChips(chips []byte) *signal.Signal {
 		// Chip k's half-sine spans t in [k, k+2] chip periods.
 		start := k * SamplesPerChip
 		for i := 0; i < 2*SamplesPerChip; i++ {
-			v := level * math.Sin(math.Pi*float64(i)/float64(2*SamplesPerChip))
+			v := level * halfSine[i]
 			idx := start + i
 			if idx >= n {
 				break
@@ -134,9 +134,34 @@ func estimateCFO(s []complex128, start int, rate float64) float64 {
 	return fine
 }
 
+// halfSine tabulates the chip pulse shape once; every chip multiplies the
+// same SamplesPerChip·2 sine values by ±1, so the table is bit-identical to
+// the former per-sample math.Sin calls.
+var halfSine = buildHalfSine()
+
+func buildHalfSine() []float64 {
+	t := make([]float64, 2*SamplesPerChip)
+	for i := range t {
+		t[i] = math.Sin(math.Pi * float64(i) / float64(2*SamplesPerChip))
+	}
+	return t
+}
+
 // preambleTemplate is the modulated 8-symbol preamble used for detection
 // and channel-gain estimation.
 var preambleTemplate = buildPreambleTemplate()
+
+// preambleConjTemplate caches the conjugated template for the detection
+// scan's inner correlation loop.
+var preambleConjTemplate = buildPreambleConjTemplate()
+
+func buildPreambleConjTemplate() []complex128 {
+	out := make([]complex128, len(preambleTemplate))
+	for i, v := range preambleTemplate {
+		out[i] = cmplx.Conj(v)
+	}
+	return out
+}
 
 func buildPreambleTemplate() []complex128 {
 	chips, err := SpreadSymbols(make([]byte, PreambleSymbols))
@@ -209,15 +234,26 @@ func (rx *Receiver) detect(cap *signal.Signal, from int) (int, complex128, float
 		var mag float64
 		var coh complex128
 		var pow float64
+		// The correlation consumes the pre-conjugated template through the
+		// same real-arithmetic multiply/add order the complex expression
+		// `acc += x * cmplx.Conj(tpl[j])` lowers to, so the scan result is
+		// bit-identical while skipping per-sample conjugation and bounds
+		// checks.
 		for s := 0; s < detectSegments; s++ {
-			var acc complex128
-			for j := s * seg; j < (s+1)*seg; j++ {
-				x := cap.Samples[i+j]
-				acc += x * cmplx.Conj(tpl[j])
-				pow += real(x)*real(x) + imag(x)*imag(x)
+			var accR, accI float64
+			cs := preambleConjTemplate[s*seg : (s+1)*seg : (s+1)*seg]
+			xs := cap.Samples[i+s*seg:]
+			xs = xs[:len(cs):len(cs)]
+			for j, c := range cs {
+				x := xs[j]
+				xr, xi := real(x), imag(x)
+				cr, ci := real(c), imag(c)
+				accR += xr*cr - xi*ci
+				accI += xr*ci + xi*cr
+				pow += xr*xr + xi*xi
 			}
-			mag += cmplx.Abs(acc)
-			coh += acc
+			mag += math.Hypot(accR, accI)
+			coh += complex(accR, accI)
 		}
 		if pow == 0 {
 			continue
@@ -247,17 +283,7 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 		// offset, then re-estimate the channel gain coherently.
 		cfo := estimateCFO(samples, start, cap.Rate)
 		work := append([]complex128(nil), samples[start:]...)
-		if cfo != 0 {
-			step := cmplx.Exp(complex(0, -2*math.Pi*cfo/cap.Rate))
-			rot := complex(1, 0)
-			for i := range work {
-				work[i] *= rot
-				rot *= step
-				if i&0x3FF == 0x3FF {
-					rot /= complex(cmplx.Abs(rot), 0)
-				}
-			}
-		}
+		signal.Derotate(work, cfo, cap.Rate)
 		samples = make([]complex128, start, start+len(work))
 		samples = append(samples, work...)
 		var acc complex128

@@ -1,0 +1,278 @@
+// Command benchgate turns `go test -bench` output into a benchmark
+// trajectory and a regression gate for the DSP fast path.
+//
+// It reads benchmark output on stdin, keeps the minimum ns/op and
+// allocs/op per benchmark across repeated -count runs (the minimum is the
+// noise-robust statistic on shared CI machines: scheduling jitter only
+// ever adds time), appends one JSON line per invocation to -out, and
+// compares the run against the checked-in -baseline:
+//
+//   - ns/op regresses when new > old × 1.15 (>15% slower);
+//   - allocs/op regresses when new > max(old × 1.10, old + 16) — the
+//     additive term absorbs pool warm-up jitter on tiny counts;
+//   - a baseline benchmark missing from the run is an error, so the gate
+//     cannot be silenced by deleting or renaming a benchmark.
+//
+// On shared CI machines the whole run can land in a slow phase (noisy
+// neighbours, frequency scaling), which would flag every benchmark at
+// once. The -probe benchmark — a fixed pure-CPU workload that never
+// changes — measures the machine's speed in the same run; ns/op
+// comparisons are scaled by probe(now)/probe(baseline) so machine-wide
+// slowdowns cancel and only code-relative regressions trip the gate.
+//
+// With -update it instead rewrites the baseline from the current run.
+// Benchmarks present in the run but not the baseline pass with a notice
+// (they enter the gate at the next -update).
+//
+// Usage:
+//
+//	go test -bench=... -benchmem -count=5 ./... | benchgate \
+//	    -baseline BENCH_DSP_BASELINE.json -out BENCH_DSP.json [-update]
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// point is one benchmark's noise-floor measurement.
+type point struct {
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp float64 `json:"allocs_op"`
+}
+
+// baseline is the checked-in gate reference. ProbeNsOp records how fast
+// the machine ran the calibration probe when the baseline was taken.
+type baseline struct {
+	Recorded   string           `json:"recorded"`
+	Note       string           `json:"note,omitempty"`
+	ProbeNsOp  float64          `json:"probe_ns_op,omitempty"`
+	Benchmarks map[string]point `json:"benchmarks"`
+}
+
+func main() {
+	basePath := flag.String("baseline", "BENCH_DSP_BASELINE.json", "checked-in baseline to gate against")
+	outPath := flag.String("out", "BENCH_DSP.json", "JSONL trajectory file to append this run to")
+	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	probeName := flag.String("probe", "CalibrationProbe", "calibration benchmark used to cancel machine-speed swings")
+	flag.Parse()
+
+	cur, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal("parse bench output: %v", err)
+	}
+	if len(cur) == 0 {
+		fatal("no benchmark lines on stdin (did the bench run fail?)")
+	}
+	probe, haveProbe := cur[*probeName]
+	delete(cur, *probeName)
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	if err := appendTrajectory(*outPath, names, cur, probe.NsOp); err != nil {
+		fatal("append %s: %v", *outPath, err)
+	}
+
+	if *update {
+		if err := writeBaseline(*basePath, names, cur, probe.NsOp); err != nil {
+			fatal("write %s: %v", *basePath, err)
+		}
+		fmt.Printf("benchgate: recorded baseline with %d benchmarks to %s\n", len(cur), *basePath)
+		return
+	}
+
+	base, err := readBaseline(*basePath)
+	if err != nil {
+		fatal("read %s: %v (run `make bench-dsp-baseline` to record one)", *basePath, err)
+	}
+	scale := 1.0
+	if base.ProbeNsOp > 0 {
+		if !haveProbe {
+			fatal("baseline was recorded with probe %s but this run did not produce it", *probeName)
+		}
+		scale = probe.NsOp / base.ProbeNsOp
+		fmt.Printf("benchgate: machine-speed scale %.3f (probe %.0f ns/op now vs %.0f at baseline)\n",
+			scale, probe.NsOp, base.ProbeNsOp)
+	}
+	if gate(base, names, cur, scale) {
+		os.Exit(1)
+	}
+}
+
+// parseBench folds `go test -bench` stdout into per-benchmark minima.
+// Lines look like:
+//
+//	BenchmarkFFT64-8   100   1234 ns/op   0 B/op   0 allocs/op
+//
+// The -P GOMAXPROCS suffix is stripped and "/" in sub-benchmark names is
+// flattened so the names are stable JSON keys.
+func parseBench(r *os.File) (map[string]point, error) {
+	out := map[string]point{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // tee: keep the raw output visible in logs
+		f := strings.Fields(line)
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		name := strings.TrimPrefix(f[0], "Benchmark")
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		name = strings.Map(func(r rune) rune {
+			switch r {
+			case '/', ' ':
+				return '_'
+			}
+			return r
+		}, name)
+		p := point{NsOp: -1, AllocsOp: -1}
+		for i := 2; i+1 < len(f); i++ {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				continue
+			}
+			switch f[i+1] {
+			case "ns/op":
+				p.NsOp = v
+			case "allocs/op":
+				p.AllocsOp = v
+			}
+		}
+		if p.NsOp < 0 {
+			continue
+		}
+		if p.AllocsOp < 0 {
+			p.AllocsOp = 0 // benchmark ran without -benchmem
+		}
+		if prev, ok := out[name]; ok {
+			if prev.NsOp < p.NsOp {
+				p.NsOp = prev.NsOp
+			}
+			if prev.AllocsOp < p.AllocsOp {
+				p.AllocsOp = prev.AllocsOp
+			}
+		}
+		out[name] = p
+	}
+	return out, sc.Err()
+}
+
+func appendTrajectory(path string, names []string, cur map[string]point, probeNs float64) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "{\"date\":%q", time.Now().Format("2006-01-02"))
+	if probeNs > 0 {
+		fmt.Fprintf(&b, ",\"probe_ns_op\":%g", probeNs)
+	}
+	for _, name := range names {
+		p := cur[name]
+		fmt.Fprintf(&b, ",\"%s_ns_op\":%g,\"%s_allocs_op\":%g", name, p.NsOp, name, p.AllocsOp)
+	}
+	b.WriteString("}\n")
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func readBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, err
+	}
+	if len(b.Benchmarks) == 0 {
+		return nil, fmt.Errorf("baseline has no benchmarks")
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, names []string, cur map[string]point, probeNs float64) error {
+	b := baseline{
+		Recorded:   time.Now().Format("2006-01-02"),
+		Note:       "min ns/op and allocs/op across -count runs; gate: ns/op <= old*scale*1.15 (scale = probe now / probe at baseline), allocs/op <= max(old*1.10, old+16)",
+		ProbeNsOp:  probeNs,
+		Benchmarks: map[string]point{},
+	}
+	for _, name := range names {
+		b.Benchmarks[name] = cur[name]
+	}
+	raw, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// gate compares the run against the baseline and reports true when any
+// benchmark regressed or disappeared. scale is the machine-speed ratio
+// from the calibration probe; baseline ns/op budgets are multiplied by it
+// before comparison.
+func gate(base *baseline, names []string, cur map[string]point, scale float64) bool {
+	bad := false
+	baseNames := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		baseNames = append(baseNames, name)
+	}
+	sort.Strings(baseNames)
+	for _, name := range baseNames {
+		old := base.Benchmarks[name]
+		now, ok := cur[name]
+		if !ok {
+			fmt.Printf("benchgate: FAIL %s: in baseline but absent from this run\n", name)
+			bad = true
+			continue
+		}
+		if budget := old.NsOp * scale; now.NsOp > budget*1.15 {
+			fmt.Printf("benchgate: FAIL %s: %.0f ns/op vs speed-adjusted baseline %.0f (+%.1f%% > 15%% budget)\n",
+				name, now.NsOp, budget, 100*(now.NsOp/budget-1))
+			bad = true
+		}
+		allocCap := old.AllocsOp * 1.10
+		if add := old.AllocsOp + 16; add > allocCap {
+			allocCap = add
+		}
+		if now.AllocsOp > allocCap {
+			fmt.Printf("benchgate: FAIL %s: %.0f allocs/op vs baseline %.0f (cap %.0f)\n",
+				name, now.AllocsOp, old.AllocsOp, allocCap)
+			bad = true
+		}
+	}
+	for _, name := range names {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("benchgate: note: %s not in baseline (gated after next bench-dsp-baseline)\n", name)
+		}
+	}
+	if !bad {
+		fmt.Printf("benchgate: OK — %d benchmarks within budget of %s baseline\n", len(baseNames), base.Recorded)
+	}
+	return bad
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchgate: "+format+"\n", args...)
+	os.Exit(1)
+}
