@@ -1,12 +1,15 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-serve bench-dsp bench-dsp-baseline golden loadtest-quick soak soak-quick fuzz-faults ci
+.PHONY: build test race vet staticcheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults ci
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomises test order every run so accidental inter-test
+# coupling (shared caches, package-level state) surfaces in CI instead of
+# in production; the seed is printed on failure for reproduction.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
@@ -15,7 +18,7 @@ vet:
 # engine (internal/runner, core.RunParallel, the experiment sweeps) is the
 # main subject.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # staticcheck runs honnef.co/go/tools if installed; absent the binary it
 # reports and succeeds so `make ci` works on minimal images.
@@ -30,19 +33,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-serve benchmarks the HTTP service path (decode micro-batcher,
-# session pool) and appends one JSONL trajectory point per run to
-# BENCH_SERVE.json: ns/op plus the req/batch and hit-rate custom metrics.
+# session pool) through the same benchgate as the DSP suite: one JSONL
+# trajectory point per run in BENCH_SERVE.json (ns/op, allocs/op, plus
+# the req/batch and hit-rate custom metrics), gated against
+# BENCH_SERVE_BASELINE.json. The serve suite has no calibration probe, so
+# ns/op budgets are compared unscaled.
 bench-serve:
-	@$(GO) test -bench='DecodeEndpoint|SimulateEndpoint' -benchtime=200x -run=^$$ ./internal/server \
-		| awk 'BEGIN { printf "{\"date\":\"%s\"", strftime("%Y-%m-%d") } \
-			/^Benchmark/ { \
-				name=$$1; sub(/-.*$$/, "", name); sub(/^Benchmark/, "", name); \
-				printf ",\"%s_ns_op\":%s", name, $$3; \
-				for (i=5; i<NF; i+=2) printf ",\"%s_%s\":%s", name, $$(i+1), $$i; \
-			} \
-			END { print "}" }' \
-		| sed 's#/#_per_#g' >> BENCH_SERVE.json
-	@tail -1 BENCH_SERVE.json
+	@$(GO) test -bench='DecodeEndpoint|SimulateEndpoint' -benchmem -benchtime=200x -count=3 -run=^$$ ./internal/server \
+		| $(GO) run ./tools/benchgate -baseline BENCH_SERVE_BASELINE.json -out BENCH_SERVE.json $(BENCHGATE_FLAGS)
+
+# bench-serve-baseline re-records BENCH_SERVE_BASELINE.json. Only run it
+# for intentional performance changes.
+bench-serve-baseline:
+	@$(MAKE) bench-serve BENCHGATE_FLAGS=-update
 
 # bench-dsp is the DSP-hot-path regression gate. It benchmarks the FFT
 # plans, convolution, the per-radio end-to-end packet (core
@@ -58,8 +61,9 @@ bench-serve:
 # other golden.
 BENCH_DSP_TIME_FAST ?= 2000x
 BENCH_DSP_TIME_E2E ?= 100x
+BENCH_DSP_TIME_SWEEP ?= 2x
 BENCH_DSP_COUNT ?= 5
-BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|CalibrationProbe'
+BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|SNRSweep|CalibrationProbe'
 
 bench-dsp:
 	@( $(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
@@ -67,13 +71,22 @@ bench-dsp:
 		./internal/signal ./internal/channel ./internal/faults ; \
 	$(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
 		-benchtime=$(BENCH_DSP_TIME_E2E) -count=$(BENCH_DSP_COUNT) \
-		./internal/core ) \
+		./internal/core ; \
+	$(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
+		-benchtime=$(BENCH_DSP_TIME_SWEEP) -count=$(BENCH_DSP_COUNT) \
+		./internal/experiments ) \
 		| $(GO) run ./tools/benchgate -baseline BENCH_DSP_BASELINE.json -out BENCH_DSP.json $(BENCHGATE_FLAGS)
 
 # bench-dsp-baseline re-records BENCH_DSP_BASELINE.json from the current
 # tree. Only run it for intentional performance changes.
 bench-dsp-baseline:
 	@$(MAKE) bench-dsp BENCHGATE_FLAGS=-update
+
+# bench-compare diffs the last two recorded BENCH_DSP.json points in
+# percent — run `make bench-dsp` before and after a change, then this to
+# see what it cost (or bought).
+bench-compare:
+	@$(GO) run ./tools/benchgate -compare -out BENCH_DSP.json
 
 # golden regenerates the PHY golden vectors after an intentional
 # calibration change. Review the diff before committing.
@@ -102,8 +115,8 @@ fuzz-faults:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultProfile -fuzztime=10s ./internal/faults
 
 # ci is the gate: everything must build, pass vet (and staticcheck where
-# installed), pass the suite with the race detector on, hold the service
-# layer bit-identical under concurrent load, survive the quick chaos soak,
-# keep the fault-spec parser fuzz-clean, and stay within the DSP
-# benchmark budget.
-ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults bench-dsp
+# installed), pass the suite with the race detector on (in shuffled
+# order), hold the service layer bit-identical under concurrent load,
+# survive the quick chaos soak, keep the fault-spec parser fuzz-clean,
+# and stay within the DSP and serve benchmark budgets.
+ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults bench-dsp bench-serve

@@ -159,6 +159,10 @@ func main() {
 			pts, err := experiments.RedundancySweep(opt)
 			return result{Title: "§3.2.1 — OFDM symbols per tag bit (redundancy study)", Rows: pts}, err
 		},
+		"snr": func() (result, error) {
+			pts, err := experiments.BERvsSNR(opt)
+			return result{Title: "BER vs SNR — WiFi decoder operating curve (memoized excitation)", Rows: pts}, err
+		},
 		"pilots": func() (result, error) {
 			without, with, err := experiments.PilotTrackingAblation(opt)
 			if err != nil {

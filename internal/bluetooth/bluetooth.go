@@ -92,19 +92,30 @@ func (t *Transmitter) FrameBits(payload []byte) ([]byte, error) {
 		return nil, fmt.Errorf("bluetooth: payload %d exceeds %d", len(payload), MaxPayload)
 	}
 	crc := bits.CRC24BLE(payload, 0x555555)
-	body := make([]byte, 0, 1+len(payload)+3)
-	body = append(body, byte(len(payload)))
-	body = append(body, payload...)
-	body = append(body, byte(crc), byte(crc>>8), byte(crc>>16))
-
-	bodyBits := bits.FromBytes(body)
-	Whiten(bodyBits, t.WhitenSeed)
-
-	out := make([]byte, 0, 8+32+len(bodyBits))
-	out = append(out, bits.FromBytes([]byte{PreambleByte})...)
-	out = append(out, bits.FromBytes(AccessAddress[:])...)
-	out = append(out, bodyBits...)
+	out := make([]byte, 0, 8+32+(1+len(payload)+3)*8)
+	out = appendByteBits(out, PreambleByte)
+	for _, b := range AccessAddress {
+		out = appendByteBits(out, b)
+	}
+	body := len(out)
+	out = appendByteBits(out, byte(len(payload)))
+	for _, b := range payload {
+		out = appendByteBits(out, b)
+	}
+	out = appendByteBits(out, byte(crc))
+	out = appendByteBits(out, byte(crc>>8))
+	out = appendByteBits(out, byte(crc>>16))
+	Whiten(out[body:], t.WhitenSeed)
 	return out, nil
+}
+
+// appendByteBits appends the eight bits of b, LSB first (the BLE air
+// order, matching bits.FromBytes).
+func appendByteBits(out []byte, b byte) []byte {
+	for i := 0; i < 8; i++ {
+		out = append(out, (b>>uint(i))&1)
+	}
+	return out
 }
 
 // Transmit builds the baseband GFSK waveform of one frame. Unit power
@@ -117,10 +128,17 @@ func (t *Transmitter) Transmit(payload []byte) (*signal.Signal, error) {
 	return ModulateBits(fb), nil
 }
 
+// gaussTaps is the shared Gaussian pulse-shaping filter (BT = 0.5, one
+// symbol span constant), designed once for every ModulateBits call.
+var gaussTaps = signal.GaussianFIR(GaussianBT, SamplesPerBit, gaussSpanSymbols)
+
 // ModulateBits produces the constant-envelope GFSK waveform of a bit slice.
 func ModulateBits(b []byte) *signal.Signal {
-	// NRZ upsample.
-	nrz := make([]complex128, len(b)*SamplesPerBit)
+	a := signal.GetArena()
+	defer a.Release()
+	// NRZ upsample (arena scratch — only the phase-integrated waveform
+	// escapes).
+	nrz := a.Complex(len(b) * SamplesPerBit)
 	for i, bit := range b {
 		v := -1.0
 		if bit&1 == 1 {
@@ -131,8 +149,7 @@ func ModulateBits(b []byte) *signal.Signal {
 		}
 	}
 	// Gaussian pulse shaping of the frequency waveform.
-	g := signal.GaussianFIR(GaussianBT, SamplesPerBit, gaussSpanSymbols)
-	freq := signal.Convolve(nrz, g)
+	freq := signal.ConvolveInto(a.Complex(len(nrz)), nrz, gaussTaps, a)
 
 	// Phase integration: f_inst = Deviation * freq[n].
 	s := signal.New(SampleRate, len(freq))

@@ -28,16 +28,23 @@ type Receiver struct {
 	channelFilter []float64
 }
 
-// NewReceiver returns a receiver with defaults matching NewTransmitter.
-func NewReceiver() *Receiver {
-	// ±500 kHz channel selection with a transition band narrow enough to
-	// sit ~50 dB down at the ±750 kHz mirror sideband a backscatter tag's
-	// square-wave mixer produces (eq. 10 relies on this rejection).
+// channelFilterTaps is the shared ±500 kHz channel-selection filter: a
+// transition band narrow enough to sit ~50 dB down at the ±750 kHz mirror
+// sideband a backscatter tag's square-wave mixer produces (eq. 10 relies on
+// this rejection). The design depends only on package constants, so every
+// receiver shares one read-only tap slice instead of redesigning 129 taps
+// per construction (the core session builds a receiver per packet).
+var channelFilterTaps = func() []float64 {
 	h, err := signal.LowpassFIR(SampleRate, ChannelWidth/2, 129)
 	if err != nil {
 		panic("bluetooth: channel filter design: " + err.Error())
 	}
-	return &Receiver{DetectionThreshold: 0.5, WhitenSeed: 0x53, channelFilter: h}
+	return h
+}()
+
+// NewReceiver returns a receiver with defaults matching NewTransmitter.
+func NewReceiver() *Receiver {
+	return &Receiver{DetectionThreshold: 0.5, WhitenSeed: 0x53, channelFilter: channelFilterTaps}
 }
 
 // syncTemplate is the ideal discriminator output (instantaneous frequency,
@@ -74,8 +81,7 @@ func (rx *Receiver) ReceiveAll(cap *signal.Signal) []*RxFrame {
 }
 
 func (rx *Receiver) receive(cap *signal.Signal, firstOnly bool) []*RxFrame {
-	filtered := cap.Clone().Filter(rx.channelFilter)
-	disc := Discriminate(filtered)
+	disc := rx.demodulate(cap)
 	var out []*RxFrame
 	from := 0
 	for {
@@ -124,7 +130,18 @@ type Demodulated struct {
 // discriminator output. The results are bit-identical to the one-shot
 // methods, which perform exactly this pass internally.
 func (rx *Receiver) Demod(cap *signal.Signal) *Demodulated {
-	return &Demodulated{rx: rx, disc: Discriminate(cap.Clone().Filter(rx.channelFilter))}
+	return &Demodulated{rx: rx, disc: rx.demodulate(cap)}
+}
+
+// demodulate runs the channel filter + FM discriminator over a capture.
+// The filtered intermediate lives in a pooled arena (ConvolveInto is
+// bit-identical to Clone().Filter()), so the only escaping allocation is
+// the discriminator output itself.
+func (rx *Receiver) demodulate(cap *signal.Signal) []float64 {
+	a := signal.GetArena()
+	defer a.Release()
+	filtered := signal.ConvolveInto(a.Complex(len(cap.Samples)), cap.Samples, rx.channelFilter, a)
+	return Discriminate(&signal.Signal{Rate: cap.Rate, Samples: filtered})
 }
 
 // Detect is Receiver.Detect against the shared discriminator pass.
@@ -282,7 +299,7 @@ func min(a, b int) int {
 // it over the backhaul) and extracts tag data by comparing streams, so it
 // does not depend on the translated frame parsing cleanly.
 func (rx *Receiver) RawBitsAt(cap *signal.Signal, start, nBits int) []byte {
-	return rawBitsFrom(Discriminate(cap.Clone().Filter(rx.channelFilter)), start, nBits)
+	return rawBitsFrom(rx.demodulate(cap), start, nBits)
 }
 
 func rawBitsFrom(disc []float64, start, nBits int) []byte {

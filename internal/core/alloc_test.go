@@ -1,0 +1,38 @@
+package core
+
+import "testing"
+
+// TestRunPacketBluetoothAllocs pins the steady-state heap traffic of the
+// full Bluetooth packet pipeline (TX synthesis included — no waveform
+// cache configured). The budget covers only the escaping results: the
+// random payload, the frame-bit reference, the synthesised/translated
+// waveforms and the discriminator output; all filter/convolution scratch
+// lives in pooled arenas. A regression here means a fast path started
+// allocating per packet again.
+func TestRunPacketBluetoothAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	cfg := DefaultConfig(Bluetooth, 5)
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tagBits := make([]byte, s.Capacity())
+	for i := range tagBits {
+		tagBits[i] = byte(i) & 1
+	}
+	// Warm the arena and session pools so the measurement sees steady state.
+	if _, err := s.RunPacket(tagBits); err != nil {
+		t.Fatal(err)
+	}
+	const budget = 14 // measured by BenchmarkSessionRunPacket/Bluetooth
+	got := testing.AllocsPerRun(20, func() {
+		if _, err := s.RunPacket(tagBits); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got > budget {
+		t.Fatalf("Bluetooth RunPacket allocates %.1f/op, budget %d", got, budget)
+	}
+}

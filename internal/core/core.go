@@ -21,6 +21,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/signal"
 	"repro/internal/tag"
+	"repro/internal/waveform"
 	"repro/internal/wifi"
 	"repro/internal/zigbee"
 )
@@ -86,6 +87,26 @@ type Config struct {
 	Faults *faults.Profile
 	// Seed drives every stochastic element of the session.
 	Seed int64
+	// Waveforms attaches a content-addressed cache of clean backscattered
+	// excitation waveforms. Synthesising a packet (TX chain + codeword
+	// translation + channel shift) is deterministic in its content — radio,
+	// PHY config, payload, scrambler seed, tag bits — so identical packets
+	// replay one cached waveform instead of re-synthesising it. Cached
+	// entries are immutable; the channel applies fading and noise into a
+	// separate capture buffer (Link.ApplyTo never writes its source), which
+	// is what makes sharing across sessions and goroutines safe. Nil
+	// disables caching and leaves every result bit-identical either way.
+	Waveforms *waveform.Cache
+	// ContentSeed, when non-zero, decouples packet content (payload bytes,
+	// tag bits, WiFi scrambler seed) from the channel realisation (fading,
+	// noise) in Run/RunParallel: content draws from streams derived from
+	// ContentSeed while the channel keeps drawing from streams derived from
+	// Seed. Sweeps that vary Seed per point can then share one ContentSeed —
+	// and therefore one set of cached waveforms — while every point still
+	// sees independent channel noise. Zero keeps the legacy single-stream
+	// draw order, bit-identical to builds without this knob. RunPacket
+	// always uses the session's sequential stream for both.
+	ContentSeed int64
 }
 
 // Calibrated per-radio receiver detection thresholds: normalised preamble
@@ -327,7 +348,7 @@ func (s *Session) translator() tag.Translator {
 func (s *Session) RunPacket(tagBits []byte) (PacketResult, error) {
 	slot := s.slot
 	s.slot++
-	return s.runPacket(tagBits, s.rng, s.wifiTX, slot)
+	return s.runPacket(tagBits, s.rng, s.rng, s.wifiTX, slot)
 }
 
 // Slot returns the next packet slot RunPacket will occupy.
@@ -343,14 +364,16 @@ func (s *Session) AdvanceSlots(n int) {
 	}
 }
 
-// runPacket is RunPacket with an explicit randomness source: rng drives
-// payload, fading and noise draws, and wtx supplies the WiFi scrambler
-// state (the one per-packet mutable piece of transmitter state). slot
-// addresses the fault profile; a slot whose excitation is out or whose tag
-// reservoir is dry short-circuits to a lost packet before any PHY work —
-// and before any rng draw, which is harmless because every packet runs on
-// a stream other packets never observe.
-func (s *Session) runPacket(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter, slot int) (PacketResult, error) {
+// runPacket is RunPacket with explicit randomness sources: content drives
+// the packet's payload draws, chanRng its fading and noise draws, and wtx
+// supplies the WiFi scrambler state (the one per-packet mutable piece of
+// transmitter state). Callers without a content/channel split pass the same
+// generator twice, which reproduces the legacy single-stream draw order
+// exactly. slot addresses the fault profile; a slot whose excitation is out
+// or whose tag reservoir is dry short-circuits to a lost packet before any
+// PHY work — and before any rng draw, which is harmless because every
+// packet runs on streams other packets never observe.
+func (s *Session) runPacket(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi.Transmitter, slot int) (PacketResult, error) {
 	pf := s.cfg.Faults.At(s.cfg.Seed, slot)
 	if pf.Outage || pf.SkipReflection {
 		// Nothing reaches the receiver: no excitation to ride on (outage)
@@ -359,11 +382,11 @@ func (s *Session) runPacket(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitte
 	}
 	switch s.cfg.Radio {
 	case WiFi:
-		return s.runWiFi(tagBits, rng, wtx, pf)
+		return s.runWiFi(tagBits, content, chanRng, wtx, pf)
 	case ZigBee:
-		return s.runZigBee(tagBits, rng, pf)
+		return s.runZigBee(tagBits, content, chanRng, pf)
 	case Bluetooth:
-		return s.runBluetooth(tagBits, rng, pf)
+		return s.runBluetooth(tagBits, content, chanRng, pf)
 	}
 	return PacketResult{}, fmt.Errorf("core: unknown radio %v", s.cfg.Radio)
 }
@@ -432,35 +455,81 @@ func (s *Session) link(rng *rand.Rand, pf faults.Packet) channel.Link {
 	return l
 }
 
-func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter, pf faults.Packet) (PacketResult, error) {
-	rate := wifi.Rates[s.cfg.WiFiRateMbps]
-	psdu := s.wifiPSDU(rng)
+// wifiEntry returns the clean backscattered waveform plus decode references
+// for one WiFi packet's content, either replayed from the waveform cache or
+// synthesised (and, with a cache attached, stored for the next identical
+// packet). A cache hit must still advance wtx's scrambler rotation so the
+// transmitter's seed sequence is identical to the uncached path.
+func (s *Session) wifiEntry(psdu, tagBits []byte, rate wifi.Rate, wtx *wifi.Transmitter) (*waveform.Entry, error) {
 	scramblerSeed := wtx.ScramblerSeed
+	c := s.cfg.Waveforms
+	var key waveform.Key
+	if c != nil {
+		key = waveform.NewKey().
+			Byte(byte(WiFi)).
+			Uint64(uint64(s.cfg.WiFiRateMbps)).
+			Uint64(uint64(s.cfg.Redundancy)).
+			Bool(s.cfg.Quaternary).
+			Byte(scramblerSeed).
+			Bytes(psdu).
+			Bytes(tagBits).
+			Sum()
+		if e := c.Get(key); e != nil {
+			wtx.AdvanceScramblerSeed()
+			return e, nil
+		}
+	}
 	exc, err := wtx.Transmit(psdu, rate)
 	if err != nil {
-		return PacketResult{}, err
+		return nil, err
 	}
-	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
-
+	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return nil, err
+	}
+	sh := tag.ChannelShifter{OffsetHz: 20e6, Mode: tag.ShiftEquivalentBaseband}
+	if _, err := sh.Shift(backscattered); err != nil {
+		return nil, err
+	}
 	// Reference stream: descrambled SERVICE + PSDU + tail + pad, which is
 	// what receiver 1 reports over the backhaul.
 	nSym := wifi.NumDataSymbols(len(psdu), rate)
 	ref := make([]byte, nSym*rate.NDBPS)
 	copy(ref[wifi.ServiceBits:], bits.FromBytes(psdu))
+	e := &waveform.Entry{
+		Wave:      backscattered,
+		MeanPower: backscattered.MeanPower(),
+		Used:      used,
+		Airtime:   exc.Duration(),
+		Ref:       ref,
+	}
+	if s.cfg.Quaternary {
+		// eq. 5 needs the interleaved coded stream; rebuild it once at
+		// synthesis time so cache hits skip it along with the TX chain.
+		e.CodedRef, err = wifi.CodedBits(psdu, rate, scramblerSeed)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if c != nil {
+		c.Put(key, e)
+	}
+	return e, nil
+}
 
-	backscattered, used, err := s.translator().Translate(exc, tagBits)
+func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi.Transmitter, pf faults.Packet) (PacketResult, error) {
+	rate := wifi.Rates[s.cfg.WiFiRateMbps]
+	psdu := s.wifiPSDU(content)
+	entry, err := s.wifiEntry(psdu, tagBits, rate, wtx)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res.TagBits = used
+	used := entry.Used
+	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	sh := tag.ChannelShifter{OffsetHz: 20e6, Mode: tag.ShiftEquivalentBaseband}
-	if _, err := sh.Shift(backscattered); err != nil {
-		return PacketResult{}, err
-	}
 	cap := capturePool.Get().(*signal.Signal)
 	defer capturePool.Put(cap)
-	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -482,15 +551,11 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter,
 	// is reflected unmodified; see translator()).
 	if s.cfg.Quaternary {
 		// eq. 5: rotation hypotheses on the raw demapped coded bits.
-		codedRef, err := wifi.CodedBits(psdu, rate, scramblerSeed)
-		if err != nil {
-			return PacketResult{}, err
-		}
 		if len(pkt.DemappedBits) <= rate.NCBPS {
 			return res, nil
 		}
 		qws, err := decoder.DecodeQuaternaryWindows(
-			codedRef[rate.NCBPS:], pkt.DemappedBits[rate.NCBPS:],
+			entry.CodedRef[rate.NCBPS:], pkt.DemappedBits[rate.NCBPS:],
 			s.cfg.Redundancy*rate.NCBPS)
 		if err != nil {
 			return PacketResult{}, err
@@ -508,7 +573,7 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter,
 	if len(pkt.RawBits) <= rate.NDBPS {
 		return res, nil
 	}
-	ws, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
+	ws, err := decoder.DecodeWindows(entry.Ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -521,31 +586,63 @@ func (s *Session) runWiFi(tagBits []byte, rng *rand.Rand, wtx *wifi.Transmitter,
 	return res, nil
 }
 
-func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand, pf faults.Packet) (PacketResult, error) {
-	payload := s.zigbeeMPDU(rng)
+// zigbeeEntry returns the clean backscattered waveform plus the symbol
+// reference for one ZigBee packet's content, cached when a cache is
+// attached. The ZigBee transmitter is stateless, so a hit skips the whole
+// synthesis path with nothing to replay.
+func (s *Session) zigbeeEntry(payload, tagBits []byte) (*waveform.Entry, error) {
+	c := s.cfg.Waveforms
+	var key waveform.Key
+	if c != nil {
+		key = waveform.NewKey().
+			Byte(byte(ZigBee)).
+			Uint64(uint64(s.cfg.Redundancy)).
+			Bytes(payload).
+			Bytes(tagBits).
+			Sum()
+		if e := c.Get(key); e != nil {
+			return e, nil
+		}
+	}
 	exc, err := s.zbTX.Transmit(payload)
 	if err != nil {
-		return PacketResult{}, err
+		return nil, err
 	}
-	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
-
+	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return nil, err
+	}
+	sh := tag.ChannelShifter{OffsetHz: 16e6, Mode: tag.ShiftEquivalentBaseband}
+	if _, err := sh.Shift(backscattered); err != nil {
+		return nil, err
+	}
 	fcs := bits.CRC16CCITT(payload)
 	body := append(append([]byte(nil), payload...), byte(fcs), byte(fcs>>8))
-	ref := zigbee.SymbolsFromBytes(body)
+	e := &waveform.Entry{
+		Wave:      backscattered,
+		MeanPower: backscattered.MeanPower(),
+		Used:      used,
+		Airtime:   exc.Duration(),
+		Ref:       zigbee.SymbolsFromBytes(body),
+	}
+	if c != nil {
+		c.Put(key, e)
+	}
+	return e, nil
+}
 
-	backscattered, used, err := s.translator().Translate(exc, tagBits)
+func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faults.Packet) (PacketResult, error) {
+	payload := s.zigbeeMPDU(content)
+	entry, err := s.zigbeeEntry(payload, tagBits)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res.TagBits = used
+	used := entry.Used
+	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	sh := tag.ChannelShifter{OffsetHz: 16e6, Mode: tag.ShiftEquivalentBaseband}
-	if _, err := sh.Shift(backscattered); err != nil {
-		return PacketResult{}, err
-	}
 	cap := capturePool.Get().(*signal.Signal)
 	defer capturePool.Put(cap)
-	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -558,10 +655,10 @@ func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand, pf faults.Packet) (P
 	}
 	res.Detected = true
 	res.RSSI = s.cfg.Link.BackscatterRSSI()
-	if len(frame.Symbols) != len(ref) {
+	if len(frame.Symbols) != len(entry.Ref) {
 		return res, nil
 	}
-	ws, err := decoder.DecodeWindows(ref, frame.Symbols, s.cfg.Redundancy, 0.3)
+	ws, err := decoder.DecodeWindows(entry.Ref, frame.Symbols, s.cfg.Redundancy, 0.3)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -574,31 +671,66 @@ func (s *Session) runZigBee(tagBits []byte, rng *rand.Rand, pf faults.Packet) (P
 	return res, nil
 }
 
-func (s *Session) runBluetooth(tagBits []byte, rng *rand.Rand, pf faults.Packet) (PacketResult, error) {
-	payload := randomPayload(rng, s.cfg.PayloadSize)
+// bluetoothEntry returns the clean backscattered waveform plus the frame
+// bit reference for one Bluetooth packet's content, cached when a cache is
+// attached. The whitening seed is static per session but shapes the
+// waveform, so it participates in the key.
+func (s *Session) bluetoothEntry(payload, tagBits []byte) (*waveform.Entry, error) {
+	c := s.cfg.Waveforms
+	var key waveform.Key
+	if c != nil {
+		key = waveform.NewKey().
+			Byte(byte(Bluetooth)).
+			Uint64(uint64(s.cfg.Redundancy)).
+			Byte(s.btTX.WhitenSeed).
+			Bytes(payload).
+			Bytes(tagBits).
+			Sum()
+		if e := c.Get(key); e != nil {
+			return e, nil
+		}
+	}
 	exc, err := s.btTX.Transmit(payload)
 	if err != nil {
-		return PacketResult{}, err
+		return nil, err
 	}
-	res := PacketResult{AirTime: exc.Duration(), Fault: pf}
-
 	ref, err := s.btTX.FrameBits(payload)
 	if err != nil {
-		return PacketResult{}, err
+		return nil, err
 	}
-
+	// The Bluetooth tag's codeword toggle already runs through the real
+	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
+	// is folded into TagLossDB like the others, so no shifter here.
 	backscattered, used, err := s.translator().Translate(exc, tagBits)
+	if err != nil {
+		return nil, err
+	}
+	e := &waveform.Entry{
+		Wave:      backscattered,
+		MeanPower: backscattered.MeanPower(),
+		Used:      used,
+		Airtime:   exc.Duration(),
+		Ref:       ref,
+	}
+	if c != nil {
+		c.Put(key, e)
+	}
+	return e, nil
+}
+
+func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf faults.Packet) (PacketResult, error) {
+	payload := randomPayload(content, s.cfg.PayloadSize)
+	entry, err := s.bluetoothEntry(payload, tagBits)
 	if err != nil {
 		return PacketResult{}, err
 	}
-	res.TagBits = used
+	used := entry.Used
+	ref := entry.Ref
+	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	// The Bluetooth tag's codeword toggle already runs through the real
-	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
-	// is folded into TagLossDB like the others.
 	cap := capturePool.Get().(*signal.Signal)
 	defer capturePool.Put(cap)
-	if err := s.link(rng, pf).ApplyTo(cap, backscattered, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -682,18 +814,29 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 	rng := packetRNGPool.Get().(*rand.Rand)
 	defer packetRNGPool.Put(rng)
 	rng.Seed(runner.DeriveSeed(s.cfg.Seed, "core.packet", idx))
+	// With a ContentSeed, packet content comes off its own derived stream so
+	// sweeps that vary Seed per point still synthesise identical packets;
+	// without one, content and channel share the stream in the legacy draw
+	// order (content first, then the channel seed), bit for bit.
+	content := rng
+	if s.cfg.ContentSeed != 0 {
+		crng := packetRNGPool.Get().(*rand.Rand)
+		defer packetRNGPool.Put(crng)
+		crng.Seed(runner.DeriveSeed(s.cfg.ContentSeed, "core.content", idx))
+		content = crng
+	}
 	tagBits := make([]byte, s.Capacity())
 	for j := range tagBits {
-		tagBits[j] = byte(rng.Intn(2))
+		tagBits[j] = byte(content.Intn(2))
 	}
 	var wtx *wifi.Transmitter
 	if s.cfg.Radio == WiFi {
 		// Commodity cards rotate the 7-bit scrambler seed per packet; here
 		// each packet draws its own nonzero seed from its stream instead of
 		// inheriting rotation order from the previous packet.
-		wtx = &wifi.Transmitter{ScramblerSeed: byte(1 + rng.Intn(127)), FixedSeed: true}
+		wtx = &wifi.Transmitter{ScramblerSeed: byte(1 + content.Intn(127)), FixedSeed: true}
 	}
-	return s.runPacket(tagBits, rng, wtx, idx)
+	return s.runPacket(tagBits, content, rng, wtx, idx)
 }
 
 func (r *SessionResult) accumulate(pr PacketResult, gap float64) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/waveform"
 )
 
 // LinkPoint is one distance sample of a throughput/BER/RSSI sweep
@@ -29,14 +30,20 @@ func (p LinkPoint) String() string {
 // domain — so they run on all cores; results stay in input order and are
 // bit-identical to a serial sweep. The domain string keeps distinct sweeps
 // (fig10 vs fig11 vs ...) on uncorrelated noise streams even under the
-// same base seed.
+// same base seed. All points share one ContentSeed and one waveform cache:
+// packet content is identical across distances, so each excitation is
+// synthesised once and replayed through every point's own channel.
 func linkSweep(domain string, radio core.Radio, distances []float64, opt Options,
 	mutate func(*core.Config)) ([]LinkPoint, error) {
 	sp := opt.span(domain)
 	out := make([]LinkPoint, len(distances))
+	waves := waveform.New(0)
+	contentSeed := runner.DeriveSeed(opt.Seed, "links."+domain+".content")
 	st, err := runner.MapStats(len(distances), opt.workers(), func(i int) error {
 		cfg := core.DefaultConfig(radio, distances[i])
 		cfg.Seed = runner.DeriveSeed(opt.Seed, "links."+domain, i)
+		cfg.ContentSeed = contentSeed
+		cfg.Waveforms = waves
 		cfg.Faults = opt.Faults
 		if mutate != nil {
 			mutate(&cfg)

@@ -27,10 +27,16 @@ package faults
 import (
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/runner"
 )
+
+// faultRNGPool recycles the generators At replays the burst and drift
+// processes on; At runs once per packet slot, so without the pool those
+// two sources dominate the fault layer's steady-state allocations.
+var faultRNGPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
 
 // Burst is a Gilbert–Elliott burst-interference / deep-fade process: a
 // two-state Markov chain stepped once per slot. In the bad state the link
@@ -221,12 +227,19 @@ func (p *Profile) At(seed int64, slot int) Packet {
 	}
 	pkt.Outage = p.Outage.outageAt(slot, outageLen)
 
+	// Seed fully re-initialises a pooled generator, so the replayed streams
+	// are exactly what fresh rand.New(rand.NewSource(seed)) would draw; the
+	// pool keeps the ~5 KB source state out of the per-packet heap traffic.
 	var burstRng, driftRng *rand.Rand
 	if p.Burst != nil {
-		burstRng = rand.New(rand.NewSource(runner.DeriveSeed(seed, "faults.burst")))
+		burstRng = faultRNGPool.Get().(*rand.Rand)
+		defer faultRNGPool.Put(burstRng)
+		burstRng.Seed(runner.DeriveSeed(seed, "faults.burst"))
 	}
 	if p.Drift != nil {
-		driftRng = rand.New(rand.NewSource(runner.DeriveSeed(seed, "faults.drift")))
+		driftRng = faultRNGPool.Get().(*rand.Rand)
+		defer faultRNGPool.Put(driftRng)
+		driftRng.Seed(runner.DeriveSeed(seed, "faults.drift"))
 	}
 
 	cap := defaultBrownoutCap

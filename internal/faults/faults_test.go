@@ -274,3 +274,25 @@ func TestOutageFreezesHarvester(t *testing.T) {
 		t.Fatalf("slot 15 should be a recovered full reflection, got %+v", resumed)
 	}
 }
+
+// TestProfileAtZeroAlloc pins the per-slot timeline evaluation at zero
+// heap allocations: the replayed burst/drift generators come from a pool,
+// so fault-injected runs add no steady-state per-packet heap traffic.
+func TestProfileAtZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	p, err := Parse("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.At(12345, 64) // warm the RNG pool
+	slot := 0
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.At(12345, slot%256)
+		slot++
+	})
+	if allocs != 0 {
+		t.Fatalf("Profile.At: %v allocs/op, want 0", allocs)
+	}
+}

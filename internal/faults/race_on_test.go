@@ -1,0 +1,8 @@
+//go:build race
+
+package faults
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// allocation pins skip, since instrumentation forces locals to heap and
+// randomises sync.Pool reuse.
+const raceEnabled = true

@@ -1,0 +1,45 @@
+package obs
+
+import "sync/atomic"
+
+// CacheCounters is the shared hit/miss/eviction instrumentation for the
+// process's content caches (the waveform TX cache, the server's session
+// pool). All methods are safe for concurrent use and the zero value is
+// ready; embed it in a cache and surface Snapshot through /metrics.
+type CacheCounters struct {
+	hits, misses, evictions atomic.Int64
+}
+
+// Hit records one cache hit.
+func (c *CacheCounters) Hit() { c.hits.Add(1) }
+
+// Miss records one cache miss.
+func (c *CacheCounters) Miss() { c.misses.Add(1) }
+
+// Evict records one eviction.
+func (c *CacheCounters) Evict() { c.evictions.Add(1) }
+
+// CacheStats is the /metrics JSON view of a cache. Size fields are filled
+// by the owning cache; the counter fields come from Snapshot.
+type CacheStats struct {
+	Entries       int     `json:"entries"`
+	Bytes         int64   `json:"bytes,omitempty"`
+	CapacityBytes int64   `json:"capacity_bytes,omitempty"`
+	Hits          int64   `json:"hits"`
+	Misses        int64   `json:"misses"`
+	Evictions     int64   `json:"evictions"`
+	HitRate       float64 `json:"hit_rate"`
+}
+
+// Snapshot captures the counters, computing the hit rate over all lookups.
+func (c *CacheCounters) Snapshot() CacheStats {
+	st := CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

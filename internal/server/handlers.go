@@ -285,6 +285,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			cfg.WiFiRateMbps = req.RateMbps
 		}
 		cfg.Quaternary = req.Quaternary
+		cfg.Waveforms = s.waveforms
 		return freerider.NewSession(cfg)
 	})
 	if err != nil {
@@ -373,6 +374,8 @@ var experimentRegistry = map[string]experimentEntry{
 		}},
 	"redundancy": {"§3.2.1 — OFDM symbols per tag bit (redundancy study)",
 		func(opt experiments.Options, _ bool) (any, error) { return experiments.RedundancySweep(opt) }},
+	"snr": {"BER vs SNR — WiFi decoder operating curve (memoized excitation)",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.BERvsSNR(opt) }},
 	"pilots": {"§3.2.1 — pilot phase tracking ablation",
 		func(opt experiments.Options, _ bool) (any, error) {
 			without, with, err := experiments.PilotTrackingAblation(opt)

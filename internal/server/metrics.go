@@ -15,6 +15,7 @@ type metricsResponse struct {
 	Endpoints     map[string]obs.EndpointSnapshot `json:"endpoints"`
 	SessionPool   poolStats                       `json:"session_pool"`
 	Batcher       batcherStats                    `json:"batcher"`
+	WaveformCache obs.CacheStats                  `json:"waveform_cache"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -23,6 +24,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Endpoints:     s.endpoints.Snapshot(),
 		SessionPool:   s.pool.stats(),
 		Batcher:       s.batcher.stats(),
+		WaveformCache: s.waveforms.Stats(),
 	})
 }
 

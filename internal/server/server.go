@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/waveform"
 )
 
 // Defaults for Config zero values.
@@ -105,6 +106,11 @@ type Server struct {
 	mux       *http.ServeMux
 	batcher   *batcher
 	pool      *sessionPool
+	// waveforms is the process-wide TX waveform cache: every simulate
+	// session the pool builds shares it, so repeated requests with the
+	// same seed replay synthesised excitations even across distinct link
+	// configurations (and across pool evictions).
+	waveforms *waveform.Cache
 	endpoints *obs.EndpointSet
 	gates     map[string]*runner.Gate
 	start     time.Time
@@ -118,6 +124,7 @@ func New(cfg Config) *Server {
 		mux:       http.NewServeMux(),
 		batcher:   newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.Workers),
 		pool:      newSessionPool(cfg.PoolSize),
+		waveforms: waveform.New(0),
 		endpoints: obs.NewEndpointSet(),
 		gates:     map[string]*runner.Gate{},
 		start:     time.Now(),

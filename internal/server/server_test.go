@@ -338,6 +338,34 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 }
 
+// TestMetricsWaveformCache pins the service-level TX memoization: the
+// first simulate request synthesises its excitation waveforms, a repeat of
+// the same request replays them, and /metrics reports the cache's hit
+// rate and bounded memory.
+func TestMetricsWaveformCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxPackets: 8})
+	req := simulateRequest{Radio: "wifi", Distance: 5, Packets: 2, Seed: 9, PayloadSize: 200}
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, ts.URL+"/v1/simulate", req); resp.StatusCode != http.StatusOK {
+			t.Fatalf("simulate %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	var got metricsResponse
+	if resp := getJSON(t, ts.URL+"/metrics", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	wc := got.WaveformCache
+	if wc.Misses != 2 || wc.Hits != 2 {
+		t.Fatalf("waveform cache stats = %+v, want 2 misses then 2 hits", wc)
+	}
+	if wc.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", wc.HitRate)
+	}
+	if wc.Entries != 2 || wc.Bytes <= 0 || wc.Bytes > wc.CapacityBytes {
+		t.Fatalf("cache accounting out of range: %+v", wc)
+	}
+}
+
 // TestShutdownDrains submits decode work, closes the server, and checks
 // that accepted jobs completed while later submissions are refused.
 func TestShutdownDrains(t *testing.T) {

@@ -18,6 +18,8 @@ type Arena struct {
 	fFree, fUsed [][]float64
 	bFree, bUsed [][]byte
 	iFree, iUsed [][]int32
+	sFree, sUsed [][]int16
+	uFree, uUsed [][]uint64
 }
 
 var arenaPool = sync.Pool{New: func() any { return new(Arena) }}
@@ -34,10 +36,14 @@ func (a *Arena) Release() {
 	a.fFree = append(a.fFree, a.fUsed...)
 	a.bFree = append(a.bFree, a.bUsed...)
 	a.iFree = append(a.iFree, a.iUsed...)
+	a.sFree = append(a.sFree, a.sUsed...)
+	a.uFree = append(a.uFree, a.uUsed...)
 	a.cUsed = a.cUsed[:0]
 	a.fUsed = a.fUsed[:0]
 	a.bUsed = a.bUsed[:0]
 	a.iUsed = a.iUsed[:0]
+	a.sUsed = a.sUsed[:0]
+	a.uUsed = a.uUsed[:0]
 	arenaPool.Put(a)
 }
 
@@ -98,6 +104,46 @@ func (a *Arena) Bytes(n int) []byte {
 	}
 	b := make([]byte, n)
 	a.bUsed = append(a.bUsed, b)
+	return b
+}
+
+// Int16 returns a zeroed scratch slice of n int16 values.
+func (a *Arena) Int16(n int) []int16 {
+	for i, b := range a.sFree {
+		if cap(b) >= n {
+			last := len(a.sFree) - 1
+			a.sFree[i] = a.sFree[last]
+			a.sFree = a.sFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.sUsed = append(a.sUsed, b)
+			return b
+		}
+	}
+	b := make([]int16, n)
+	a.sUsed = append(a.sUsed, b)
+	return b
+}
+
+// Uint64 returns a zeroed scratch slice of n uint64 values.
+func (a *Arena) Uint64(n int) []uint64 {
+	for i, b := range a.uFree {
+		if cap(b) >= n {
+			last := len(a.uFree) - 1
+			a.uFree[i] = a.uFree[last]
+			a.uFree = a.uFree[:last]
+			b = b[:n]
+			for j := range b {
+				b[j] = 0
+			}
+			a.uUsed = append(a.uUsed, b)
+			return b
+		}
+	}
+	b := make([]uint64, n)
+	a.uUsed = append(a.uUsed, b)
 	return b
 }
 

@@ -1,0 +1,217 @@
+// Package waveform is the content-addressed TX waveform cache. FreeRider's
+// codeword translation makes the clean backscattered waveform a pure
+// function of (radio, PHY config, payload, tag bits): every sweep trial
+// that re-runs the same packet content against a different channel draw
+// re-synthesizes an identical excitation, translates it with identical tag
+// bits and shifts it to the same adjacent channel. The cache keys that
+// content with a sha256 digest and hands the synthesized waveform back for
+// replay, so a BER-vs-SNR or distance sweep pays the OFDM/GFSK synthesis
+// once per distinct packet instead of once per trial.
+//
+// Ownership rules (see DESIGN.md §8): entries are immutable once Put.
+// Every consumer reads the cached samples and reference streams without
+// modification — the channel layer already copies on apply
+// (channel.Link.ApplyTo writes into a caller destination and never touches
+// its source) — and the synthesizing caller must hand over buffers it will
+// never write again. That makes a cache shared by concurrent sessions safe
+// with no per-sample locking; the -race cache tests pin this.
+package waveform
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"sync"
+
+	"repro/internal/obs"
+	"repro/internal/signal"
+)
+
+// Key is the content address of one clean TX waveform.
+type Key [sha256.Size]byte
+
+// KeyBuilder accumulates length-prefixed key parts and digests them. Use
+// the fluent one-shot form — waveform.NewKey().Byte(...).Bytes(...).Sum()
+// — which recycles the builder through a pool; steady-state key
+// construction performs zero heap allocations.
+type KeyBuilder struct {
+	buf []byte
+}
+
+var builderPool = sync.Pool{New: func() any { return new(KeyBuilder) }}
+
+// NewKey checks a fresh builder out of the pool.
+func NewKey() *KeyBuilder {
+	b := builderPool.Get().(*KeyBuilder)
+	b.buf = b.buf[:0]
+	return b
+}
+
+// Byte appends a single byte part.
+func (b *KeyBuilder) Byte(v byte) *KeyBuilder {
+	b.buf = append(b.buf, v)
+	return b
+}
+
+// Bool appends a boolean part.
+func (b *KeyBuilder) Bool(v bool) *KeyBuilder {
+	if v {
+		return b.Byte(1)
+	}
+	return b.Byte(0)
+}
+
+// Uint64 appends a fixed-width integer part.
+func (b *KeyBuilder) Uint64(v uint64) *KeyBuilder {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, v)
+	return b
+}
+
+// Bytes appends a length-prefixed variable-width part. The prefix keeps
+// adjacent variable parts (payload, tag bits) from aliasing each other.
+func (b *KeyBuilder) Bytes(p []byte) *KeyBuilder {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(len(p)))
+	b.buf = append(b.buf, p...)
+	return b
+}
+
+// Sum digests the accumulated parts and returns the builder to the pool;
+// the builder must not be used again after Sum.
+func (b *KeyBuilder) Sum() Key {
+	k := Key(sha256.Sum256(b.buf))
+	builderPool.Put(b)
+	return k
+}
+
+// Entry is one memoized TX product: the clean post-translation,
+// post-channel-shift waveform plus the reference streams the backscatter
+// decoder compares against. All fields are read-only once the entry is
+// handed to Put.
+type Entry struct {
+	// Wave is the backscattered waveform as the tag emits it (before the
+	// channel). Consumers must not modify the samples.
+	Wave *signal.Signal
+	// MeanPower is Wave's precomputed mean |x|² (channel normalisation).
+	MeanPower float64
+	// Used is how many tag bits the translation embedded.
+	Used int
+	// Airtime is the excitation packet duration in seconds.
+	Airtime float64
+	// Ref is the radio's reference stream (descrambled bits, symbols or
+	// frame bits) that receiver 1 reports over the backhaul.
+	Ref []byte
+	// CodedRef is the WiFi quaternary reference (raw interleaved coded
+	// bits); nil outside quaternary configs.
+	CodedRef []byte
+}
+
+// sizeBytes approximates the entry's resident size for the byte cap.
+func (e *Entry) sizeBytes() int64 {
+	const overhead = 256 // struct, map and list bookkeeping
+	n := int64(overhead) + int64(cap(e.Ref)) + int64(cap(e.CodedRef))
+	if e.Wave != nil {
+		n += int64(cap(e.Wave.Samples)) * 16
+	}
+	return n
+}
+
+// DefaultMaxBytes bounds a cache when New is given a non-positive cap:
+// roughly a hundred full-size WiFi excitation packets.
+const DefaultMaxBytes = 64 << 20
+
+// Cache is a byte-capped LRU of waveform entries, safe for concurrent use
+// by any number of sessions. Lookups on the warm path (Get with a pooled
+// KeyBuilder) perform zero heap allocations.
+type Cache struct {
+	counters obs.CacheCounters
+
+	mu    sync.Mutex
+	max   int64
+	bytes int64
+	ll    *list.List // front = most recently used
+	byKey map[Key]*list.Element
+}
+
+type cacheItem struct {
+	key   Key
+	entry *Entry
+	size  int64
+}
+
+// New returns an empty cache holding at most maxBytes of waveform data
+// (DefaultMaxBytes when maxBytes <= 0).
+func New(maxBytes int64) *Cache {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	return &Cache{max: maxBytes, ll: list.New(), byKey: map[Key]*list.Element{}}
+}
+
+// Get returns the entry stored under k, or nil on a miss.
+func (c *Cache) Get(k Key) *Entry {
+	c.mu.Lock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.mu.Unlock()
+		c.counters.Miss()
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	e := el.Value.(*cacheItem).entry
+	c.mu.Unlock()
+	c.counters.Hit()
+	return e
+}
+
+// Put stores e under k, evicting least-recently-used entries until the
+// byte cap holds. An entry alone larger than the cap is not stored. When k
+// is already present (two sessions synthesized the same content
+// concurrently) the incumbent wins — entries are pure functions of their
+// key, so either copy serves every reader.
+func (c *Cache) Put(k Key, e *Entry) {
+	size := e.sizeBytes()
+	if size > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheItem{key: k, entry: e, size: size})
+	c.bytes += size
+	for c.bytes > c.max {
+		oldest := c.ll.Back()
+		it := oldest.Value.(*cacheItem)
+		c.ll.Remove(oldest)
+		delete(c.byKey, it.key)
+		c.bytes -= it.size
+		c.counters.Evict()
+	}
+}
+
+// Len returns the number of resident entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the resident waveform bytes.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats snapshots the cache for /metrics.
+func (c *Cache) Stats() obs.CacheStats {
+	st := c.counters.Snapshot()
+	c.mu.Lock()
+	st.Entries = c.ll.Len()
+	st.Bytes = c.bytes
+	st.CapacityBytes = c.max
+	c.mu.Unlock()
+	return st
+}

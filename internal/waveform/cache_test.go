@@ -1,0 +1,184 @@
+package waveform
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+func testEntry(samples int, tag byte) *Entry {
+	s := signal.New(20e6, samples)
+	for i := range s.Samples {
+		s.Samples[i] = complex(float64(tag), float64(i%7))
+	}
+	return &Entry{Wave: s, MeanPower: s.MeanPower(), Used: int(tag), Airtime: 1e-3, Ref: []byte{tag}}
+}
+
+func keyOf(parts ...byte) Key {
+	b := NewKey()
+	for _, p := range parts {
+		b.Byte(p)
+	}
+	return b.Sum()
+}
+
+func TestKeyBuilderDistinguishesParts(t *testing.T) {
+	// Length prefixes must keep adjacent variable parts from aliasing:
+	// ("ab","c") and ("a","bc") concatenate identically without them.
+	k1 := NewKey().Bytes([]byte("ab")).Bytes([]byte("c")).Sum()
+	k2 := NewKey().Bytes([]byte("a")).Bytes([]byte("bc")).Sum()
+	if k1 == k2 {
+		t.Fatal("length prefixes failed to separate variable parts")
+	}
+	if keyOf(1, 2) == keyOf(2, 1) {
+		t.Fatal("part order must matter")
+	}
+	if keyOf(1) != keyOf(1) {
+		t.Fatal("same parts must produce the same key")
+	}
+}
+
+func TestCacheHitMissStats(t *testing.T) {
+	c := New(1 << 20)
+	k := keyOf(1)
+	if c.Get(k) != nil {
+		t.Fatal("empty cache returned an entry")
+	}
+	e := testEntry(64, 1)
+	c.Put(k, e)
+	got := c.Get(k)
+	if got != e {
+		t.Fatal("cache returned a different entry")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit, 1 miss, 1 entry", st)
+	}
+	if st.HitRate != 0.5 {
+		t.Fatalf("hit rate %v, want 0.5", st.HitRate)
+	}
+	if st.Bytes <= 0 || st.Bytes > st.CapacityBytes {
+		t.Fatalf("byte accounting out of range: %+v", st)
+	}
+}
+
+func TestCacheLRUEvictionBoundsMemory(t *testing.T) {
+	perEntry := testEntry(1024, 0).sizeBytes()
+	c := New(perEntry * 4) // room for exactly 4 entries
+	for i := 0; i < 32; i++ {
+		c.Put(keyOf(byte(i)), testEntry(1024, byte(i)))
+	}
+	if n := c.Len(); n != 4 {
+		t.Fatalf("%d entries resident, want 4", n)
+	}
+	if b := c.Bytes(); b > perEntry*4 {
+		t.Fatalf("%d bytes resident, cap %d", b, perEntry*4)
+	}
+	if ev := c.Stats().Evictions; ev != 28 {
+		t.Fatalf("%d evictions, want 28", ev)
+	}
+	// The most recent four survive; everything older is gone.
+	for i := 0; i < 28; i++ {
+		if c.Get(keyOf(byte(i))) != nil {
+			t.Fatalf("entry %d should have been evicted", i)
+		}
+	}
+	for i := 28; i < 32; i++ {
+		if c.Get(keyOf(byte(i))) == nil {
+			t.Fatalf("entry %d should be resident", i)
+		}
+	}
+}
+
+func TestCacheLRUTouchOnGet(t *testing.T) {
+	perEntry := testEntry(256, 0).sizeBytes()
+	c := New(perEntry * 2)
+	c.Put(keyOf(1), testEntry(256, 1))
+	c.Put(keyOf(2), testEntry(256, 2))
+	c.Get(keyOf(1)) // touch 1 so 2 becomes the LRU victim
+	c.Put(keyOf(3), testEntry(256, 3))
+	if c.Get(keyOf(2)) != nil {
+		t.Fatal("entry 2 should have been evicted (LRU)")
+	}
+	if c.Get(keyOf(1)) == nil || c.Get(keyOf(3)) == nil {
+		t.Fatal("entries 1 and 3 should be resident")
+	}
+}
+
+func TestCacheRejectsOversizeEntry(t *testing.T) {
+	c := New(1024)
+	c.Put(keyOf(1), testEntry(4096, 1)) // 64 KB of samples into a 1 KB cache
+	if c.Len() != 0 {
+		t.Fatal("oversize entry must not be stored")
+	}
+}
+
+// TestCacheConcurrentSessions is the -race correctness test: many
+// goroutines hammer a small shared cache with overlapping key sets,
+// reading every sample of each returned entry while writers insert and
+// evict. Entries are immutable after Put, so the race detector stays
+// silent and every read sees the content its key addresses.
+func TestCacheConcurrentSessions(t *testing.T) {
+	perEntry := testEntry(512, 0).sizeBytes()
+	c := New(perEntry * 8) // force constant eviction churn
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 400; i++ {
+				id := byte((g + i) % 24)
+				k := keyOf(id)
+				e := c.Get(k)
+				if e == nil {
+					e = testEntry(512, id)
+					c.Put(k, e)
+				}
+				// Read the whole entry: any mutation after Put trips -race.
+				var p float64
+				for _, v := range e.Wave.Samples {
+					p += real(v)
+				}
+				if real(e.Wave.Samples[0]) != float64(id) || e.Used != int(id) {
+					errs <- fmt.Errorf("goroutine %d: entry for id %d carries wrong content", g, id)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != 8*400 {
+		t.Fatalf("lookup accounting: %d hits + %d misses != %d", st.Hits, st.Misses, 8*400)
+	}
+}
+
+// TestCacheGetZeroAlloc pins the warm lookup path — key build plus Get —
+// at zero heap allocations.
+func TestCacheGetZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	c := New(1 << 20)
+	payload := make([]byte, 1500)
+	tagBits := make([]byte, 128)
+	mk := func() Key {
+		return NewKey().Byte(0).Uint64(6).Bytes(payload).Bytes(tagBits).Sum()
+	}
+	c.Put(mk(), testEntry(64, 1))
+	allocs := testing.AllocsPerRun(100, func() {
+		if c.Get(mk()) == nil {
+			t.Fatal("expected a warm hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Get: %v allocs/op, want 0", allocs)
+	}
+}

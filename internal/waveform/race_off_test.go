@@ -1,0 +1,5 @@
+//go:build !race
+
+package waveform
+
+const raceEnabled = false

@@ -123,22 +123,28 @@ func buildExpectEAB() (t [numStates * 2]byte) {
 	return t
 }
 
+// bfExpect[k] is the expected coded pair (A<<1|B) for the transition out of
+// state 2k under input 0. Both generator polynomials have bits 0 and 6 set,
+// so the other three transitions of the butterfly are XOR-3 images of it:
+// state 2k+1 flips both coded bits (bit 0 of the register feeds both
+// parities), and input 1 flips both again (bit 6 does too). Each trellis
+// step therefore needs only two distinct branch costs per butterfly.
+var bfExpect = buildBFExpect()
+
+func buildBFExpect() (t [numStates / 2]byte) {
+	for k := range t {
+		t[k] = expectEAB[(2*k)<<1] & 3
+	}
+	return t
+}
+
 // ViterbiDecode performs hard-decision maximum-likelihood decoding of a
 // rate-1/2 coded stream (pairs A,B per information bit; bits may be the
 // erasure marker). It assumes the encoder started in the zero state and was
 // flushed with tail bits, and returns all decoded information bits
-// (including the tail). For every trellis step it stores the predecessor
-// state and input bit of the survivor path, then traces back from the zero
-// state.
-//
-// The add-compare-select loop walks next states rather than source states:
-// next state ns has exactly the two predecessors s0 = (2·ns) mod 64 and
-// s0+1, both under input bit ns>>5. Integer metrics make this trivially
-// bit-identical to the historical source-state sweep as long as ties keep
-// resolving to the lower predecessor (the old strict `<` let the earlier s
-// win), which the s1-only-on-strictly-better comparison below preserves.
-// The traceback matrix is one flat pooled buffer instead of n small slices,
-// so steady-state decodes allocate only the returned bit slice.
+// (including the tail). Decisions are bit-identical to the historical
+// int32 Hamming-cost decoder for every input (viterbi_ref_test.go
+// cross-checks against a verbatim copy of it).
 func ViterbiDecode(coded []byte) ([]byte, error) {
 	if len(coded)%2 != 0 {
 		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
@@ -147,129 +153,51 @@ func ViterbiDecode(coded []byte) ([]byte, error) {
 	if n == 0 {
 		return nil, nil
 	}
-	const inf = int32(1) << 30
+	return viterbiDecodeInto(make([]byte, n), coded), nil
+}
 
-	var mA, mB [numStates]int32
-	metric, next := &mA, &mB
-	for i := range metric {
-		metric[i] = inf
+// ViterbiDecodeInto is ViterbiDecode writing the n = len(coded)/2 decoded
+// bits into dst[:n] without allocating; dst must have room. It returns the
+// decoded slice aliasing dst.
+func ViterbiDecodeInto(dst, coded []byte) ([]byte, error) {
+	if len(coded)%2 != 0 {
+		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
 	}
-	metric[0] = 0
+	n := len(coded) / 2
+	if n == 0 {
+		return nil, nil
+	}
+	if len(dst) < n {
+		return nil, fmt.Errorf("wifi: decode dst %d too short for %d bits", len(dst), n)
+	}
+	return viterbiDecodeInto(dst[:n], coded), nil
+}
 
+// viterbiDecodeInto maps the hard/erasure bit stream onto the shared
+// int16 max-gain trellis kernel. A received bit r becomes the gain value
+// r' ∈ {-1, 0, +1} (0 for erasures), and the per-branch Hamming cost
+// satisfies cost = C_t − gain/2 where C_t = (#unerased bits)/2 depends
+// only on the step, not the state. Every compare the historical
+// min-cost decoder performs therefore maps to the same compare on
+// negated-and-shifted values in the max-gain kernel — including exact
+// ties, the t<6 unreachable-state guards, and the final best-state scan —
+// so the decoded bits are identical for every input, which
+// viterbi_ref_test.go verifies against a verbatim copy of the old
+// decoder.
+func viterbiDecodeInto(out, coded []byte) []byte {
 	arena := signal.GetArena()
 	defer arena.Release()
-	// prev[t*numStates+ns] packs predecessor state (6 bits) and input bit
-	// (bit 6).
-	prev := arena.Bytes(n * numStates)
-
-	for t := 0; t < n; t++ {
-		ra, rb := coded[2*t], coded[2*t+1]
-		// Per-step branch costs indexed by the expected pair A<<1|B.
-		var costT [4]int32
-		for eab := 0; eab < 4; eab++ {
-			ea, eb := byte(eab>>1), byte(eab&1)
-			var c int32
-			if ra != erasure && ra != ea {
-				c++
-			}
-			if rb != erasure && rb != eb {
-				c++
-			}
-			costT[eab] = c
-		}
-		pt := prev[t*numStates : t*numStates+numStates : t*numStates+numStates]
-		// Butterfly over predecessor pairs: states s0 = 2k and s1 = 2k+1
-		// feed next state k under input 0 and next state k+32 under input 1,
-		// so each pair of metrics is loaded once for both successors.
-		//
-		// The trellis is a de Bruijn graph on 6-bit states: every state is
-		// reachable from state 0 in exactly 6 steps, so from step 6 onward
-		// all 64 metrics are finite and the infinity guards of the startup
-		// loop can be dropped (ties still resolve to the lower predecessor).
-		if t >= 6 {
-			for k := 0; k < 32; k++ {
-				s0 := 2 * k
-				m0, m1 := metric[s0], metric[s0+1]
-				a0 := m0 + costT[expectEAB[s0<<1]&3]
-				a1 := m1 + costT[expectEAB[(s0+1)<<1]&3]
-				if a1 < a0 {
-					next[k] = a1
-					pt[k] = byte(s0 + 1)
-				} else {
-					next[k] = a0
-					pt[k] = byte(s0)
-				}
-				b0 := m0 + costT[expectEAB[s0<<1|1]&3]
-				b1 := m1 + costT[expectEAB[(s0+1)<<1|1]&3]
-				if b1 < b0 {
-					next[k+32] = b1
-					pt[k+32] = byte(s0+1) | 1<<6
-				} else {
-					next[k+32] = b0
-					pt[k+32] = byte(s0) | 1<<6
-				}
-			}
-			metric, next = next, metric
-			continue
-		}
-		for k := 0; k < 32; k++ {
-			s0 := 2 * k
-			s1 := s0 + 1
-			m0, m1 := metric[s0], metric[s1]
-			a0, a1 := m0, m1
-			if a0 < inf {
-				a0 += costT[expectEAB[s0<<1]]
-			}
-			if a1 < inf {
-				a1 += costT[expectEAB[s1<<1]]
-			}
-			switch {
-			case a1 < a0:
-				next[k] = a1
-				pt[k] = byte(s1)
-			case a0 < inf:
-				next[k] = a0
-				pt[k] = byte(s0)
-			default:
-				next[k] = inf
-				pt[k] = 0
-			}
-			b0, b1 := m0, m1
-			if b0 < inf {
-				b0 += costT[expectEAB[s0<<1|1]]
-			}
-			if b1 < inf {
-				b1 += costT[expectEAB[s1<<1|1]]
-			}
-			switch {
-			case b1 < b0:
-				next[k+32] = b1
-				pt[k+32] = byte(s1) | 1<<6
-			case b0 < inf:
-				next[k+32] = b0
-				pt[k+32] = byte(s0) | 1<<6
-			default:
-				next[k+32] = inf
-				pt[k+32] = 0
-			}
-		}
-		metric, next = next, metric
-	}
-
-	state := 0
-	if metric[0] >= inf {
-		best := int32(inf)
-		for s, m := range metric {
-			if m < best {
-				best, state = m, s
-			}
+	q := arena.Int16(len(coded))
+	for i, r := range coded {
+		switch r {
+		case 0:
+			q[i] = -1
+		case 1:
+			q[i] = 1
+		default:
+			q[i] = 0
 		}
 	}
-	out := make([]byte, n)
-	for t := n - 1; t >= 0; t-- {
-		p := prev[t*numStates+state]
-		out[t] = (p >> 6) & 1
-		state = int(p & 0x3F)
-	}
-	return out, nil
+	viterbiMaxKernel(out, q)
+	return out
 }

@@ -1,0 +1,5 @@
+//go:build !race
+
+package wifi
+
+const raceEnabled = false

@@ -151,18 +151,31 @@ func (rx *Receiver) detectTiming(cap *signal.Signal, from int) (int, float64) {
 	// itself clears the q1 gate, so a capture whose data region never
 	// correlates is scanned end to end) are pre-screened with an FFT
 	// matched-filter pass that proves q1 < 0.5 for almost every offset;
-	// the exact loop body then runs only on the survivors. Screened-out
-	// offsets have no side effects in this loop, so the result is
-	// bit-identical to the plain scan.
+	// the exact loop body then runs only on the survivors. The screen is
+	// lazy — each 512-sample FFT block is evaluated only when the scan
+	// first asks about an offset inside it — so a capture whose packet
+	// detects near the front (the common case) screens a few blocks
+	// instead of the whole tail. Screened-out offsets have no side effects
+	// in this loop, so the result is bit-identical to the plain scan.
 	last := n - PreambleLen - SymbolLen
-	var pass []byte
-	if last-from+1 >= screenMinOffsets {
+	var sc ltfScreener
+	useScreen := last-from+1 >= screenMinOffsets
+	if useScreen {
 		a := signal.GetArena()
 		defer a.Release()
-		pass = ltfScreen(cap.Samples, from+192, last-from+1, a)
+		sc.init(cap.Samples, from+192, last-from+1, a)
 	}
 	for i := from; i+PreambleLen+SymbolLen <= n; i++ {
-		if pass != nil && pass[i-from] == 0 {
+		// The LTF is 64-sample periodic, so misalignments by a whole FFT
+		// window also correlate; keep scanning a full symbol past the best
+		// candidate before accepting it. Checked before the screen so that
+		// an accepted detection stops the scan — and the lazy screen —
+		// immediately instead of screening the rest of the capture for one
+		// more survivor.
+		if bestQ > 0.5 && i > best+SymbolLen {
+			break
+		}
+		if useScreen && !sc.passAt(i-from) {
 			continue
 		}
 		// Candidate position of first LTF symbol.
@@ -183,12 +196,6 @@ func (rx *Receiver) detectTiming(cap *signal.Signal, from int) (int, float64) {
 		q := (q1 + q2) / 2
 		if q > bestQ {
 			best, bestQ = i, q
-		}
-		// The LTF is 64-sample periodic, so misalignments by a whole FFT
-		// window also correlate; keep scanning a full symbol past the best
-		// candidate before accepting it.
-		if bestQ > 0.5 && i > best+SymbolLen {
-			break
 		}
 	}
 	return best, bestQ
@@ -251,72 +258,126 @@ func initScreen() {
 	screenH = h
 }
 
-// ltfScreen marks which candidate LTF positions p in [p0, p0+count) could
-// possibly pass detectTiming's exact q1 ≥ 0.5 gate. An offset is screened
-// out only when the FFT correlation estimate proves q1 < 0.4 with margin:
-// the FFT and the sliding-window power prefix sums differ from the exact
-// per-offset computation by relative errors many orders of magnitude below
-// the 0.4-vs-0.5 slack, and windows whose power estimate is too small to
-// bound reliably are passed through to the exact check instead. Survivors
-// are re-evaluated by the unchanged exact loop body, so screening never
-// changes detection results.
-func ltfScreen(s []complex128, p0, count int, a *signal.Arena) []byte {
+// ltfScreener marks which candidate LTF positions p in [p0, p0+count)
+// could possibly pass detectTiming's exact q1 ≥ 0.5 gate. An offset is
+// screened out only when the FFT correlation estimate proves q1 < 0.4 with
+// margin: the FFT and the sliding-window power prefix sums differ from the
+// exact per-offset computation by relative errors many orders of magnitude
+// below the 0.4-vs-0.5 slack, and windows whose power estimate is too
+// small to bound reliably are passed through to the exact check instead.
+// Survivors are re-evaluated by the unchanged exact loop body, so
+// screening never changes detection results.
+//
+// Screening is incremental: init computes only the O(n) power prefix sums,
+// and each screenFFTSize-sample block's matched-filter FFT runs the first
+// time passAt asks about an offset in it. detectTiming stops scanning one
+// symbol past a confident peak, so on captures that contain a packet the
+// screener evaluates a handful of blocks instead of the full capture.
+type ltfScreener struct {
+	s     []complex128
+	p0    int
+	count int
+	pass  []byte
+	pre   []float64
+	guard float64
+	thr   float64
+	plan  *signal.Plan
+	buf   []complex128
+	done  int // offsets [0, done) have been screened
+}
+
+func (sc *ltfScreener) init(s []complex128, p0, count int, a *signal.Arena) {
 	screenOnce.Do(initScreen)
-	pass := a.Bytes(count) // zeroed: offsets default to screened-out
+	sc.s, sc.p0, sc.count = s, p0, count
+	sc.pass = a.Bytes(count) // zeroed: offsets default to screened-out
+	sc.done = 0
 	region := s[p0 : p0+count+FFTSize-1]
-	pre := a.Float(len(region) + 1)
+	sc.pre = a.Float(len(region) + 1)
 	sum := 0.0
 	for i, v := range region {
 		sum += real(v)*real(v) + imag(v)*imag(v)
-		pre[i+1] = sum
+		sc.pre[i+1] = sum
 	}
 	// Windows below 1e-5 of the mean power cannot be bounded against
 	// prefix-sum cancellation error; pass them to the exact check.
-	guard := 1e-5 * float64(FFTSize) * (sum / float64(len(region)))
+	sc.guard = 1e-5 * float64(FFTSize) * (sum / float64(len(region)))
+	// (0.4·sqrt(p1·ltPow))² threshold factor. The inverse transform below
+	// is unnormalised (outputs scaled by exactly N, a power of two), so the
+	// N² is folded into the threshold rather than divided out per sample.
+	sc.thr = 0.16 * ltfTmplPower * float64(screenFFTSize) * float64(screenFFTSize)
 	plan, err := signal.PlanFor(screenFFTSize)
 	if err != nil {
 		// Unreachable (power-of-two size); fail open to the exact scan.
-		for i := range pass {
-			pass[i] = 1
-		}
-		return pass
+		sc.failOpen()
+		return
 	}
-	buf := a.Complex(screenFFTSize)
-	// (0.4·sqrt(p1·ltPow))² threshold factor. The inverse transform below is
-	// unnormalised (outputs scaled by exactly N, a power of two), so the
-	// N² is folded into the threshold rather than divided out per sample.
-	thr := 0.16 * ltfTmplPower * float64(screenFFTSize) * float64(screenFFTSize)
-	for base := 0; base < count; base += screenBlockOut {
-		avail := len(s) - (p0 + base)
-		if avail > screenFFTSize {
-			avail = screenFFTSize
-		}
-		copy(buf, s[p0+base:p0+base+avail])
-		for t := avail; t < screenFFTSize; t++ {
-			buf[t] = 0
-		}
-		if plan.FFT(buf) != nil {
-			break
-		}
-		for t := range buf {
-			buf[t] *= screenH[t]
-		}
-		if plan.InverseRaw(buf) != nil {
-			break
-		}
-		lim := count - base
-		if lim > screenBlockOut {
-			lim = screenBlockOut
-		}
-		for u := 0; u < lim; u++ {
-			c := buf[FFTSize-1+u]
-			pw := pre[base+u+FFTSize] - pre[base+u]
-			if pw <= guard || real(c)*real(c)+imag(c)*imag(c) >= thr*pw {
-				pass[base+u] = 1
-			}
+	sc.plan = plan
+	sc.buf = a.Complex(screenFFTSize)
+}
+
+// failOpen marks every remaining offset as a survivor so the exact scan
+// checks them all.
+func (sc *ltfScreener) failOpen() {
+	for i := sc.done; i < sc.count; i++ {
+		sc.pass[i] = 1
+	}
+	sc.done = sc.count
+}
+
+// passAt reports whether offset u (relative to the screen origin) survives
+// the screen, evaluating further blocks on demand.
+func (sc *ltfScreener) passAt(u int) bool {
+	for u >= sc.done {
+		sc.block()
+	}
+	return sc.pass[u] != 0
+}
+
+// block screens the next screenBlockOut offsets starting at sc.done.
+func (sc *ltfScreener) block() {
+	base := sc.done
+	avail := len(sc.s) - (sc.p0 + base)
+	if avail > screenFFTSize {
+		avail = screenFFTSize
+	}
+	copy(sc.buf, sc.s[sc.p0+base:sc.p0+base+avail])
+	for t := avail; t < screenFFTSize; t++ {
+		sc.buf[t] = 0
+	}
+	if sc.plan.FFT(sc.buf) != nil {
+		sc.failOpen()
+		return
+	}
+	for t := range sc.buf {
+		sc.buf[t] *= screenH[t]
+	}
+	if sc.plan.InverseRaw(sc.buf) != nil {
+		sc.failOpen()
+		return
+	}
+	lim := sc.count - base
+	if lim > screenBlockOut {
+		lim = screenBlockOut
+	}
+	for u := 0; u < lim; u++ {
+		c := sc.buf[FFTSize-1+u]
+		pw := sc.pre[base+u+FFTSize] - sc.pre[base+u]
+		if pw <= sc.guard || real(c)*real(c)+imag(c)*imag(c) >= sc.thr*pw {
+			sc.pass[base+u] = 1
 		}
 	}
-	return pass
+	sc.done = base + lim
+}
+
+// ltfScreen screens all count offsets at once (the historical eager entry
+// point, kept for tests that exercise the screen in isolation).
+func ltfScreen(s []complex128, p0, count int, a *signal.Arena) []byte {
+	var sc ltfScreener
+	sc.init(s, p0, count, a)
+	for sc.done < sc.count {
+		sc.block()
+	}
+	return sc.pass
 }
 
 // decodeFrom decodes a PPDU whose preamble starts at sample start.
@@ -359,7 +420,7 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	if err := deinterleaveInto(deinter, sigBits, r6); err != nil {
 		return nil, err
 	}
-	decoded, err := ViterbiDecode(deinter)
+	decoded, err := ViterbiDecodeInto(arena.Bytes(r6.NCBPS/2), deinter)
 	if err != nil {
 		return nil, err
 	}
@@ -436,7 +497,15 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		if err != nil {
 			return nil, err
 		}
-		scrambled, err = ViterbiDecodeSoft(depunct)
+		// Quantize this packet's LLRs onto the int16 grid and decode with
+		// the quantized trellis. The scale lives entirely inside this call
+		// (recomputed from the packet's own peak), so no state leaks from
+		// one packet to the next.
+		qs, err := QuantizeSoftInto(arena.Int16(len(depunct)), depunct)
+		if err != nil {
+			return nil, err
+		}
+		scrambled, err = ViterbiDecodeSoftQ(qs)
 		if err != nil {
 			return nil, err
 		}
@@ -445,7 +514,7 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		if err != nil {
 			return nil, err
 		}
-		scrambled, err = ViterbiDecode(depunct)
+		scrambled, err = ViterbiDecodeInto(arena.Bytes(nInfo), depunct)
 		if err != nil {
 			return nil, err
 		}

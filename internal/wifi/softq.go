@@ -1,0 +1,230 @@
+package wifi
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/signal"
+)
+
+// Quantized soft decoding: the receiver's data path quantizes the per-bit
+// LLRs onto a small signed integer grid and runs the Viterbi recursion in
+// saturating-safe int16 arithmetic, replacing the float64 correlation
+// decoder on the hot path. ViterbiDecodeSoft (soft.go) remains the exact
+// float64 reference; softq_test.go cross-checks the two.
+//
+// Quantization bounds (DESIGN.md §8): with softQLevels = 63 the grid step
+// is peak/63, so each LLR carries at most step/2 of rounding error and a
+// path metric over n branches accumulates at most n·step of error relative
+// to the scaled float metric. Hard decisions only change when that error
+// exceeds the metric margin between the best and second-best path, which
+// at the SNRs where packets detect at all is many grid steps wide.
+
+const (
+	// softQLevels is the peak magnitude of the quantized LLR grid; one
+	// packet's LLRs span [-softQLevels, +softQLevels].
+	softQLevels = 63
+	// softQRenorm: gains per step are within ±2·softQLevels = ±126 and the
+	// de Bruijn spread bound is 6 steps, so renormalising by the running
+	// maximum every 64 steps keeps every finite metric within
+	// ±(6·2 + 64)·126 < 1<<14, clear of both the startup sentinel and
+	// int16 overflow.
+	softQRenorm = 64
+	softQNinf   = -(int16(1) << 14)
+)
+
+// QuantizeSoftInto maps one packet's LLR stream onto the int16 grid the
+// quantized Viterbi decoder consumes, writing into dst[:len(llrs)] (which
+// must have room) and returning it. The scale is recomputed from this
+// packet's own peak magnitude on every call — it is deliberately
+// impossible to carry a scale from one packet to the next, so an AGC or
+// fault-injected power swing between packets (brownout recovery) cannot
+// leave a stale scale that saturates or flattens the following packet's
+// branch metrics. Zero LLRs (punctured erasures) stay exactly zero.
+func QuantizeSoftInto(dst []int16, llrs []float64) ([]int16, error) {
+	if len(dst) < len(llrs) {
+		return nil, fmt.Errorf("wifi: quantize dst %d too short for %d LLRs", len(dst), len(llrs))
+	}
+	dst = dst[:len(llrs)]
+	peak := 0.0
+	for _, l := range llrs {
+		if a := math.Abs(l); a > peak {
+			peak = a
+		}
+	}
+	if peak == 0 || math.IsInf(peak, 0) || math.IsNaN(peak) {
+		for i := range dst {
+			dst[i] = 0
+		}
+		return dst, nil
+	}
+	scale := softQLevels / peak
+	for i, l := range llrs {
+		q := math.Round(l * scale)
+		switch {
+		case q > softQLevels:
+			q = softQLevels
+		case q < -softQLevels:
+			q = -softQLevels
+		}
+		dst[i] = int16(q)
+	}
+	return dst, nil
+}
+
+// ViterbiDecodeSoftQ decodes a quantized LLR pair stream (rate-1/2 layout;
+// positive means bit 1, zero is an erasure) with int16 path metrics. The
+// per-step branch gains for all four expected coded pairs come from one
+// two-entry LUT: expected bits map to ±1, so the gain for pair e is
+// ±qa±qb and the XOR-3 butterfly images are exact negations. Assumes a
+// zero starting state and tail-flushed end, like ViterbiDecodeSoft.
+func ViterbiDecodeSoftQ(q []int16) ([]byte, error) {
+	if len(q)%2 != 0 {
+		return nil, fmt.Errorf("wifi: quantized soft stream length %d is odd", len(q))
+	}
+	n := len(q) / 2
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	viterbiMaxKernel(out, q)
+	return out, nil
+}
+
+// viterbiMaxKernel is the shared int16 trellis recursion: it maximises the
+// accumulated gain Σ (±qa ± qb) over the 64-state trellis, writing the
+// len(q)/2 decoded bits into out. Both the quantized soft decoder and the
+// hard decoder run on it (the hard path feeds gains from {-1, 0, +1} —
+// see viterbiDecodeInto for the exact equivalence argument).
+//
+// The add-compare-select walks next states: ns has the two predecessors
+// s0 = (2·ns) mod 64 and s0+1 under input bit ns>>5. One gain value per
+// butterfly suffices (the XOR-3 images negate it), the compare-select is
+// branchless (the survivor choice flips with the noise, so a conditional
+// branch is unpredictable), and the survivor set of each step packs into
+// a single uint64 — one selector bit per next state — so the traceback
+// touches 8 bytes per step instead of 64. The higher predecessor 2k+1
+// wins only when strictly better, preserving the historical
+// lower-source-state tie rule.
+func viterbiMaxKernel(out []byte, q []int16) {
+	n := len(out)
+	var mA, mB [numStates]int16
+	metric, next := &mA, &mB
+	for i := range metric {
+		metric[i] = softQNinf
+	}
+	metric[0] = 0
+
+	arena := signal.GetArena()
+	defer arena.Release()
+	// tb[t] holds one survivor-selector bit per next state: bit ns set
+	// means state ns chose the higher predecessor 2·(ns mod 32)+1.
+	tb := arena.Uint64(n)
+
+	for t := 0; t < n; t++ {
+		qa, qb := q[2*t], q[2*t+1]
+		// gainT[eab] = (2A-1)·qa + (2B-1)·qb for the expected pair A<<1|B.
+		var gainT [4]int16
+		gainT[0] = -qa - qb
+		gainT[1] = -qa + qb
+		gainT[2] = qa - qb
+		gainT[3] = qa + qb
+		var word uint64
+		// The trellis is a de Bruijn graph on 6-bit states: every state is
+		// reachable from state 0 in exactly 6 steps, so from step 6 onward
+		// all 64 metrics are finite and the sentinel guards of the startup
+		// loop can be dropped.
+		if t >= 6 {
+			if t%softQRenorm == 0 {
+				max := metric[0]
+				for _, m := range metric[1:] {
+					if m > max {
+						max = m
+					}
+				}
+				for i := range metric {
+					metric[i] -= max
+				}
+			}
+			for k := 0; k < 32; k++ {
+				s0 := 2 * k
+				m0, m1 := metric[s0], metric[s0+1]
+				g := gainT[bfExpect[k]&3]
+				// da < 0 iff a1 > a0: sign-bit extraction plus conditional
+				// move keep the pipeline full and feed the selector bit.
+				a0, a1 := m0+g, m1-g
+				da := int32(a0) - int32(a1)
+				ma := a0
+				if da < 0 {
+					ma = a1
+				}
+				next[k] = ma
+				b0, b1 := m0-g, m1+g
+				db := int32(b0) - int32(b1)
+				mb := b0
+				if db < 0 {
+					mb = b1
+				}
+				next[k+32] = mb
+				word |= uint64(uint32(da)>>31)<<k | uint64(uint32(db)>>31)<<(k+32)
+			}
+			tb[t] = word
+			metric, next = next, metric
+			continue
+		}
+		for k := 0; k < 32; k++ {
+			s0 := 2 * k
+			m0, m1 := metric[s0], metric[s0+1]
+			g := gainT[bfExpect[k]&3]
+			a0, a1 := softQNinf, softQNinf
+			if m0 > softQNinf {
+				a0 = m0 + g
+			}
+			if m1 > softQNinf {
+				a1 = m1 - g
+			}
+			switch {
+			case a1 > a0:
+				next[k] = a1
+				word |= 1 << k
+			case a0 > softQNinf:
+				next[k] = a0
+			default:
+				next[k] = softQNinf
+			}
+			b0, b1 := softQNinf, softQNinf
+			if m0 > softQNinf {
+				b0 = m0 - g
+			}
+			if m1 > softQNinf {
+				b1 = m1 + g
+			}
+			switch {
+			case b1 > b0:
+				next[k+32] = b1
+				word |= 1 << (k + 32)
+			case b0 > softQNinf:
+				next[k+32] = b0
+			default:
+				next[k+32] = softQNinf
+			}
+		}
+		tb[t] = word
+		metric, next = next, metric
+	}
+
+	state := 0
+	if metric[0] <= softQNinf {
+		best := softQNinf
+		for s, m := range metric {
+			if m > best {
+				best, state = m, s
+			}
+		}
+	}
+	for t := n - 1; t >= 0; t-- {
+		out[t] = byte(state >> 5)
+		sel := int(tb[t]>>uint(state)) & 1
+		state = (state<<1)&0x3F | sel
+	}
+}

@@ -1,0 +1,222 @@
+package wifi
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/signal"
+)
+
+// TestQuantizedSoftMatchesFloat cross-checks the int16 quantized decoder
+// against the float64 reference at operating noise levels: wherever the
+// path-metric margin is wide (the regime in which packets detect at all),
+// quantization to 6-bit magnitudes must not change a single decision.
+func TestQuantizedSoftMatchesFloat(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		n := 40 + rng.Intn(400)
+		msg := make([]byte, n)
+		for i := range msg {
+			msg[i] = byte(rng.Intn(2))
+		}
+		coded := ConvEncode(append(msg, make([]byte, TailBits)...))
+		llrs := make([]float64, len(coded))
+		sigma := 0.1 + 0.3*rng.Float64()
+		for i, b := range coded {
+			llrs[i] = float64(2*int(b)-1) + sigma*rng.NormFloat64()
+		}
+		// Puncture-style erasures on a few positions.
+		for i := 7; i < len(llrs); i += 11 {
+			llrs[i] = 0
+		}
+		ref, err := ViterbiDecodeSoft(llrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qs, err := QuantizeSoftInto(make([]int16, len(llrs)), llrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ViterbiDecodeSoftQ(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ref[:n], msg) {
+			// The float reference itself failed (margin too small at this
+			// noise draw); skip the equality requirement for this trial.
+			continue
+		}
+		if !bytes.Equal(got, ref) {
+			t.Fatalf("trial %d (sigma %.2f): quantized decode diverges from float reference", trial, sigma)
+		}
+	}
+}
+
+// TestQuantizedSoftCleanRoundTrip mirrors the float decoder's clean test.
+func TestQuantizedSoftCleanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	msg := make([]byte, 150)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(append(append([]byte(nil), msg...), make([]byte, TailBits)...))
+	q := make([]int16, len(coded))
+	for i, b := range coded {
+		q[i] = int16(2*int(b) - 1)
+	}
+	dec, err := ViterbiDecodeSoftQ(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec[:len(msg)], msg) {
+		t.Fatal("quantized decode of clean input failed")
+	}
+}
+
+// TestQuantizerScaleResetPerPacket pins the brownout-recovery bugfix: the
+// quantizer scale is derived from each packet's own LLR peak, so a packet
+// 40 dB weaker than its predecessor still fills the full quantized range
+// instead of collapsing to zeros under the stale strong-packet scale.
+func TestQuantizerScaleResetPerPacket(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	mk := func(amp float64) []float64 {
+		llrs := make([]float64, 1200)
+		for i := range llrs {
+			llrs[i] = amp * (float64(2*rng.Intn(2)-1) + 0.2*rng.NormFloat64())
+		}
+		return llrs
+	}
+	dst := make([]int16, 1200)
+	peak := func(q []int16) int16 {
+		var p int16
+		for _, v := range q {
+			if v > p {
+				p = v
+			}
+			if -v > p {
+				p = -v
+			}
+		}
+		return p
+	}
+	strong, err := QuantizeSoftInto(dst, mk(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak(strong); p != softQLevels {
+		t.Fatalf("strong packet peak %d, want %d", p, softQLevels)
+	}
+	weak, err := QuantizeSoftInto(dst, mk(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak(weak); p != softQLevels {
+		t.Fatalf("weak packet quantized peak %d, want %d: stale scale carried across packets", p, softQLevels)
+	}
+}
+
+// TestSoftReceiverPowerSwing drives the full soft receiver across a large
+// inter-packet power swing (the fault layer's brownout recovery shape):
+// both packets must decode even though the second is vastly weaker.
+func TestSoftReceiverPowerSwing(t *testing.T) {
+	tx := NewTransmitter()
+	tx.FixedSeed = true
+	psdu := AppendFCS([]byte("power swing between packets must not leak quantizer state"))
+	rx := NewReceiver()
+	rx.SoftDecision = true
+	rx.DetectionThreshold = 0
+	for i, amp := range []float64{1.0, 1e-3} {
+		sig, err := tx.Transmit(psdu, Rates[12])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sig.Scale(complex(amp, 0))
+		cap := appendSilence(sig, 150, 150)
+		pkt, err := rx.Receive(cap)
+		if err != nil {
+			t.Fatalf("packet %d (amp %g): %v", i, amp, err)
+		}
+		if !bytes.Equal(pkt.PSDU, psdu) || !pkt.FCSOK {
+			t.Fatalf("packet %d (amp %g): corrupted decode", i, amp)
+		}
+	}
+}
+
+// TestViterbiDecodeIntoZeroAlloc pins the decode kernel allocation budget:
+// with a warm arena pool and a caller-supplied output buffer, an int16
+// Viterbi decode performs zero heap allocations.
+func TestViterbiDecodeIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(35))
+	msg := make([]byte, 500)
+	for i := range msg {
+		msg[i] = byte(rng.Intn(2))
+	}
+	coded := ConvEncode(append(msg, make([]byte, TailBits)...))
+	dst := make([]byte, len(coded)/2)
+	if _, err := ViterbiDecodeInto(dst, coded); err != nil {
+		t.Fatal(err) // warm the arena pool
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := ViterbiDecodeInto(dst, coded); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("ViterbiDecodeInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestQuantizeSoftIntoZeroAlloc pins the quantizer at zero allocations.
+func TestQuantizeSoftIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	rng := rand.New(rand.NewSource(36))
+	llrs := make([]float64, 2000)
+	for i := range llrs {
+		llrs[i] = rng.NormFloat64()
+	}
+	dst := make([]int16, len(llrs))
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := QuantizeSoftInto(dst, llrs); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("QuantizeSoftInto: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestLazyScreenMatchesEager proves the incremental screen computes the
+// same survivor set as a full eager pass over the same region.
+func TestLazyScreenMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tx := NewTransmitter()
+	psdu := AppendFCS(make([]byte, 300))
+	sig, err := tx.Transmit(psdu, Rates[24])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := appendSilence(sig, 3000, 3000)
+	for i := range cap.Samples {
+		cap.Samples[i] += complex(1e-4*rng.NormFloat64(), 1e-4*rng.NormFloat64())
+	}
+	count := len(cap.Samples) - PreambleLen - SymbolLen - 192
+	a := signal.GetArena()
+	eager := append([]byte(nil), ltfScreen(cap.Samples, 192, count, a)...)
+	a.Release()
+
+	a2 := signal.GetArena()
+	defer a2.Release()
+	var sc ltfScreener
+	sc.init(cap.Samples, 192, count, a2)
+	for u := 0; u < count; u++ {
+		if got, want := sc.passAt(u), eager[u] != 0; got != want {
+			t.Fatalf("offset %d: lazy screen %v, eager %v", u, got, want)
+		}
+	}
+}

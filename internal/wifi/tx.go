@@ -61,13 +61,22 @@ func (t *Transmitter) TransmitTo(dst *signal.Signal, psdu []byte, rate Rate) err
 		return err
 	}
 
-	if !t.FixedSeed {
-		t.ScramblerSeed = (t.ScramblerSeed + 1) & 0x7F
-		if t.ScramblerSeed == 0 {
-			t.ScramblerSeed = 1
-		}
-	}
+	t.AdvanceScramblerSeed()
 	return nil
+}
+
+// AdvanceScramblerSeed applies the per-packet scrambler seed rotation that
+// Transmit performs after synthesising a PPDU. Callers that replay a cached
+// waveform instead of re-synthesising it use this to keep the transmitter's
+// seed sequence identical to the uncached path. No-op when FixedSeed is set.
+func (t *Transmitter) AdvanceScramblerSeed() {
+	if t.FixedSeed {
+		return
+	}
+	t.ScramblerSeed = (t.ScramblerSeed + 1) & 0x7F
+	if t.ScramblerSeed == 0 {
+		t.ScramblerSeed = 1
+	}
 }
 
 // NumDataSymbols returns how many OFDM data symbols a PSDU of n bytes

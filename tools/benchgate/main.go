@@ -20,14 +20,25 @@
 // comparisons are scaled by probe(now)/probe(baseline) so machine-wide
 // slowdowns cancel and only code-relative regressions trip the gate.
 //
+// Custom benchmark metrics (b.ReportMetric units such as req/batch or
+// hit-rate) are recorded in the trajectory alongside ns/op and allocs/op
+// — "/" in the unit becomes "_per_" so the JSON keys stay flat — but are
+// never gated: they describe workload shape, not performance budgets.
+//
 // With -update it instead rewrites the baseline from the current run.
 // Benchmarks present in the run but not the baseline pass with a notice
 // (they enter the gate at the next -update).
+//
+// With -compare it reads no benchmark output at all: it loads the -out
+// trajectory and prints the percent delta of every metric between the
+// last two recorded points (new keys and vanished keys are noted), which
+// is how `make bench-compare` answers "what did the last change cost?".
 //
 // Usage:
 //
 //	go test -bench=... -benchmem -count=5 ./... | benchgate \
 //	    -baseline BENCH_DSP_BASELINE.json -out BENCH_DSP.json [-update]
+//	benchgate -compare -out BENCH_DSP.json
 package main
 
 import (
@@ -61,10 +72,18 @@ func main() {
 	basePath := flag.String("baseline", "BENCH_DSP_BASELINE.json", "checked-in baseline to gate against")
 	outPath := flag.String("out", "BENCH_DSP.json", "JSONL trajectory file to append this run to")
 	update := flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+	compare := flag.Bool("compare", false, "diff the last two points of -out in percent and exit (reads no bench output)")
 	probeName := flag.String("probe", "CalibrationProbe", "calibration benchmark used to cancel machine-speed swings")
 	flag.Parse()
 
-	cur, err := parseBench(os.Stdin)
+	if *compare {
+		if err := comparePoints(*outPath); err != nil {
+			fatal("compare %s: %v", *outPath, err)
+		}
+		return
+	}
+
+	cur, extras, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal("parse bench output: %v", err)
 	}
@@ -73,6 +92,7 @@ func main() {
 	}
 	probe, haveProbe := cur[*probeName]
 	delete(cur, *probeName)
+	delete(extras, *probeName)
 
 	names := make([]string, 0, len(cur))
 	for name := range cur {
@@ -80,7 +100,7 @@ func main() {
 	}
 	sort.Strings(names)
 
-	if err := appendTrajectory(*outPath, names, cur, probe.NsOp); err != nil {
+	if err := appendTrajectory(*outPath, names, cur, extras, probe.NsOp); err != nil {
 		fatal("append %s: %v", *outPath, err)
 	}
 
@@ -116,9 +136,13 @@ func main() {
 //	BenchmarkFFT64-8   100   1234 ns/op   0 B/op   0 allocs/op
 //
 // The -P GOMAXPROCS suffix is stripped and "/" in sub-benchmark names is
-// flattened so the names are stable JSON keys.
-func parseBench(r *os.File) (map[string]point, error) {
+// flattened so the names are stable JSON keys. Custom b.ReportMetric
+// units (anything other than ns/op, B/op, allocs/op, MB/s) are returned
+// per benchmark in the extras map, keyed by the unit with "/" flattened
+// to "_per_"; like ns/op they fold to the minimum across -count runs.
+func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, error) {
 	out := map[string]point{}
+	extras := map[string]map[string]float64{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -152,6 +176,18 @@ func parseBench(r *os.File) (map[string]point, error) {
 				p.NsOp = v
 			case "allocs/op":
 				p.AllocsOp = v
+			case "B/op", "MB/s":
+				// tracked implicitly via allocs and ns; not recorded
+			default:
+				unit := strings.ReplaceAll(f[i+1], "/", "_per_")
+				m := extras[name]
+				if m == nil {
+					m = map[string]float64{}
+					extras[name] = m
+				}
+				if prev, ok := m[unit]; !ok || v < prev {
+					m[unit] = v
+				}
 			}
 		}
 		if p.NsOp < 0 {
@@ -170,10 +206,10 @@ func parseBench(r *os.File) (map[string]point, error) {
 		}
 		out[name] = p
 	}
-	return out, sc.Err()
+	return out, extras, sc.Err()
 }
 
-func appendTrajectory(path string, names []string, cur map[string]point, probeNs float64) error {
+func appendTrajectory(path string, names []string, cur map[string]point, extras map[string]map[string]float64, probeNs float64) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "{\"date\":%q", time.Now().Format("2006-01-02"))
 	if probeNs > 0 {
@@ -182,6 +218,14 @@ func appendTrajectory(path string, names []string, cur map[string]point, probeNs
 	for _, name := range names {
 		p := cur[name]
 		fmt.Fprintf(&b, ",\"%s_ns_op\":%g,\"%s_allocs_op\":%g", name, p.NsOp, name, p.AllocsOp)
+		units := make([]string, 0, len(extras[name]))
+		for unit := range extras[name] {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			fmt.Fprintf(&b, ",\"%s_%s\":%g", name, unit, extras[name][unit])
+		}
 	}
 	b.WriteString("}\n")
 	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
@@ -270,6 +314,67 @@ func gate(base *baseline, names []string, cur map[string]point, scale float64) b
 		fmt.Printf("benchgate: OK — %d benchmarks within budget of %s baseline\n", len(baseNames), base.Recorded)
 	}
 	return bad
+}
+
+// comparePoints prints the percent delta of every metric between the
+// last two JSONL points of the trajectory file. Negative ns/op and
+// allocs/op deltas are improvements; throughput-like extras (hit-rate,
+// req/batch) read the other way — the tool prints signed deltas and
+// leaves the judgement to the reader.
+func comparePoints(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) < 2 {
+		return fmt.Errorf("%d recorded point(s); need two to compare (run `make bench-dsp` again)", len(lines))
+	}
+	var prev, last map[string]any
+	if err := json.Unmarshal([]byte(lines[len(lines)-2]), &prev); err != nil {
+		return fmt.Errorf("point %d: %v", len(lines)-1, err)
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		return fmt.Errorf("point %d: %v", len(lines), err)
+	}
+	fmt.Printf("benchgate: %s point %d (%v) vs point %d (%v)\n",
+		path, len(lines)-1, prev["date"], len(lines), last["date"])
+	keys := map[string]bool{}
+	for k := range prev {
+		keys[k] = true
+	}
+	for k := range last {
+		keys[k] = true
+	}
+	sorted := make([]string, 0, len(keys))
+	for k := range keys {
+		if k != "date" {
+			sorted = append(sorted, k)
+		}
+	}
+	sort.Strings(sorted)
+	for _, k := range sorted {
+		a, aok := prev[k].(float64)
+		b, bok := last[k].(float64)
+		switch {
+		case !aok:
+			fmt.Printf("  %-55s (new) %g\n", k, b)
+		case !bok:
+			fmt.Printf("  %-55s %g (gone)\n", k, a)
+		case a == b:
+			fmt.Printf("  %-55s %g (unchanged)\n", k, a)
+		case a == 0:
+			fmt.Printf("  %-55s 0 -> %g\n", k, b)
+		default:
+			fmt.Printf("  %-55s %g -> %g (%+.1f%%)\n", k, a, b, 100*(b/a-1))
+		}
+	}
+	return nil
 }
 
 func fatal(format string, args ...any) {
