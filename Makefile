@@ -33,13 +33,19 @@ bench:
 	$(GO) test -bench=. -benchmem -run=^$$ .
 
 # bench-serve benchmarks the HTTP service path (decode micro-batcher,
-# session pool) through the same benchgate as the DSP suite: one JSONL
-# trajectory point per run in BENCH_SERVE.json (ns/op, allocs/op, plus
-# the req/batch and hit-rate custom metrics), gated against
-# BENCH_SERVE_BASELINE.json. The serve suite has no calibration probe, so
-# ns/op budgets are compared unscaled.
+# session pool) plus the sharded waveform-cache contention benchmark
+# through the same benchgate as the DSP suite: one JSONL trajectory point
+# per run in BENCH_SERVE.json (ns/op, allocs/op, plus the req/batch,
+# hit-rate, coalesced/s and lockwait-ns/op custom metrics), gated against
+# BENCH_SERVE_BASELINE.json. The contention benchmark runs a fixed
+# iteration count so the shards_8-vs-shards_1 ratio is comparable across
+# runs. The serve suite has no calibration probe, so ns/op budgets are
+# compared unscaled.
+BENCH_SERVE_TIME_CONTENTION ?= 500000x
 bench-serve:
-	@$(GO) test -bench='DecodeEndpoint|SimulateEndpoint' -benchmem -benchtime=200x -count=3 -run=^$$ ./internal/server \
+	@( $(GO) test -bench='DecodeEndpoint|SimulateEndpoint' -benchmem -benchtime=200x -count=3 -run=^$$ ./internal/server ; \
+	$(GO) test -bench=WaveformCacheContention -benchmem \
+		-benchtime=$(BENCH_SERVE_TIME_CONTENTION) -count=3 -run=^$$ ./internal/waveform ) \
 		| $(GO) run ./tools/benchgate -baseline BENCH_SERVE_BASELINE.json -out BENCH_SERVE.json $(BENCHGATE_FLAGS)
 
 # bench-serve-baseline re-records BENCH_SERVE_BASELINE.json. Only run it

@@ -463,22 +463,37 @@ func (s *Session) link(rng *rand.Rand, pf faults.Packet) channel.Link {
 func (s *Session) wifiEntry(psdu, tagBits []byte, rate wifi.Rate, wtx *wifi.Transmitter) (*waveform.Entry, error) {
 	scramblerSeed := wtx.ScramblerSeed
 	c := s.cfg.Waveforms
-	var key waveform.Key
-	if c != nil {
-		key = waveform.NewKey().
-			Byte(byte(WiFi)).
-			Uint64(uint64(s.cfg.WiFiRateMbps)).
-			Uint64(uint64(s.cfg.Redundancy)).
-			Bool(s.cfg.Quaternary).
-			Byte(scramblerSeed).
-			Bytes(psdu).
-			Bytes(tagBits).
-			Sum()
-		if e := c.Get(key); e != nil {
-			wtx.AdvanceScramblerSeed()
-			return e, nil
-		}
+	if c == nil {
+		return s.synthesizeWiFi(psdu, tagBits, rate, wtx, scramblerSeed)
 	}
+	key := waveform.NewKey().
+		Byte(byte(WiFi)).
+		Uint64(uint64(s.cfg.WiFiRateMbps)).
+		Uint64(uint64(s.cfg.Redundancy)).
+		Bool(s.cfg.Quaternary).
+		Byte(scramblerSeed).
+		Bytes(psdu).
+		Bytes(tagBits).
+		Sum()
+	e, synthesized, err := c.GetOrSynthesize(key, func() (*waveform.Entry, error) {
+		return s.synthesizeWiFi(psdu, tagBits, rate, wtx, scramblerSeed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !synthesized {
+		// Served from cache or a concurrent leader's synthesis: Transmit
+		// never ran here, so replay its scrambler-seed rotation to keep the
+		// transmitter's seed sequence identical to the uncached path.
+		wtx.AdvanceScramblerSeed()
+	}
+	return e, nil
+}
+
+// synthesizeWiFi runs the full WiFi TX chain for one packet's content and
+// packages the result as a cache entry. scramblerSeed is the seed wtx held
+// before Transmit advanced it — the CodedRef rebuild must use the same one.
+func (s *Session) synthesizeWiFi(psdu, tagBits []byte, rate wifi.Rate, wtx *wifi.Transmitter, scramblerSeed byte) (*waveform.Entry, error) {
 	exc, err := wtx.Transmit(psdu, rate)
 	if err != nil {
 		return nil, err
@@ -491,8 +506,8 @@ func (s *Session) wifiEntry(psdu, tagBits []byte, rate wifi.Rate, wtx *wifi.Tran
 	if _, err := sh.Shift(backscattered); err != nil {
 		return nil, err
 	}
-	// Reference stream: descrambled SERVICE + PSDU + tail + pad, which is
-	// what receiver 1 reports over the backhaul.
+	// Reference stream: descrambled SERVICE + PSDU + tail + pad, which
+	// is what receiver 1 reports over the backhaul.
 	nSym := wifi.NumDataSymbols(len(psdu), rate)
 	ref := make([]byte, nSym*rate.NDBPS)
 	copy(ref[wifi.ServiceBits:], bits.FromBytes(psdu))
@@ -510,9 +525,6 @@ func (s *Session) wifiEntry(psdu, tagBits []byte, rate wifi.Rate, wtx *wifi.Tran
 		if err != nil {
 			return nil, err
 		}
-	}
-	if c != nil {
-		c.Put(key, e)
 	}
 	return e, nil
 }
@@ -592,18 +604,24 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 // synthesis path with nothing to replay.
 func (s *Session) zigbeeEntry(payload, tagBits []byte) (*waveform.Entry, error) {
 	c := s.cfg.Waveforms
-	var key waveform.Key
-	if c != nil {
-		key = waveform.NewKey().
-			Byte(byte(ZigBee)).
-			Uint64(uint64(s.cfg.Redundancy)).
-			Bytes(payload).
-			Bytes(tagBits).
-			Sum()
-		if e := c.Get(key); e != nil {
-			return e, nil
-		}
+	if c == nil {
+		return s.synthesizeZigBee(payload, tagBits)
 	}
+	key := waveform.NewKey().
+		Byte(byte(ZigBee)).
+		Uint64(uint64(s.cfg.Redundancy)).
+		Bytes(payload).
+		Bytes(tagBits).
+		Sum()
+	e, _, err := c.GetOrSynthesize(key, func() (*waveform.Entry, error) {
+		return s.synthesizeZigBee(payload, tagBits)
+	})
+	return e, err
+}
+
+// synthesizeZigBee runs the full ZigBee TX chain for one packet's content
+// and packages the result as a cache entry.
+func (s *Session) synthesizeZigBee(payload, tagBits []byte) (*waveform.Entry, error) {
 	exc, err := s.zbTX.Transmit(payload)
 	if err != nil {
 		return nil, err
@@ -618,17 +636,13 @@ func (s *Session) zigbeeEntry(payload, tagBits []byte) (*waveform.Entry, error) 
 	}
 	fcs := bits.CRC16CCITT(payload)
 	body := append(append([]byte(nil), payload...), byte(fcs), byte(fcs>>8))
-	e := &waveform.Entry{
+	return &waveform.Entry{
 		Wave:      backscattered,
 		MeanPower: backscattered.MeanPower(),
 		Used:      used,
 		Airtime:   exc.Duration(),
 		Ref:       zigbee.SymbolsFromBytes(body),
-	}
-	if c != nil {
-		c.Put(key, e)
-	}
-	return e, nil
+	}, nil
 }
 
 func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faults.Packet) (PacketResult, error) {
@@ -677,19 +691,25 @@ func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faul
 // waveform, so it participates in the key.
 func (s *Session) bluetoothEntry(payload, tagBits []byte) (*waveform.Entry, error) {
 	c := s.cfg.Waveforms
-	var key waveform.Key
-	if c != nil {
-		key = waveform.NewKey().
-			Byte(byte(Bluetooth)).
-			Uint64(uint64(s.cfg.Redundancy)).
-			Byte(s.btTX.WhitenSeed).
-			Bytes(payload).
-			Bytes(tagBits).
-			Sum()
-		if e := c.Get(key); e != nil {
-			return e, nil
-		}
+	if c == nil {
+		return s.synthesizeBluetooth(payload, tagBits)
 	}
+	key := waveform.NewKey().
+		Byte(byte(Bluetooth)).
+		Uint64(uint64(s.cfg.Redundancy)).
+		Byte(s.btTX.WhitenSeed).
+		Bytes(payload).
+		Bytes(tagBits).
+		Sum()
+	e, _, err := c.GetOrSynthesize(key, func() (*waveform.Entry, error) {
+		return s.synthesizeBluetooth(payload, tagBits)
+	})
+	return e, err
+}
+
+// synthesizeBluetooth runs the full Bluetooth TX chain for one packet's
+// content and packages the result as a cache entry.
+func (s *Session) synthesizeBluetooth(payload, tagBits []byte) (*waveform.Entry, error) {
 	exc, err := s.btTX.Transmit(payload)
 	if err != nil {
 		return nil, err
@@ -699,23 +719,20 @@ func (s *Session) bluetoothEntry(payload, tagBits []byte) (*waveform.Entry, erro
 		return nil, err
 	}
 	// The Bluetooth tag's codeword toggle already runs through the real
-	// square-wave mixer inside the translator; the channel hop to 2.48 GHz
-	// is folded into TagLossDB like the others, so no shifter here.
+	// square-wave mixer inside the translator; the channel hop to
+	// 2.48 GHz is folded into TagLossDB like the others, so no shifter
+	// here.
 	backscattered, used, err := s.translator().Translate(exc, tagBits)
 	if err != nil {
 		return nil, err
 	}
-	e := &waveform.Entry{
+	return &waveform.Entry{
 		Wave:      backscattered,
 		MeanPower: backscattered.MeanPower(),
 		Used:      used,
 		Airtime:   exc.Duration(),
 		Ref:       ref,
-	}
-	if c != nil {
-		c.Put(key, e)
-	}
-	return e, nil
+	}, nil
 }
 
 func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf faults.Packet) (PacketResult, error) {

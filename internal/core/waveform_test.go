@@ -102,6 +102,62 @@ func TestWaveformCacheQuaternaryBitIdentical(t *testing.T) {
 	}
 }
 
+// TestWaveformCacheShardedBitIdentical pins the sharding refactor's
+// correctness contract for every radio: a sharded cache and a single-shard
+// cache must produce byte-identical SessionResults on both the cold pass
+// (synthesis + insert paths) and the warm pass (lookup path), and both
+// must match the uncached run. Sharding may only change which entries
+// survive eviction pressure, never the bits an entry replays.
+func TestWaveformCacheShardedBitIdentical(t *testing.T) {
+	cases := []struct {
+		radio Radio
+		dist  float64
+	}{
+		{WiFi, 10},
+		{ZigBee, 8},
+		{Bluetooth, 6},
+	}
+	const packets = 3
+	for _, c := range cases {
+		cfg := DefaultConfig(c.radio, c.dist)
+		cfg.Seed = 99
+		if c.radio == WiFi {
+			cfg.PayloadSize = 400
+		}
+		s, err := NewSession(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := s.Run(packets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, shards := range []int{1, 16} {
+			cfg.Waveforms = waveform.NewSharded(0, shards)
+			cs, err := NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for pass, want := 0, 0; pass < 2; pass++ {
+				got, err := cs.Run(packets)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != plain {
+					t.Errorf("%v shards=%d pass %d: cached run %+v != uncached %+v",
+						c.radio, shards, pass, got, plain)
+				}
+				want += packets
+				st := cfg.Waveforms.Stats()
+				if int(st.Hits+st.Misses) != want || st.Misses != packets {
+					t.Errorf("%v shards=%d pass %d: stats %+v, want %d misses total",
+						c.radio, shards, pass, st, packets)
+				}
+			}
+		}
+	}
+}
+
 // TestWaveformCacheSharedAcrossSessions pins the cross-session reuse the
 // cache exists for: two sessions with the same seed (hence identical packet
 // content) but different link distances share every waveform — the second

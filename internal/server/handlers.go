@@ -260,9 +260,7 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := configKey("simulate", freerider.RadioKey(radio), req.Distance, req.TxDistance,
-		req.NLOS, req.PayloadSize, req.Redundancy, req.RateMbps, req.Quaternary,
-		req.Seed, req.Faults)
+	key := configKey(freerider.RadioKey(radio), req)
 	sess, hit, err := s.pool.get(key, func() (*core.Session, error) {
 		cfg := freerider.DefaultConfig(radio, req.Distance)
 		cfg.Seed = req.Seed

@@ -9,22 +9,27 @@ import (
 
 // metricsResponse is the GET /metrics payload: per-endpoint counters and
 // latency histograms (internal/obs), the session pool's measured hit
-// rate, and the decode micro-batcher's coalescing statistics.
+// rate, the decode micro-batcher's coalescing statistics, and the
+// waveform cache in both aggregate (hits/misses/rejected/duplicates/
+// coalesced over all shards, one consistent snapshot) and per-shard
+// (entries, bytes, evictions, lock wait) form.
 type metricsResponse struct {
-	UptimeSeconds float64                         `json:"uptime_seconds"`
-	Endpoints     map[string]obs.EndpointSnapshot `json:"endpoints"`
-	SessionPool   poolStats                       `json:"session_pool"`
-	Batcher       batcherStats                    `json:"batcher"`
-	WaveformCache obs.CacheStats                  `json:"waveform_cache"`
+	UptimeSeconds       float64                         `json:"uptime_seconds"`
+	Endpoints           map[string]obs.EndpointSnapshot `json:"endpoints"`
+	SessionPool         poolStats                       `json:"session_pool"`
+	Batcher             batcherStats                    `json:"batcher"`
+	WaveformCache       obs.CacheStats                  `json:"waveform_cache"`
+	WaveformCacheShards []obs.ShardStats                `json:"waveform_cache_shards"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, metricsResponse{
-		UptimeSeconds: timeSince(s.start),
-		Endpoints:     s.endpoints.Snapshot(),
-		SessionPool:   s.pool.stats(),
-		Batcher:       s.batcher.stats(),
-		WaveformCache: s.waveforms.Stats(),
+		UptimeSeconds:       timeSince(s.start),
+		Endpoints:           s.endpoints.Snapshot(),
+		SessionPool:         s.pool.stats(),
+		Batcher:             s.batcher.stats(),
+		WaveformCache:       s.waveforms.Stats(),
+		WaveformCacheShards: s.waveforms.ShardStats(),
 	})
 }
 

@@ -2,12 +2,11 @@ package server
 
 import (
 	"container/list"
-	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/waveform"
 )
 
 // sessionPool is an LRU cache of constructed core.Sessions keyed by a
@@ -21,12 +20,13 @@ import (
 // session's sequential RNG or slot counter. The stateful RunPacket API is
 // deliberately not served from the pool.
 type sessionPool struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	byKey map[string]*list.Element
+	mu       sync.Mutex
+	cap      int
+	ll       *list.List // front = most recently used
+	byKey    map[string]*list.Element
+	building map[string]*buildCall
 
-	hits, misses, evictions int64
+	hits, misses, evictions, coalesced int64
 }
 
 type poolItem struct {
@@ -34,17 +34,30 @@ type poolItem struct {
 	sess *core.Session
 }
 
+// buildCall is one in-flight session construction; followers wait on wg
+// and share the leader's result.
+type buildCall struct {
+	wg   sync.WaitGroup
+	sess *core.Session
+	err  error
+}
+
 func newSessionPool(capacity int) *sessionPool {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &sessionPool{cap: capacity, ll: list.New(), byKey: map[string]*list.Element{}}
+	return &sessionPool{
+		cap: capacity, ll: list.New(),
+		byKey:    map[string]*list.Element{},
+		building: map[string]*buildCall{},
+	}
 }
 
 // get returns the session for key, building it on a miss, and reports
-// whether the call was a cache hit. Concurrent misses on the same key may
-// build twice; sessions are deterministic, so whichever construction wins
-// the insert race serves everyone.
+// whether the call was a cache hit. Concurrent misses on the same key are
+// coalesced: exactly one caller runs build, the rest block and share its
+// session (or its error). Followers count as misses — they did not find a
+// resident session — and additionally move the coalesced counter.
 func (p *sessionPool) get(key string, build func() (*core.Session, error)) (*core.Session, bool, error) {
 	p.mu.Lock()
 	if el, ok := p.byKey[key]; ok {
@@ -54,30 +67,36 @@ func (p *sessionPool) get(key string, build func() (*core.Session, error)) (*cor
 		p.mu.Unlock()
 		return sess, true, nil
 	}
+	if call, ok := p.building[key]; ok {
+		p.misses++
+		p.coalesced++
+		p.mu.Unlock()
+		call.wg.Wait()
+		return call.sess, false, call.err
+	}
+	call := &buildCall{}
+	call.wg.Add(1)
+	p.building[key] = call
+	p.misses++
 	p.mu.Unlock()
 
 	sess, err := build() // construct outside the lock
-	if err != nil {
-		return nil, false, err
-	}
 
 	p.mu.Lock()
-	defer p.mu.Unlock()
-	if el, ok := p.byKey[key]; ok {
-		// Lost the insert race: serve the incumbent for stability.
-		p.ll.MoveToFront(el)
-		p.misses++
-		return el.Value.(*poolItem).sess, false, nil
+	if err == nil {
+		p.byKey[key] = p.ll.PushFront(&poolItem{key: key, sess: sess})
+		for p.ll.Len() > p.cap {
+			oldest := p.ll.Back()
+			p.ll.Remove(oldest)
+			delete(p.byKey, oldest.Value.(*poolItem).key)
+			p.evictions++
+		}
 	}
-	p.misses++
-	p.byKey[key] = p.ll.PushFront(&poolItem{key: key, sess: sess})
-	for p.ll.Len() > p.cap {
-		oldest := p.ll.Back()
-		p.ll.Remove(oldest)
-		delete(p.byKey, oldest.Value.(*poolItem).key)
-		p.evictions++
-	}
-	return sess, false, nil
+	delete(p.building, key)
+	p.mu.Unlock()
+	call.sess, call.err = sess, err
+	call.wg.Done()
+	return sess, false, err
 }
 
 // poolStats is the /metrics view of the pool.
@@ -87,6 +106,7 @@ type poolStats struct {
 	Hits      int64   `json:"hits"`
 	Misses    int64   `json:"misses"`
 	Evictions int64   `json:"evictions"`
+	Coalesced int64   `json:"coalesced"`
 	HitRate   float64 `json:"hit_rate"`
 }
 
@@ -96,6 +116,7 @@ func (p *sessionPool) stats() poolStats {
 	st := poolStats{
 		Size: p.ll.Len(), Capacity: p.cap,
 		Hits: p.hits, Misses: p.misses, Evictions: p.evictions,
+		Coalesced: p.coalesced,
 	}
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)
@@ -104,12 +125,26 @@ func (p *sessionPool) stats() poolStats {
 }
 
 // configKey hashes the session-defining fields of a simulate request into
-// the pool key. The packet count is deliberately excluded — it is a run
-// parameter, not session state — so sweeps over n share one session.
-func configKey(parts ...any) string {
-	h := sha256.New()
-	for _, part := range parts {
-		fmt.Fprintf(h, "%v\x1f", part)
-	}
-	return hex.EncodeToString(h.Sum(nil))[:16]
+// the pool key: every field is encoded fixed-width or length-prefixed
+// through waveform.KeyBuilder, so adjacent fields can never alias (a
+// faults spec containing a separator byte, or distinct numeric fields
+// with identical text renderings, used to collide under the old
+// "%v\x1f"-join encoding), and the full sha256 digest is kept — no
+// 64-bit truncation. The packet count is deliberately excluded — it is a
+// run parameter, not session state — so sweeps over n share one session.
+func configKey(radio string, req simulateRequest) string {
+	k := waveform.NewKey().
+		String("simulate").
+		String(radio).
+		Float64(req.Distance).
+		Float64(req.TxDistance).
+		Bool(req.NLOS).
+		Int64(int64(req.PayloadSize)).
+		Int64(int64(req.Redundancy)).
+		Int64(int64(req.RateMbps)).
+		Bool(req.Quaternary).
+		Int64(req.Seed).
+		String(req.Faults).
+		Sum()
+	return hex.EncodeToString(k[:])
 }

@@ -1,0 +1,165 @@
+package server
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	freerider "repro"
+
+	"repro/internal/core"
+	"repro/internal/waveform"
+)
+
+// oldConfigKey reproduces the pre-fix encoding — "%v"-rendered parts
+// joined by a \x1f separator, digest truncated to 64 bits — so the
+// collision tests below can demonstrate that their crafted inputs really
+// did alias under it.
+func oldConfigKey(parts ...any) string {
+	h := sha256.New()
+	for _, part := range parts {
+		fmt.Fprintf(h, "%v\x1f", part)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// TestConfigKeyCollisionRegression pins the configKey aliasing fix. The
+// old encoder rendered every part with %v and joined with a \x1f
+// separator, so (a) a string part containing the separator byte shifts
+// content across part boundaries and (b) distinct types with identical
+// text renderings (int64(1) vs "1") encode identically. Each vector is
+// first demonstrated against a reproduction of the old encoder — proving
+// it is a real alias, not a hypothetical — and then shown distinct under
+// the new length-prefixed typed encoding.
+func TestConfigKeyCollisionRegression(t *testing.T) {
+	// (a) Separator smuggling across adjacent variable-width parts.
+	if oldConfigKey("a\x1fb", "c") != oldConfigKey("a", "b\x1fc") {
+		t.Error("separator vector is stale: old scheme no longer aliases")
+	}
+	k1 := waveform.NewKey().String("a\x1fb").String("c").Sum()
+	k2 := waveform.NewKey().String("a").String("b\x1fc").Sum()
+	if k1 == k2 {
+		t.Error("length-prefixed encoding still aliases on smuggled separator bytes")
+	}
+
+	// (b) Distinct types, identical %v renderings.
+	if oldConfigKey(int64(1), true) != oldConfigKey("1", "true") {
+		t.Error("type-confusion vector is stale: old scheme no longer aliases")
+	}
+	k3 := waveform.NewKey().Int64(1).Bool(true).Sum()
+	k4 := waveform.NewKey().String("1").String("true").Sum()
+	if k3 == k4 {
+		t.Error("typed encoding still aliases int64/bool against their text renderings")
+	}
+
+	// End to end: requests whose faults specs smuggle separator bytes must
+	// key distinctly even though their old %v-joined streams shared every
+	// other part.
+	a := simulateRequest{Radio: "wifi", Distance: 5, Packets: 1, Seed: 1, Faults: "burst\x1f0.5"}
+	b := simulateRequest{Radio: "wifi", Distance: 5, Packets: 1, Seed: 1, Faults: "burst\x1f0.50"}
+	if configKey(a.Radio, a) == configKey(b.Radio, b) {
+		t.Error("distinct faults specs produced one session key")
+	}
+}
+
+// TestConfigKeyShape pins the unabbreviated digest (the old key kept 64
+// bits, inviting birthday collisions across a big fleet of configs) and
+// the exclusion of the packet count from the key.
+func TestConfigKeyShape(t *testing.T) {
+	req := simulateRequest{Radio: "zigbee", Distance: 3, Packets: 10, Seed: 5, Faults: "none"}
+	key := configKey(req.Radio, req)
+	if len(key) != sha256.Size*2 {
+		t.Fatalf("key %q has %d hex chars, want the full %d-char sha256 digest", key, len(key), sha256.Size*2)
+	}
+	if strings.ToLower(key) != key {
+		t.Fatalf("key %q is not lowercase hex", key)
+	}
+	req2 := req
+	req2.Packets = 500
+	if configKey(req2.Radio, req2) != key {
+		t.Fatal("packet count is a run parameter and must not change the session key")
+	}
+	req3 := req
+	req3.Seed = 6
+	if configKey(req3.Radio, req3) == key {
+		t.Fatal("distinct seeds must produce distinct keys")
+	}
+}
+
+// TestSessionPoolSingleflight drives 16 goroutines at one cold key and
+// requires exactly one build: the leader blocks inside build until every
+// follower has coalesced onto the call, so the assertion is deterministic.
+func TestSessionPoolSingleflight(t *testing.T) {
+	p := newSessionPool(4)
+	var builds atomic.Int64
+	const goroutines = 16
+	deadline := time.Now().Add(10 * time.Second)
+
+	build := func() (*core.Session, error) {
+		builds.Add(1)
+		cfg := freerider.DefaultConfig(core.ZigBee, 3)
+		cfg.Seed = 1
+		for p.stats().Coalesced < goroutines-1 && time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return freerider.NewSession(cfg)
+	}
+
+	var wg sync.WaitGroup
+	sessions := make([]*core.Session, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			sess, hit, err := p.get("cold", build)
+			if err != nil {
+				t.Error(err)
+			}
+			if hit {
+				t.Error("a cold key must not report a cache hit")
+			}
+			sessions[g] = sess
+		}(g)
+	}
+	wg.Wait()
+
+	if n := builds.Load(); n != 1 {
+		t.Fatalf("build ran %d times for one cold key, want exactly 1", n)
+	}
+	for g := 1; g < goroutines; g++ {
+		if sessions[g] != sessions[0] {
+			t.Fatalf("goroutine %d received a different session", g)
+		}
+	}
+	st := p.stats()
+	if st.Coalesced != goroutines-1 || st.Misses != goroutines || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want %d misses with %d coalesced", st, goroutines, goroutines-1)
+	}
+	if _, hit, err := p.get("cold", build); err != nil || !hit {
+		t.Fatalf("follow-up lookup: hit=%v err=%v, want a plain hit", hit, err)
+	}
+}
+
+// TestSessionPoolBuildErrorShared propagates a build failure to the
+// leader and caches nothing, so the next lookup retries.
+func TestSessionPoolBuildErrorShared(t *testing.T) {
+	p := newSessionPool(4)
+	boom := errors.New("bad config")
+	if _, _, err := p.get("k", func() (*core.Session, error) { return nil, boom }); err != boom {
+		t.Fatalf("err = %v, want the build error", err)
+	}
+	if st := p.stats(); st.Size != 0 {
+		t.Fatalf("failed build must not be cached: %+v", st)
+	}
+	cfg := freerider.DefaultConfig(core.ZigBee, 3)
+	sess, hit, err := p.get("k", func() (*core.Session, error) { return freerider.NewSession(cfg) })
+	if err != nil || hit || sess == nil {
+		t.Fatalf("retry after failed build: sess=%v hit=%v err=%v", sess, hit, err)
+	}
+}

@@ -15,13 +15,21 @@
 // its source) — and the synthesizing caller must hand over buffers it will
 // never write again. That makes a cache shared by concurrent sessions safe
 // with no per-sample locking; the -race cache tests pin this.
+//
+// The cache is split into power-of-two shards addressed by the top bits of
+// the sha256 key, each with its own lock, LRU list and byte budget, so the
+// serve path's concurrent sessions contend on 1/Nth of the lock traffic.
+// GetOrSynthesize adds a singleflight layer on top: concurrent misses on
+// one key run the synthesis function once and share the result.
 package waveform
 
 import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"math"
 	"sync"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/signal"
@@ -67,11 +75,31 @@ func (b *KeyBuilder) Uint64(v uint64) *KeyBuilder {
 	return b
 }
 
+// Int64 appends a fixed-width signed integer part.
+func (b *KeyBuilder) Int64(v int64) *KeyBuilder {
+	return b.Uint64(uint64(v))
+}
+
+// Float64 appends a float part by its exact bit pattern, so distinct
+// values never collide and equal values always agree (NaNs included,
+// which %v-style text rendering cannot promise).
+func (b *KeyBuilder) Float64(v float64) *KeyBuilder {
+	return b.Uint64(math.Float64bits(v))
+}
+
 // Bytes appends a length-prefixed variable-width part. The prefix keeps
 // adjacent variable parts (payload, tag bits) from aliasing each other.
 func (b *KeyBuilder) Bytes(p []byte) *KeyBuilder {
 	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(len(p)))
 	b.buf = append(b.buf, p...)
+	return b
+}
+
+// String appends a length-prefixed string part without copying it through
+// a byte slice.
+func (b *KeyBuilder) String(s string) *KeyBuilder {
+	b.buf = binary.LittleEndian.AppendUint64(b.buf, uint64(len(s)))
+	b.buf = append(b.buf, s...)
 	return b
 }
 
@@ -119,17 +147,52 @@ func (e *Entry) sizeBytes() int64 {
 // roughly a hundred full-size WiFi excitation packets.
 const DefaultMaxBytes = 64 << 20
 
-// Cache is a byte-capped LRU of waveform entries, safe for concurrent use
-// by any number of sessions. Lookups on the warm path (Get with a pooled
-// KeyBuilder) perform zero heap allocations.
-type Cache struct {
-	counters obs.CacheCounters
+// DefaultShards is the shard count New uses: enough to spread the serve
+// path's lock traffic across cores while keeping each shard's byte budget
+// (total/shards) comfortably above one full-size WiFi entry.
+const DefaultShards = 8
 
+// shard is one independently locked slice of the cache: its own LRU list,
+// key map and byte budget. An entry lives in exactly one shard, chosen by
+// the top bits of its key.
+type shard struct {
 	mu    sync.Mutex
 	max   int64
 	bytes int64
 	ll    *list.List // front = most recently used
 	byKey map[Key]*list.Element
+
+	// evictions and lockWaitNs are guarded by mu (lockWaitNs is only
+	// written after Lock returns, so the write is inside the critical
+	// section even though the wait itself was not).
+	evictions  int64
+	lockWaitNs int64
+}
+
+// lock acquires the shard mutex, accumulating the time spent blocked when
+// another goroutine holds it. The uncontended path is a bare TryLock — no
+// clock reads — so warm single-session lookups stay allocation- and
+// syscall-free.
+func (s *shard) lock() {
+	if s.mu.TryLock() {
+		return
+	}
+	t0 := time.Now()
+	s.mu.Lock()
+	s.lockWaitNs += time.Since(t0).Nanoseconds()
+}
+
+// Cache is a byte-capped sharded LRU of waveform entries, safe for
+// concurrent use by any number of sessions. Lookups on the warm path (Get
+// with a pooled KeyBuilder) perform zero heap allocations.
+type Cache struct {
+	counters obs.CacheCounters
+
+	shards    []shard
+	shardBits uint // log2(len(shards))
+
+	sfMu     sync.Mutex
+	inFlight map[Key]*sfCall
 }
 
 type cacheItem struct {
@@ -138,80 +201,251 @@ type cacheItem struct {
 	size  int64
 }
 
+// sfCall is one in-flight synthesis: the leader resolves entry/err and
+// then releases the WaitGroup; followers wait and read.
+type sfCall struct {
+	wg    sync.WaitGroup
+	entry *Entry
+	err   error
+}
+
 // New returns an empty cache holding at most maxBytes of waveform data
-// (DefaultMaxBytes when maxBytes <= 0).
+// (DefaultMaxBytes when maxBytes <= 0), split across DefaultShards shards.
 func New(maxBytes int64) *Cache {
+	return NewSharded(maxBytes, DefaultShards)
+}
+
+// NewSharded returns an empty cache with an explicit shard count, rounded
+// up to a power of two in [1, 256]. The byte budget is divided evenly:
+// each shard holds at most maxBytes/shards, so an entry larger than that
+// slice is rejected (and counted) rather than stored. shards <= 0 selects
+// DefaultShards; NewSharded(n, 1) is the single-mutex cache, which the
+// bit-identity tests pin against the sharded one.
+func NewSharded(maxBytes int64, shards int) *Cache {
 	if maxBytes <= 0 {
 		maxBytes = DefaultMaxBytes
 	}
-	return &Cache{max: maxBytes, ll: list.New(), byKey: map[Key]*list.Element{}}
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	if shards > 256 {
+		shards = 256
+	}
+	bits := uint(0)
+	for 1<<bits < shards {
+		bits++
+	}
+	n := 1 << bits
+	perShard := maxBytes / int64(n)
+	if perShard < 1 {
+		perShard = 1
+	}
+	c := &Cache{
+		shards:    make([]shard, n),
+		shardBits: bits,
+		inFlight:  map[Key]*sfCall{},
+	}
+	for i := range c.shards {
+		c.shards[i] = shard{max: perShard, ll: list.New(), byKey: map[Key]*list.Element{}}
+	}
+	return c
 }
 
-// Get returns the entry stored under k, or nil on a miss.
+// shardFor selects the shard owning k by the top bits of the digest. The
+// sha256 output is uniform, so the top bits spread keys evenly; shifting
+// by 8-shardBits keeps the selection stable under any shard count (a
+// 1-shard cache shifts the byte away entirely).
+func (c *Cache) shardFor(k Key) *shard {
+	return &c.shards[k[0]>>(8-c.shardBits)]
+}
+
+// NumShards returns the shard count (always a power of two).
+func (c *Cache) NumShards() int { return len(c.shards) }
+
+// Get returns the entry stored under k, or nil on a miss. The hit/miss
+// counters move inside the shard's critical section so a Stats snapshot
+// holding every shard lock sees counters and sizes from one consistent
+// cut.
 func (c *Cache) Get(k Key) *Entry {
-	c.mu.Lock()
-	el, ok := c.byKey[k]
+	s := c.shardFor(k)
+	s.lock()
+	el, ok := s.byKey[k]
 	if !ok {
-		c.mu.Unlock()
 		c.counters.Miss()
+		s.mu.Unlock()
 		return nil
 	}
-	c.ll.MoveToFront(el)
+	s.ll.MoveToFront(el)
 	e := el.Value.(*cacheItem).entry
-	c.mu.Unlock()
 	c.counters.Hit()
+	s.mu.Unlock()
 	return e
 }
 
-// Put stores e under k, evicting least-recently-used entries until the
-// byte cap holds. An entry alone larger than the cap is not stored. When k
-// is already present (two sessions synthesized the same content
-// concurrently) the incumbent wins — entries are pure functions of their
-// key, so either copy serves every reader.
-func (c *Cache) Put(k Key, e *Entry) {
+// peek is Get without counter movement: the singleflight leader uses it to
+// re-check residency after registering, so the double check does not
+// inflate the miss count the caller's Get already recorded.
+func (c *Cache) peek(k Key) *Entry {
+	s := c.shardFor(k)
+	s.lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byKey[k]; ok {
+		s.ll.MoveToFront(el)
+		return el.Value.(*cacheItem).entry
+	}
+	return nil
+}
+
+// Put stores e under k and reports whether the entry was stored, evicting
+// least-recently-used entries from k's shard until its byte budget holds.
+// The two admission refusals move counters instead of failing silently: an
+// entry alone larger than the shard budget is rejected (Rejected), and
+// when k is already present (two sessions synthesized the same content
+// concurrently) the incumbent wins (Duplicates) — entries are pure
+// functions of their key, so either copy serves every reader.
+func (c *Cache) Put(k Key, e *Entry) bool {
 	size := e.sizeBytes()
-	if size > c.max {
-		return
+	s := c.shardFor(k)
+	s.lock()
+	defer s.mu.Unlock()
+	if size > s.max {
+		c.counters.Reject()
+		return false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[k]; ok {
-		c.ll.MoveToFront(el)
-		return
+	if el, ok := s.byKey[k]; ok {
+		s.ll.MoveToFront(el)
+		c.counters.Duplicate()
+		return false
 	}
-	c.byKey[k] = c.ll.PushFront(&cacheItem{key: k, entry: e, size: size})
-	c.bytes += size
-	for c.bytes > c.max {
-		oldest := c.ll.Back()
+	s.byKey[k] = s.ll.PushFront(&cacheItem{key: k, entry: e, size: size})
+	s.bytes += size
+	for s.bytes > s.max {
+		oldest := s.ll.Back()
 		it := oldest.Value.(*cacheItem)
-		c.ll.Remove(oldest)
-		delete(c.byKey, it.key)
-		c.bytes -= it.size
+		s.ll.Remove(oldest)
+		delete(s.byKey, it.key)
+		s.bytes -= it.size
+		s.evictions++
 		c.counters.Evict()
 	}
+	return true
+}
+
+// GetOrSynthesize returns the entry for k, running fn to synthesize it on
+// a miss. Concurrent callers missing on the same key run fn exactly once:
+// the first becomes the leader, followers block and share the leader's
+// entry (or error), and each follower moves the Coalesced counter. The
+// lookup counts a hit or miss exactly like Get, so callers use this as
+// their only cache access per packet.
+//
+// The boolean reports whether fn ran in this call — callers replaying
+// per-packet TX state on a served entry (the WiFi scrambler rotation) key
+// off it. While fn runs the leader owns the prospective entry exclusively;
+// ownership transfers to the cache at Put, after which the entry is
+// immutable like any other (DESIGN.md §8.2). fn's result is returned to
+// every waiter even when the cache refuses to store it (oversize), so
+// coalescing never degrades into an error.
+func (c *Cache) GetOrSynthesize(k Key, fn func() (*Entry, error)) (*Entry, bool, error) {
+	if e := c.Get(k); e != nil {
+		return e, false, nil
+	}
+	c.sfMu.Lock()
+	if call, ok := c.inFlight[k]; ok {
+		c.counters.Coalesce()
+		c.sfMu.Unlock()
+		call.wg.Wait()
+		return call.entry, false, call.err
+	}
+	call := &sfCall{}
+	call.wg.Add(1)
+	c.inFlight[k] = call
+	c.sfMu.Unlock()
+
+	// A previous leader may have completed between our Get and our
+	// registration; re-check residency (uncounted) before synthesizing.
+	e := c.peek(k)
+	var err error
+	ran := false
+	if e == nil {
+		ran = true
+		e, err = fn()
+		if err == nil {
+			c.Put(k, e)
+		}
+	}
+	call.entry, call.err = e, err
+	c.sfMu.Lock()
+	delete(c.inFlight, k)
+	c.sfMu.Unlock()
+	call.wg.Done()
+	return e, ran && err == nil, err
 }
 
 // Len returns the number of resident entries.
 func (c *Cache) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
+	n := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		n += s.ll.Len()
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // Bytes returns the resident waveform bytes.
 func (c *Cache) Bytes() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.bytes
+	var b int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		b += s.bytes
+		s.mu.Unlock()
+	}
+	return b
 }
 
-// Stats snapshots the cache for /metrics.
+// Stats snapshots the cache for /metrics. It holds every shard lock while
+// reading both the sizes and the counters: all counter movement happens
+// inside some shard's critical section (Coalesced excepted — it moves
+// under the singleflight mutex), so the snapshot is one consistent cut and
+// a scrape can never report entries that its own miss count has not paid
+// for.
 func (c *Cache) Stats() obs.CacheStats {
+	for i := range c.shards {
+		c.shards[i].lock()
+	}
 	st := c.counters.Snapshot()
-	c.mu.Lock()
-	st.Entries = c.ll.Len()
-	st.Bytes = c.bytes
-	st.CapacityBytes = c.max
-	c.mu.Unlock()
+	st.Shards = len(c.shards)
+	for i := range c.shards {
+		s := &c.shards[i]
+		st.Entries += s.ll.Len()
+		st.Bytes += s.bytes
+		st.CapacityBytes += s.max
+		st.LockWaitNs += s.lockWaitNs
+	}
+	for i := range c.shards {
+		c.shards[i].mu.Unlock()
+	}
 	return st
+}
+
+// ShardStats snapshots each shard's size and contention figures for the
+// per-shard /metrics view. Each shard is read under its own lock; the
+// aggregate consistency contract lives in Stats.
+func (c *Cache) ShardStats() []obs.ShardStats {
+	out := make([]obs.ShardStats, len(c.shards))
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.lock()
+		out[i] = obs.ShardStats{
+			Entries:       s.ll.Len(),
+			Bytes:         s.bytes,
+			CapacityBytes: s.max,
+			Evictions:     s.evictions,
+			LockWaitNs:    s.lockWaitNs,
+		}
+		s.mu.Unlock()
+	}
+	return out
 }

@@ -47,7 +47,9 @@ func TestCacheHitMissStats(t *testing.T) {
 		t.Fatal("empty cache returned an entry")
 	}
 	e := testEntry(64, 1)
-	c.Put(k, e)
+	if !c.Put(k, e) {
+		t.Fatal("Put of a fresh fitting entry must report stored")
+	}
 	got := c.Get(k)
 	if got != e {
 		t.Fatal("cache returned a different entry")
@@ -62,11 +64,38 @@ func TestCacheHitMissStats(t *testing.T) {
 	if st.Bytes <= 0 || st.Bytes > st.CapacityBytes {
 		t.Fatalf("byte accounting out of range: %+v", st)
 	}
+	if st.Shards != DefaultShards {
+		t.Fatalf("shards = %d, want %d", st.Shards, DefaultShards)
+	}
+}
+
+// TestCachePutDuplicateCounts pins the duplicate-put accounting: a second
+// Put under a resident key keeps the incumbent, reports not-stored, and
+// moves the Duplicates counter instead of disappearing silently.
+func TestCachePutDuplicateCounts(t *testing.T) {
+	c := New(1 << 20)
+	k := keyOf(7)
+	incumbent := testEntry(64, 7)
+	if !c.Put(k, incumbent) {
+		t.Fatal("first Put must store")
+	}
+	if c.Put(k, testEntry(64, 7)) {
+		t.Fatal("duplicate Put must not report stored")
+	}
+	if got := c.Get(k); got != incumbent {
+		t.Fatal("incumbent must win a duplicate Put")
+	}
+	st := c.Stats()
+	if st.Duplicates != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 duplicate, 1 entry", st)
+	}
 }
 
 func TestCacheLRUEvictionBoundsMemory(t *testing.T) {
 	perEntry := testEntry(1024, 0).sizeBytes()
-	c := New(perEntry * 4) // room for exactly 4 entries
+	// Single shard: this test pins exact LRU order across one list; the
+	// sharded equivalents live in shard_test.go.
+	c := NewSharded(perEntry*4, 1) // room for exactly 4 entries
 	for i := 0; i < 32; i++ {
 		c.Put(keyOf(byte(i)), testEntry(1024, byte(i)))
 	}
@@ -94,7 +123,7 @@ func TestCacheLRUEvictionBoundsMemory(t *testing.T) {
 
 func TestCacheLRUTouchOnGet(t *testing.T) {
 	perEntry := testEntry(256, 0).sizeBytes()
-	c := New(perEntry * 2)
+	c := NewSharded(perEntry*2, 1) // exact LRU order needs one list
 	c.Put(keyOf(1), testEntry(256, 1))
 	c.Put(keyOf(2), testEntry(256, 2))
 	c.Get(keyOf(1)) // touch 1 so 2 becomes the LRU victim
@@ -109,9 +138,14 @@ func TestCacheLRUTouchOnGet(t *testing.T) {
 
 func TestCacheRejectsOversizeEntry(t *testing.T) {
 	c := New(1024)
-	c.Put(keyOf(1), testEntry(4096, 1)) // 64 KB of samples into a 1 KB cache
+	if c.Put(keyOf(1), testEntry(4096, 1)) { // 64 KB of samples into a 1 KB cache
+		t.Fatal("oversize Put must not report stored")
+	}
 	if c.Len() != 0 {
 		t.Fatal("oversize entry must not be stored")
+	}
+	if st := c.Stats(); st.Rejected != 1 || st.Evictions != 0 {
+		t.Fatalf("stats = %+v, want the refusal counted as 1 rejection, 0 evictions", st)
 	}
 }
 

@@ -1,0 +1,285 @@
+package waveform
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// keyInShard brute-forces a key that the cache maps to the wanted shard,
+// distinguished from other calls by salt. sha256 is uniform, so a few
+// hundred attempts always suffice for small shard counts.
+func keyInShard(t *testing.T, c *Cache, want int, salt byte) Key {
+	t.Helper()
+	for i := 0; i < 1<<16; i++ {
+		k := NewKey().Byte(salt).Uint64(uint64(i)).Sum()
+		if c.shardFor(k) == &c.shards[want] {
+			return k
+		}
+	}
+	t.Fatalf("no key found for shard %d", want)
+	return Key{}
+}
+
+// TestShardSelectionUsesTopBits pins the shard addressing: the index is
+// the top bits of the digest, every shard is reachable, and a one-shard
+// cache maps everything to shard zero.
+func TestShardSelectionUsesTopBits(t *testing.T) {
+	c := NewSharded(1<<20, 4)
+	if c.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", c.NumShards())
+	}
+	for s := 0; s < 4; s++ {
+		k := keyInShard(t, c, s, 1)
+		if got := int(k[0] >> 6); got != s {
+			t.Fatalf("key with top bits %d landed in shard %d", got, s)
+		}
+	}
+	single := NewSharded(1<<20, 1)
+	for i := byte(0); i < 32; i++ {
+		if single.shardFor(keyOf(i)) != &single.shards[0] {
+			t.Fatal("one-shard cache must map every key to shard 0")
+		}
+	}
+	// Non-power-of-two counts round up.
+	if c := NewSharded(1<<20, 5); c.NumShards() != 8 {
+		t.Fatalf("NewSharded(…, 5) has %d shards, want 8", c.NumShards())
+	}
+}
+
+// TestShardEvictionIsolation fills one shard past its budget and checks
+// that the eviction churn never touches entries resident in other shards.
+func TestShardEvictionIsolation(t *testing.T) {
+	perEntry := testEntry(1024, 0).sizeBytes()
+	const shards = 4
+	c := NewSharded(perEntry*2*shards, shards) // 2 entries per shard
+
+	// One pinned resident in every other shard.
+	pinned := map[int]Key{}
+	for s := 1; s < shards; s++ {
+		k := keyInShard(t, c, s, 100+byte(s))
+		if !c.Put(k, testEntry(1024, byte(s))) {
+			t.Fatalf("pinned entry for shard %d not stored", s)
+		}
+		pinned[s] = k
+	}
+	// Hammer shard 0 with 16 distinct entries — 14 evictions, all local.
+	for i := 0; i < 16; i++ {
+		c.Put(keyInShard(t, c, 0, byte(i)), testEntry(1024, byte(i)))
+	}
+	sh := c.ShardStats()
+	if sh[0].Entries != 2 || sh[0].Evictions != 14 {
+		t.Fatalf("shard 0 = %+v, want 2 entries after 14 evictions", sh[0])
+	}
+	for s := 1; s < shards; s++ {
+		if sh[s].Evictions != 0 {
+			t.Fatalf("shard %d evicted %d entries; churn must stay in shard 0", s, sh[s].Evictions)
+		}
+		if c.Get(pinned[s]) == nil {
+			t.Fatalf("shard %d lost its resident entry to another shard's churn", s)
+		}
+	}
+	if ev := c.Stats().Evictions; ev != 14 {
+		t.Fatalf("aggregate evictions = %d, want 14", ev)
+	}
+}
+
+// TestCrossShardByteAccounting checks the budget split: per-shard caps sum
+// to (at most) the requested total, aggregate Bytes/Len equal the shard
+// sums, and no shard ever exceeds its own slice of the budget.
+func TestCrossShardByteAccounting(t *testing.T) {
+	perEntry := testEntry(512, 0).sizeBytes()
+	const shards = 8
+	total := perEntry * 3 * shards
+	c := NewSharded(total, shards)
+	for i := 0; i < 64; i++ {
+		c.Put(keyOf(byte(i)), testEntry(512, byte(i)))
+	}
+	var sumBytes, sumCap int64
+	sumEntries := 0
+	for _, sh := range c.ShardStats() {
+		if sh.Bytes > sh.CapacityBytes {
+			t.Fatalf("shard over budget: %+v", sh)
+		}
+		sumBytes += sh.Bytes
+		sumCap += sh.CapacityBytes
+		sumEntries += sh.Entries
+	}
+	if sumCap > total {
+		t.Fatalf("shard capacities sum to %d > requested %d", sumCap, total)
+	}
+	if got := c.Bytes(); got != sumBytes {
+		t.Fatalf("Bytes() = %d, shard sum = %d", got, sumBytes)
+	}
+	if got := c.Len(); got != sumEntries {
+		t.Fatalf("Len() = %d, shard sum = %d", got, sumEntries)
+	}
+	st := c.Stats()
+	if st.Bytes != sumBytes || st.Entries != sumEntries || st.CapacityBytes != sumCap {
+		t.Fatalf("aggregate %+v inconsistent with shard sums (%d bytes, %d entries, %d cap)",
+			st, sumBytes, sumEntries, sumCap)
+	}
+}
+
+// TestSingleflightColdKeyRace is the acceptance race test: 64 goroutines
+// miss on one cold key simultaneously and the synthesis function must run
+// exactly once, with every caller receiving the same entry and the other
+// 63 lookups counted as coalesced. The leader's synthesis blocks until
+// every follower has joined the in-flight call, so the coalescing is
+// deterministic, not a lucky interleaving. Run under -race this also
+// proves the handoff publishes the entry safely.
+func TestSingleflightColdKeyRace(t *testing.T) {
+	c := New(1 << 20)
+	k := keyOf(42)
+	var calls atomic.Int64
+	entry := testEntry(256, 42)
+
+	const goroutines = 64
+	var done sync.WaitGroup
+	results := make([]*Entry, goroutines)
+	done.Add(goroutines)
+	deadline := time.Now().Add(10 * time.Second)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer done.Done()
+			e, _, err := c.GetOrSynthesize(k, func() (*Entry, error) {
+				calls.Add(1)
+				// Hold the flight open until the other 63 goroutines have
+				// coalesced onto it (they cannot hit the cache before this
+				// returns). The deadline turns a lost follower into a
+				// counter assertion failure instead of a hang.
+				for c.Stats().Coalesced < goroutines-1 && time.Now().Before(deadline) {
+					runtime.Gosched()
+				}
+				return entry, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[g] = e
+		}(g)
+	}
+	done.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("synthesis ran %d times for one cold key, want exactly 1", n)
+	}
+	for g, e := range results {
+		if e != entry {
+			t.Fatalf("goroutine %d received a different entry", g)
+		}
+	}
+	st := c.Stats()
+	if st.Coalesced != goroutines-1 {
+		t.Fatalf("coalesced = %d, want %d", st.Coalesced, goroutines-1)
+	}
+	if st.Hits+st.Misses != goroutines {
+		t.Fatalf("lookup accounting: %d hits + %d misses != %d", st.Hits, st.Misses, goroutines)
+	}
+}
+
+// TestGetOrSynthesizeLeaderFlag pins the synthesized-here contract the
+// WiFi scrambler replay depends on: true exactly when fn ran in this call
+// and produced the entry, false on a warm hit.
+func TestGetOrSynthesizeLeaderFlag(t *testing.T) {
+	c := New(1 << 20)
+	k := keyOf(9)
+	e, ran, err := c.GetOrSynthesize(k, func() (*Entry, error) { return testEntry(64, 9), nil })
+	if err != nil || !ran || e == nil {
+		t.Fatalf("cold call: entry=%v ran=%v err=%v, want synthesis here", e, ran, err)
+	}
+	e2, ran, err := c.GetOrSynthesize(k, func() (*Entry, error) {
+		t.Fatal("warm call must not synthesize")
+		return nil, nil
+	})
+	if err != nil || ran || e2 != e {
+		t.Fatalf("warm call: entry match=%v ran=%v err=%v, want cached entry without synthesis", e2 == e, ran, err)
+	}
+}
+
+// TestGetOrSynthesizeError propagates a synthesis failure to the caller
+// (and any coalesced waiters), caches nothing, and lets a later call
+// retry.
+func TestGetOrSynthesizeError(t *testing.T) {
+	c := New(1 << 20)
+	k := keyOf(13)
+	boom := errors.New("synthesis failed")
+	if _, ran, err := c.GetOrSynthesize(k, func() (*Entry, error) { return nil, boom }); err != boom || ran {
+		t.Fatalf("got ran=%v err=%v, want the synthesis error and ran=false", ran, err)
+	}
+	if c.Len() != 0 {
+		t.Fatal("a failed synthesis must cache nothing")
+	}
+	e, ran, err := c.GetOrSynthesize(k, func() (*Entry, error) { return testEntry(64, 13), nil })
+	if err != nil || !ran || e == nil {
+		t.Fatalf("retry after failure: entry=%v ran=%v err=%v", e, ran, err)
+	}
+}
+
+// TestStatsConsistentSnapshot hammers the cache from writers that always
+// Get before Put while a scraper loops over Stats. Every resident entry
+// was preceded by a counted miss inside the same critical section, so a
+// consistent snapshot can never report more entries than misses — the
+// exact inversion the pre-fix code allowed by reading the counters before
+// taking the locks.
+func TestStatsConsistentSnapshot(t *testing.T) {
+	c := New(1 << 20)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keyOf(byte(w), byte(i), byte(i>>8))
+				if c.Get(k) == nil {
+					c.Put(k, testEntry(16, byte(w)))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 2000; i++ {
+		st := c.Stats()
+		if int64(st.Entries) > st.Misses {
+			close(stop)
+			wg.Wait()
+			t.Fatalf("inconsistent snapshot: %d entries resident but only %d misses counted", st.Entries, st.Misses)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestGetOrSynthesizeWarmZeroAlloc extends the zero-allocation pin to the
+// singleflight entry point: a warm hit through GetOrSynthesize — key build
+// included — must not touch the heap, or the serve path's per-packet
+// lookup regresses.
+func TestGetOrSynthesizeWarmZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation pins are not meaningful under the race detector")
+	}
+	c := New(1 << 20)
+	payload := make([]byte, 1500)
+	tagBits := make([]byte, 128)
+	mk := func() Key {
+		return NewKey().Byte(0).Uint64(6).Bytes(payload).Bytes(tagBits).Sum()
+	}
+	c.Put(mk(), testEntry(64, 1))
+	allocs := testing.AllocsPerRun(100, func() {
+		e, ran, err := c.GetOrSynthesize(mk(), func() (*Entry, error) { return testEntry(64, 1), nil })
+		if e == nil || ran || err != nil {
+			t.Fatal("expected a warm hit")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm GetOrSynthesize: %v allocs/op, want 0", allocs)
+	}
+}

@@ -20,10 +20,15 @@
 // comparisons are scaled by probe(now)/probe(baseline) so machine-wide
 // slowdowns cancel and only code-relative regressions trip the gate.
 //
-// Custom benchmark metrics (b.ReportMetric units such as req/batch or
-// hit-rate) are recorded in the trajectory alongside ns/op and allocs/op
-// — "/" in the unit becomes "_per_" so the JSON keys stay flat — but are
-// never gated: they describe workload shape, not performance budgets.
+// Custom benchmark metrics (b.ReportMetric units such as req/batch,
+// hit-rate, coalesced/s or lockwait-ns/op) are recorded in the
+// trajectory alongside ns/op and allocs/op — "/" in the unit becomes
+// "_per_" so the JSON keys stay flat — but are never gated: they
+// describe workload shape, not performance budgets. Cost-like extras
+// fold to the minimum across -count runs like ns/op; rate-like extras
+// (units ending in "/s", e.g. the contention benchmark's coalesced/s)
+// fold to the maximum, because for a throughput the high watermark is
+// the noise-robust statistic — jitter only ever loses events.
 //
 // With -update it instead rewrites the baseline from the current run.
 // Benchmarks present in the run but not the baseline pass with a notice
@@ -139,7 +144,8 @@ func main() {
 // flattened so the names are stable JSON keys. Custom b.ReportMetric
 // units (anything other than ns/op, B/op, allocs/op, MB/s) are returned
 // per benchmark in the extras map, keyed by the unit with "/" flattened
-// to "_per_"; like ns/op they fold to the minimum across -count runs.
+// to "_per_". Cost-like extras fold to the minimum across -count runs
+// like ns/op; rate-like extras (unit ends in "/s") fold to the maximum.
 func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, error) {
 	out := map[string]point{}
 	extras := map[string]map[string]float64{}
@@ -179,13 +185,14 @@ func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, er
 			case "B/op", "MB/s":
 				// tracked implicitly via allocs and ns; not recorded
 			default:
+				rate := strings.HasSuffix(f[i+1], "/s")
 				unit := strings.ReplaceAll(f[i+1], "/", "_per_")
 				m := extras[name]
 				if m == nil {
 					m = map[string]float64{}
 					extras[name] = m
 				}
-				if prev, ok := m[unit]; !ok || v < prev {
+				if prev, ok := m[unit]; !ok || (rate && v > prev) || (!rate && v < prev) {
 					m[unit] = v
 				}
 			}
