@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults ci
+.PHONY: build test race vet staticcheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults fuzz-fec ci
 
 build:
 	$(GO) build ./...
@@ -69,12 +69,12 @@ BENCH_DSP_TIME_FAST ?= 2000x
 BENCH_DSP_TIME_E2E ?= 100x
 BENCH_DSP_TIME_SWEEP ?= 2x
 BENCH_DSP_COUNT ?= 5
-BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|SNRSweep|CalibrationProbe'
+BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|SNRSweep|CalibrationProbe|RSEncode|RSDecode'
 
 bench-dsp:
 	@( $(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
 		-benchtime=$(BENCH_DSP_TIME_FAST) -count=$(BENCH_DSP_COUNT) \
-		./internal/signal ./internal/channel ./internal/faults ; \
+		./internal/signal ./internal/channel ./internal/faults ./internal/fec ; \
 	$(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
 		-benchtime=$(BENCH_DSP_TIME_E2E) -count=$(BENCH_DSP_COUNT) \
 		./internal/core ; \
@@ -120,9 +120,15 @@ soak-quick:
 fuzz-faults:
 	$(GO) test -run=^$$ -fuzz=FuzzFaultProfile -fuzztime=10s ./internal/faults
 
+# fuzz-fec smoke-fuzzes the RS codec: encode/corrupt/decode round-trip
+# inside the correction radius, then the soft-combiner slicing identity.
+fuzz-fec:
+	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=10s ./internal/fec
+	$(GO) test -run=^$$ -fuzz=FuzzCombinerSlice -fuzztime=5s ./internal/fec
+
 # ci is the gate: everything must build, pass vet (and staticcheck where
 # installed), pass the suite with the race detector on (in shuffled
 # order), hold the service layer bit-identical under concurrent load,
-# survive the quick chaos soak, keep the fault-spec parser fuzz-clean,
-# and stay within the DSP and serve benchmark budgets.
-ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults bench-dsp bench-serve
+# survive the quick chaos soak, keep the fault-spec and RS-codec fuzzers
+# clean, and stay within the DSP and serve benchmark budgets.
+ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults fuzz-fec bench-dsp bench-serve

@@ -40,6 +40,7 @@ import (
 	"repro/internal/decoder"
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/fec"
 	"repro/internal/obs"
 )
 
@@ -64,9 +65,29 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Usage = usage
 	flag.Parse()
-	if flag.NArg() != 1 {
+	if flag.NArg() < 1 {
 		usage()
 		os.Exit(2)
+	}
+
+	// Subcommand flags: flag.Parse stops at the first positional argument,
+	// so per-experiment options ride after the experiment name and are
+	// parsed by the experiment's own FlagSet.
+	snrFlags := flag.NewFlagSet("snr", flag.ExitOnError)
+	snrCoded := snrFlags.Bool("coded", false, "pair the sweep with an RS-coded run and report the dB link-margin gain at BER 1e-3")
+	snrN := snrFlags.Int("code-n", 15, "RS codeword length n (with -coded)")
+	snrK := snrFlags.Int("code-k", 9, "RS data symbols k (with -coded)")
+	snrInterleave := snrFlags.Int("interleave", 1, "RS interleave depth (with -coded)")
+	snrChase := snrFlags.Int("chase", 4, "retransmission budget for the chase-combined arm (with -coded; <2 disables)")
+	if flag.NArg() > 1 {
+		if flag.Arg(0) != "snr" {
+			fmt.Fprintf(os.Stderr, "unexpected arguments after %q: %v\n", flag.Arg(0), flag.Args()[1:])
+			usage()
+			os.Exit(2)
+		}
+		if err := snrFlags.Parse(flag.Args()[1:]); err != nil {
+			os.Exit(2)
+		}
 	}
 
 	profile, err := faults.Parse(*faultSpec)
@@ -160,8 +181,41 @@ func main() {
 			return result{Title: "§3.2.1 — OFDM symbols per tag bit (redundancy study)", Rows: pts}, err
 		},
 		"snr": func() (result, error) {
-			pts, err := experiments.BERvsSNR(opt)
-			return result{Title: "BER vs SNR — WiFi decoder operating curve (memoized excitation)", Rows: pts}, err
+			if !*snrCoded {
+				pts, err := experiments.BERvsSNR(opt)
+				return result{Title: "BER vs SNR — WiFi decoder operating curve (memoized excitation)", Rows: pts}, err
+			}
+			code := fec.Config{N: *snrN, K: *snrK, Interleave: *snrInterleave}
+			res, err := experiments.CodedBERvsSNRChase(opt, &code, *snrChase)
+			if err != nil {
+				return result{}, err
+			}
+			lines := []string{"uncoded:"}
+			for _, p := range res.Uncoded {
+				lines = append(lines, "  "+p.String())
+			}
+			lines = append(lines, fmt.Sprintf("coded RS(%d,%d) x%d:", code.N, code.K, code.Interleave))
+			for _, p := range res.Coded {
+				lines = append(lines, "  "+p.String())
+			}
+			lines = append(lines, fmt.Sprintf(
+				"BER<=%.0e: uncoded needs %.2f dB, coded needs %.2f dB — gain %.2f dB",
+				res.TargetBER, res.UncodedSNRdB, res.CodedSNRdB, res.GainDB))
+			if res.ChaseDepth >= 2 {
+				lines = append(lines, fmt.Sprintf("chase-combined RS(%d,%d) x%d, budget %d:",
+					code.N, code.K, code.Interleave, res.ChaseDepth))
+				for _, p := range res.Chase {
+					lines = append(lines, "  "+p.String())
+				}
+				lines = append(lines, fmt.Sprintf(
+					"BER<=%.0e: chase-combined needs %.2f dB — %.2f dB link margin over uncoded",
+					res.TargetBER, res.ChaseSNRdB, res.ChaseGainDB))
+			}
+			return result{
+				Title: "BER vs SNR — coded vs uncoded uplink (RS link-margin study)",
+				Rows:  res,
+				lines: lines,
+			}, nil
 		},
 		"pilots": func() (result, error) {
 			without, with, err := experiments.PilotTrackingAblation(opt)
@@ -452,7 +506,7 @@ func fatal(err error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-workers N] [-json] [-faults SPEC] [-cpuprofile FILE] [-memprofile FILE] <experiment>
+	fmt.Fprintln(os.Stderr, `usage: freerider-bench [-quick] [-seed N] [-workers N] [-json] [-faults SPEC] [-cpuprofile FILE] [-memprofile FILE] <experiment> [subcommand flags]
 experiments:
   fig3        ambient packet-duration PDF + PLM aliasing (Fig 3)
   fig4        PLM scheduling accuracy vs distance (Fig 4)
@@ -470,6 +524,11 @@ experiments:
   collision   slot-collision physics at sample level (§2.4.1)
   quaternary  eq. 4 binary vs eq. 5 quaternary phase translation
   cfo         carrier-frequency-offset robustness sweep
+  snr [-coded [-code-n N -code-k K -interleave D -chase R]]
+              BER vs SNR; -coded pairs it with an RS-coded sweep on the
+              dense transition-band grid and reports the dB margin gain
+              at BER 1e-3; -chase adds the chase-combined uplink at a
+              retransmission budget of R (default 4)
   waterfall   native PHY sensitivity curves (BER/packet rate vs SNR)
   table1      codeword translation logic table (Table 1)
   soak        chaos soak: fault-intensity sweep + degraded transfer

@@ -7,7 +7,8 @@
 //
 //	freerider-serve [-addr :8080] [-workers N] [-max-inflight N]
 //	                [-batch-window D] [-batch-max N] [-pool-size N]
-//	                [-max-body BYTES] [-admin-addr 127.0.0.1:6060]
+//	                [-max-body BYTES] [-request-timeout D]
+//	                [-admin-addr 127.0.0.1:6060]
 //
 // Concurrent decode requests are coalesced into batches of up to
 // -batch-max (gathered for at most -batch-window) and dispatched through
@@ -74,6 +75,7 @@ func main() {
 	batchMax := flag.Int("batch-max", server.DefaultMaxBatch, "max decode requests per batch dispatch")
 	poolSize := flag.Int("pool-size", server.DefaultPoolSize, "session LRU capacity (distinct link configs kept warm)")
 	maxBody := flag.Int64("max-body", server.DefaultMaxBodyBytes, "request body size cap in bytes (413 beyond)")
+	requestTimeout := flag.Duration("request-timeout", server.DefaultRequestTimeout, "per-request compute deadline on /v1/decode and /v1/simulate (504 beyond; negative disables)")
 	adminAddr := flag.String("admin-addr", "", "loopback-only admin listener serving /debug/pprof (disabled when empty)")
 	flag.Parse()
 
@@ -82,13 +84,14 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Addr:         *addr,
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		BatchWindow:  *batchWindow,
-		MaxBatch:     *batchMax,
-		PoolSize:     *poolSize,
-		MaxBodyBytes: *maxBody,
+		Addr:           *addr,
+		Workers:        *workers,
+		MaxInflight:    *maxInflight,
+		BatchWindow:    *batchWindow,
+		MaxBatch:       *batchMax,
+		PoolSize:       *poolSize,
+		MaxBodyBytes:   *maxBody,
+		RequestTimeout: *requestTimeout,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

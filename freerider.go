@@ -35,6 +35,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/decoder"
 	"repro/internal/faults"
+	"repro/internal/fec"
 	"repro/internal/mac"
 	"repro/internal/plm"
 	"repro/internal/runner"
@@ -221,6 +222,14 @@ func ParseFaultProfile(spec string) (*FaultProfile, error) { return faults.Parse
 // FaultProfileNames lists the built-in fault profiles.
 func FaultProfileNames() []string { return faults.Names() }
 
+// CodingConfig selects the Reed-Solomon code for the coded tag uplink; see
+// internal/fec. Attach one via SendOptions.Coding or Config.Coding.
+type CodingConfig = fec.Config
+
+// DefaultCodingConfig returns the interleaved shortened RS(255, 223)-style
+// default code.
+func DefaultCodingConfig() CodingConfig { return fec.DefaultConfig() }
+
 // SendOptions tunes the Send helper.
 type SendOptions struct {
 	// Attempts bounds how many excitation packets Send spends on one chunk
@@ -230,6 +239,14 @@ type SendOptions struct {
 	// must be positive: SendWithOptions and SendDetailed reject <= 0 rather
 	// than silently substituting a default (Send itself uses
 	// DefaultSendAttempts; start from DefaultSendOptions to tweak it).
+	//
+	// With Coding set, Attempts also bounds the chase-combining depth: every
+	// decoded attempt's per-bit soft decisions are accumulated, and each
+	// retry re-slices the running sum before re-running RS decode — so
+	// attempt n decodes from the combined evidence of all n transmissions,
+	// not from its own packet alone. Attempts=1 leaves exactly one soft
+	// vector in the combiner, whose slicing is bit-identical to the plain
+	// hard-decision decode path.
 	Attempts int
 	// Quaternary starts the transfer on the eq. 5 scheme: 2 tag bits per
 	// window at the 12 Mbps QPSK rate. WiFi only. When the link degrades,
@@ -241,12 +258,21 @@ type SendOptions struct {
 	// of degrading to binary.
 	DisableFallback bool
 	// RecoverAfter is how many consecutive first-attempt chunk deliveries
-	// a degraded transfer waits for before probing quaternary again; <= 0
-	// selects DefaultRecoverAfter.
+	// a degraded transfer waits for before probing quaternary again; 0
+	// selects DefaultRecoverAfter. Negative values are rejected with a
+	// validation error, mirroring the Attempts check.
 	RecoverAfter int
 	// Faults attaches a fault-injection profile to the link (nil = benign
 	// channel, bit-identical to a profile-free session).
 	Faults *FaultProfile
+	// Coding enables the Reed-Solomon coded uplink with soft
+	// chase-combining: chunks shrink to the post-FEC payload capacity, the
+	// ladder becomes combine → RS-correct → retransmit → scheme fallback,
+	// and DegradationReport gains corrected-symbol and combining-gain
+	// counts. Nil keeps the uncoded ladder bit-identical to earlier
+	// builds. The combiner is reset on every scheme change (fallback or
+	// probe): soft values do not align across layouts.
+	Coding *CodingConfig
 }
 
 // DefaultSendAttempts is the per-chunk excitation-packet budget Send uses
@@ -290,6 +316,14 @@ type DegradationReport struct {
 	Fallbacks       int
 	Recoveries      int
 	FinalQuaternary bool
+
+	// Coded-uplink accounting (SendOptions.Coding only). CorrectedSymbols
+	// counts the RS symbol corrections across delivered chunks;
+	// CombiningGains the deliveries where the chase-combined decode
+	// succeeded but the delivering attempt alone would have failed — the
+	// retransmissions whose accumulated soft history paid off.
+	CorrectedSymbols int
+	CombiningGains   int
 }
 
 // Degraded reports whether the transfer needed any degradation machinery.
@@ -320,11 +354,14 @@ func SendWithOptions(r Radio, tagToRxMetres float64, bits []byte, seed int64, op
 //
 // Degradation model: a chunk that fails an attempt backs off exponentially
 // (in packet slots, with seed-derived jitter) before retrying, so
-// retransmissions escape burst fades instead of hammering into them. A
-// quaternary transfer whose chunk exhausts its budget falls back to binary
-// translation — half the rate, twice the phase margin — and, after
-// RecoverAfter consecutive first-attempt deliveries, risks one probe chunk
-// back at quaternary.
+// retransmissions escape burst fades instead of hammering into them. With
+// coding enabled, every decoded attempt first feeds its soft decisions
+// into the chunk's chase combiner and the retry decodes from the combined
+// evidence, so each retransmission adds link margin instead of starting
+// over. A quaternary transfer whose chunk exhausts its budget falls back
+// to binary translation — half the rate, twice the phase margin — and,
+// after RecoverAfter consecutive first-attempt deliveries, risks one probe
+// chunk back at quaternary.
 func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts SendOptions) ([]byte, DegradationReport, error) {
 	var rep DegradationReport
 	for i, b := range bits {
@@ -335,6 +372,9 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 	if opts.Attempts <= 0 {
 		return nil, rep, fmt.Errorf("freerider: SendOptions.Attempts is %d, want > 0 (start from DefaultSendOptions)", opts.Attempts)
 	}
+	if opts.RecoverAfter < 0 {
+		return nil, rep, fmt.Errorf("freerider: SendOptions.RecoverAfter is %d, want >= 0 (0 selects DefaultRecoverAfter)", opts.RecoverAfter)
+	}
 	recoverAfter := opts.RecoverAfter
 	if recoverAfter <= 0 {
 		recoverAfter = DefaultRecoverAfter
@@ -342,6 +382,7 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 	cfg := DefaultConfig(r, tagToRxMetres)
 	cfg.Seed = seed
 	cfg.Faults = opts.Faults
+	cfg.Coding = opts.Coding
 	if opts.Quaternary {
 		if r != WiFi {
 			return nil, rep, fmt.Errorf("freerider: quaternary translation is only implemented for WiFi")
@@ -362,6 +403,7 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 	out := make([]byte, 0, len(bits))
 	fellBack := false // currently degraded to binary
 	streak := 0       // consecutive first-attempt deliveries while degraded
+	var comb fec.Combiner
 	for off, chunkIdx := 0, 0; off < len(bits); chunkIdx++ {
 		probing := false
 		if fellBack && streak >= recoverAfter {
@@ -375,9 +417,35 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 		if capacity == 0 {
 			return nil, rep, fmt.Errorf("freerider: excitation packets carry no tag bits")
 		}
-		hi := off + capacity
+		// Chunk planning. Uncoded: raw bits fill the packet. Coded: the
+		// chunk shrinks to the layout's payload capacity and its RS
+		// encoding is what the tag transmits; the combiner starts empty
+		// here and again after any scheme change (the `continue`s below
+		// re-enter this planning step), because soft values from different
+		// layouts do not align bit-for-bit.
+		hi := off + s.DataCapacity()
 		if hi > len(bits) {
 			hi = len(bits)
+		}
+		chunk := bits[off:hi]
+		txBits := chunk
+		var lay fec.Layout
+		if opts.Coding != nil {
+			lay, _ = s.Layout()
+			data := chunk
+			if len(data) < lay.DataBits() {
+				// Final partial chunk: pad with zeros to the layout's
+				// payload size; the pad is dropped after decode.
+				padded := make([]byte, lay.DataBits())
+				copy(padded, data)
+				data = padded
+			}
+			var err error
+			txBits, err = lay.EncodeBits(data)
+			if err != nil {
+				return nil, rep, err
+			}
+			comb.Reset(lay.CodedBits())
 		}
 		budget := opts.Attempts
 		if probing {
@@ -393,12 +461,31 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 				rep.BackoffSeconds += float64(slots) * slotTime
 				rep.Retransmissions++
 			}
-			pr, err := s.RunPacket(bits[off:hi])
+			pr, err := s.RunPacket(txBits)
 			if err != nil {
 				return nil, rep, err
 			}
 			rep.Packets++
 			attemptsUsed++
+			if opts.Coding != nil {
+				data, corrected, ok := combineAndDecode(&comb, lay, pr)
+				if ok && bitsEqual(data[:len(chunk)], chunk) {
+					decoded = data[:len(chunk)]
+					delivered = true
+					rep.CorrectedSymbols += corrected
+					if comb.Attempts() > 1 && !soloDecodeOK(lay, pr, chunk) {
+						rep.CombiningGains++
+					}
+					break
+				}
+				if pr.Decoded {
+					rep.CorruptPackets++
+				}
+				if !pr.Fault.IsZero() {
+					rep.FaultedLosses++
+				}
+				continue
+			}
 			if pr.Decoded && pr.BitErrors == 0 {
 				decoded = pr.DecodedTag
 				delivered = true
@@ -452,6 +539,45 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 	}
 	rep.FinalQuaternary = s.Config().Quaternary
 	return out, rep, nil
+}
+
+// combineAndDecode folds one attempt's soft decisions into the chunk's
+// chase combiner, re-slices the running sum and runs RS decode on the
+// result. A lost packet (nothing decoded, or a decode too short to cover
+// the coded region) contributes nothing to the combiner and fails the
+// attempt. The returned ok means RS produced a valid codeword — the caller
+// still compares against the payload (the stand-in for a chunk CRC).
+func combineAndDecode(comb *fec.Combiner, lay fec.Layout, pr PacketResult) ([]byte, int, bool) {
+	if !pr.Decoded || len(pr.SoftTag) < lay.CodedBits() {
+		return nil, 0, false
+	}
+	comb.Add(pr.SoftTag[:lay.CodedBits()])
+	combined := make([]byte, lay.CodedBits())
+	comb.Slice(combined)
+	return lay.DecodeBits(combined)
+}
+
+// soloDecodeOK reports whether this attempt's packet alone — hard
+// decisions, no combining — would have delivered the chunk. Used to credit
+// DegradationReport.CombiningGains.
+func soloDecodeOK(lay fec.Layout, pr PacketResult, chunk []byte) bool {
+	if len(pr.DecodedTag) < lay.CodedBits() {
+		return false
+	}
+	data, _, ok := lay.DecodeBits(pr.DecodedTag)
+	return ok && bitsEqual(data[:len(chunk)], chunk)
+}
+
+func bitsEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i]&1 != b[i]&1 {
+			return false
+		}
+	}
+	return true
 }
 
 // backoffSlots returns the packet slots to sit out before retry number

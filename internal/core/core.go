@@ -18,6 +18,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/decoder"
 	"repro/internal/faults"
+	"repro/internal/fec"
 	"repro/internal/runner"
 	"repro/internal/signal"
 	"repro/internal/tag"
@@ -85,6 +86,17 @@ type Config struct {
 	// under faults.Profile.At(Seed, slot). Nil disables fault injection
 	// and leaves every code path bit-identical to a fault-free build.
 	Faults *faults.Profile
+	// Coding enables the Reed-Solomon coded tag uplink: each packet's
+	// chunk is RS-encoded per the config (shortened to the packet's
+	// capacity), the decoder emits per-bit int16 soft decisions
+	// (PacketResult.SoftTag), and Run/RunParallel report post-correction
+	// payload statistics alongside the raw channel BER. Nil keeps the
+	// uncoded path bit-identical to earlier builds. The coded session
+	// draws the same random tag stream as the uncoded one and transmits
+	// the encoded image of its prefix, so at equal seeds both see the
+	// identical channel realisation — the property the chaos soak's
+	// coded-residual invariant leans on.
+	Coding *fec.Config
 	// Seed drives every stochastic element of the session.
 	Seed int64
 	// Waveforms attaches a content-addressed cache of clean backscattered
@@ -190,6 +202,22 @@ type PacketResult struct {
 	AirTime    float64 // excitation packet duration, seconds
 	Samples    int     // complex-baseband samples in the receiver capture
 	DecodedTag []byte  // the decoded tag bits (nil when not decoded)
+	// SoftTag carries the decoder's per-bit int16 soft decisions aligned
+	// with DecodedTag (positive → 0, negative → 1, |s| the margin; see
+	// decoder.SoftScale). Populated only when Config.Coding is set — the
+	// uncoded fast path stays allocation-identical to earlier builds.
+	SoftTag []int16
+	// Coded-uplink outcome (Config.Coding only). DataBits is the payload
+	// bits the chunk carried after FEC overhead; DecodedData the
+	// RS-corrected payload; DataBitErrors its errors against the sent
+	// payload; CorrectedSymbols the symbol corrections RS applied; RSFailed
+	// reports that at least one codeword exceeded the code's correction
+	// radius (DecodedData then passes through the raw hard decisions).
+	DataBits         int
+	DecodedData      []byte
+	DataBitErrors    int
+	CorrectedSymbols int
+	RSFailed         bool
 	// Fault records the impairment this packet's slot ran under (zero
 	// when no profile is attached or the slot was clean).
 	Fault faults.Packet
@@ -207,6 +235,12 @@ type Session struct {
 	wifiTX *wifi.Transmitter
 	zbTX   *zigbee.Transmitter
 	btTX   *bluetooth.Transmitter
+
+	// layout is the coded-chunk geometry for the current scheme, non-nil
+	// iff Config.Coding is set. Recomputed by SetQuaternary (capacity
+	// changes with the scheme); read-only during runs, so RunParallel
+	// workers share it safely.
+	layout *fec.Layout
 }
 
 func validate(cfg Config) error {
@@ -240,6 +274,11 @@ func validate(cfg Config) error {
 			return fmt.Errorf("core: %w", err)
 		}
 	}
+	if cfg.Coding != nil {
+		if err := cfg.Coding.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -248,13 +287,21 @@ func NewSession(cfg Config) (*Session, error) {
 	if err := validate(cfg); err != nil {
 		return nil, err
 	}
-	return &Session{
+	s := &Session{
 		cfg:    cfg,
 		rng:    rand.New(rand.NewSource(cfg.Seed)),
 		wifiTX: wifi.NewTransmitter(),
 		zbTX:   zigbee.NewTransmitter(),
 		btTX:   bluetooth.NewTransmitter(),
-	}, nil
+	}
+	if cfg.Coding != nil {
+		lay, err := fec.LayoutFor(s.Capacity(), *cfg.Coding)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		s.layout = &lay
+	}
+	return s, nil
 }
 
 // Config returns the session's configuration.
@@ -271,8 +318,37 @@ func (s *Session) SetQuaternary(q bool) error {
 	if err := validate(cfg); err != nil {
 		return err
 	}
+	oldCfg, oldLayout := s.cfg, s.layout
 	s.cfg = cfg
+	if cfg.Coding != nil {
+		// Capacity changes with the scheme, so the coded layout must be
+		// re-planned; soft values accumulated under the old scheme no
+		// longer align (callers reset their combiners — see fec.Combiner).
+		lay, err := fec.LayoutFor(s.Capacity(), *cfg.Coding)
+		if err != nil {
+			s.cfg, s.layout = oldCfg, oldLayout
+			return fmt.Errorf("core: %w", err)
+		}
+		s.layout = &lay
+	}
 	return nil
+}
+
+// Layout returns the coded-chunk layout and true when coding is enabled.
+func (s *Session) Layout() (fec.Layout, bool) {
+	if s.layout == nil {
+		return fec.Layout{}, false
+	}
+	return *s.layout, true
+}
+
+// DataCapacity returns how many payload bits one packet carries after FEC
+// overhead; with coding disabled it equals Capacity.
+func (s *Session) DataCapacity() int {
+	if s.layout != nil {
+		return s.layout.DataBits()
+	}
+	return s.Capacity()
 }
 
 // Capacity returns how many tag bits one excitation packet carries.
@@ -579,6 +655,13 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 		res.Decoded = true
 		res.DecodedTag = decoded
 		res.BitErrors, _ = decoder.BER(tagBits[:used], decoded)
+		if s.cfg.Coding != nil {
+			soft := decoder.QuaternarySoft(qws)
+			if len(soft) > used {
+				soft = soft[:used]
+			}
+			res.SoftTag = soft
+		}
 		return res, nil
 	}
 	window := s.cfg.Redundancy * rate.NDBPS
@@ -595,6 +678,9 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
 	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	if s.cfg.Coding != nil {
+		res.SoftTag = decoder.Soft(ws)
+	}
 	return res, nil
 }
 
@@ -682,6 +768,9 @@ func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faul
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
 	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	if s.cfg.Coding != nil {
+		res.SoftTag = decoder.Soft(ws)
+	}
 	return res, nil
 }
 
@@ -779,6 +868,9 @@ func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf f
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
 	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	if s.cfg.Coding != nil {
+		res.SoftTag = decoder.Soft(ws)
+	}
 	return res, nil
 }
 
@@ -793,6 +885,14 @@ type SessionResult struct {
 	// SamplesProcessed counts the complex-baseband samples pushed through
 	// the receiver chain, for the harness's points/sec metrics.
 	SamplesProcessed int64
+	// Coded-uplink aggregates (zero unless Config.Coding is set): payload
+	// bits recovered after RS correction, residual errors among them,
+	// total symbol corrections, and packets where a codeword exceeded the
+	// correction radius.
+	DataBitsDecoded  int
+	DataBitErrors    int
+	CorrectedSymbols int
+	RSFailures       int
 }
 
 // ThroughputBps is the tag goodput: decoded tag bits over elapsed time.
@@ -809,6 +909,15 @@ func (r SessionResult) BER() float64 {
 		return 1
 	}
 	return float64(r.BitErrors) / float64(r.TagBitsDecoded)
+}
+
+// CodedBER is the post-correction payload bit error rate (1 when nothing
+// was decoded; meaningful only with Config.Coding set).
+func (r SessionResult) CodedBER() float64 {
+	if r.DataBitsDecoded == 0 {
+		return 1
+	}
+	return float64(r.DataBitErrors) / float64(r.DataBitsDecoded)
 }
 
 // LossRate is the fraction of excitation packets whose backscatter copy was
@@ -846,6 +955,19 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 	for j := range tagBits {
 		tagBits[j] = byte(content.Intn(2))
 	}
+	// With coding on, the drawn prefix is the payload and its RS encoding
+	// replaces the transmitted head; drawing the full capacity first keeps
+	// the content stream's draw count — and everything after it, including
+	// the channel realisation — bit-identical to the uncoded session.
+	var dataBits []byte
+	if s.layout != nil {
+		dataBits = append([]byte(nil), tagBits[:s.layout.DataBits()]...)
+		coded, err := s.layout.EncodeBits(dataBits)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		copy(tagBits, coded)
+	}
 	var wtx *wifi.Transmitter
 	if s.cfg.Radio == WiFi {
 		// Commodity cards rotate the 7-bit scrambler seed per packet; here
@@ -853,7 +975,22 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 		// inheriting rotation order from the previous packet.
 		wtx = &wifi.Transmitter{ScramblerSeed: byte(1 + content.Intn(127)), FixedSeed: true}
 	}
-	return s.runPacket(tagBits, content, rng, wtx, idx)
+	pr, err := s.runPacket(tagBits, content, rng, wtx, idx)
+	if err != nil || s.layout == nil {
+		return pr, err
+	}
+	pr.DataBits = s.layout.DataBits()
+	if pr.Decoded && len(pr.DecodedTag) >= s.layout.CodedBits() {
+		data, corrected, ok := s.layout.DecodeBits(pr.DecodedTag)
+		pr.DecodedData = data
+		pr.CorrectedSymbols = corrected
+		pr.RSFailed = !ok
+		pr.DataBitErrors, _ = decoder.BER(dataBits, data)
+	} else if pr.Decoded {
+		// Truncated decode: too few windows to cover the coded region.
+		pr.RSFailed = true
+	}
+	return pr, nil
 }
 
 func (r *SessionResult) accumulate(pr PacketResult, gap float64) {
@@ -867,6 +1004,14 @@ func (r *SessionResult) accumulate(pr PacketResult, gap float64) {
 	}
 	r.TagBitsDecoded += len(pr.DecodedTag)
 	r.BitErrors += pr.BitErrors
+	if pr.DecodedData != nil {
+		r.DataBitsDecoded += len(pr.DecodedData)
+		r.DataBitErrors += pr.DataBitErrors
+		r.CorrectedSymbols += pr.CorrectedSymbols
+	}
+	if pr.RSFailed {
+		r.RSFailures++
+	}
 }
 
 // Run executes n excitation packets with fresh random tag data on each and

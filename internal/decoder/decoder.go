@@ -20,6 +20,31 @@ func XORDecode(excitation, backscattered byte) byte {
 	return 1
 }
 
+// SoftScale is the magnitude of a full-confidence soft decision: Soft
+// values live in [-SoftScale, SoftScale], positive meaning tag bit 0 and
+// negative tag bit 1, with |Soft| the normalized decision margin. It must
+// match fec.SoftScale — the chase combiner in internal/fec accumulates
+// these values directly.
+const SoftScale = 1024
+
+// softFor converts a decision (bit, normalized margin in [0,1]) to the
+// int16 soft convention. A decided 1 is clamped to at most -1 so that
+// re-slicing a single attempt's soft values (sign test, ties to 0) always
+// reproduces the hard decision — zero-margin 1s must not collapse to 0.
+func softFor(bit byte, margin float64) int16 {
+	s := int16(margin * SoftScale)
+	if s > SoftScale {
+		s = SoftScale
+	}
+	if bit == 0 {
+		return s
+	}
+	if s < 1 {
+		s = 1
+	}
+	return -s
+}
+
 // WindowResult carries one decoded tag bit and its decision quality.
 type WindowResult struct {
 	Bit byte
@@ -28,6 +53,11 @@ type WindowResult struct {
 	// Bluetooth) or near the codebook's confusion floor (ZigBee). Values
 	// near 0.5 indicate an unreliable decision.
 	MismatchFraction float64
+	// Soft is the int16 soft decision (see SoftScale): the signed distance
+	// of MismatchFraction from the slicing threshold, normalized to the
+	// span on the decided side. Re-slicing Soft alone (negative → 1)
+	// reproduces Bit exactly.
+	Soft int16
 }
 
 // DecodeWindows compares two aligned streams element-wise in windows of the
@@ -59,10 +89,12 @@ func DecodeWindows(ref, rx []byte, window int, threshold float64) ([]WindowResul
 		}
 		frac := float64(mism) / float64(window)
 		bit := byte(0)
+		margin := (threshold - frac) / threshold
 		if frac > threshold {
 			bit = 1
+			margin = (frac - threshold) / (1 - threshold)
 		}
-		out = append(out, WindowResult{Bit: bit, MismatchFraction: frac})
+		out = append(out, WindowResult{Bit: bit, MismatchFraction: frac, Soft: softFor(bit, margin)})
 	}
 	return out, nil
 }
@@ -72,6 +104,15 @@ func Bits(ws []WindowResult) []byte {
 	out := make([]byte, len(ws))
 	for i, w := range ws {
 		out[i] = w.Bit
+	}
+	return out
+}
+
+// Soft extracts the int16 soft decisions from a window result slice.
+func Soft(ws []WindowResult) []int16 {
+	out := make([]int16, len(ws))
+	for i, w := range ws {
+		out[i] = w.Soft
 	}
 	return out
 }
@@ -103,6 +144,11 @@ type QuaternaryWindowResult struct {
 	// MatchFraction is the agreement of the winning hypothesis; values
 	// near 0.25 above the runner-up indicate a confident decision.
 	MatchFraction float64
+	// Soft is the per-bit soft decision pair (see SoftScale). Each bit's
+	// margin is the winning hypothesis's match count against the best
+	// rotation hypothesis that decodes that bit to the opposite value —
+	// NOT the overall runner-up, which may agree on the bit.
+	Soft [2]int16
 }
 
 // DecodeQuaternaryWindows implements the eq. 5 decoder for QPSK excitation:
@@ -140,10 +186,28 @@ func DecodeQuaternaryWindows(ref, rx []byte, windowBits int) ([]QuaternaryWindow
 		if err != nil {
 			return nil, err
 		}
+		// Per-bit soft: margin against the strongest hypothesis that
+		// decodes this bit position to the opposite value. An exact tie
+		// (margin 0) keeps its decided value via the ±1 clamp in softFor.
+		var soft [2]int16
+		pairs := windowBits / 2
+		for b := 0; b < 2; b++ {
+			v := bits[b]
+			opp := 0
+			for k := 0; k < 4; k++ {
+				kb := byte(k>>uint(1-b)) & 1
+				if kb != v && matches[k] > opp {
+					opp = matches[k]
+				}
+			}
+			margin := float64(matches[best]-opp) / float64(pairs)
+			soft[b] = softFor(v, margin)
+		}
 		out = append(out, QuaternaryWindowResult{
 			Rotation:      best,
 			Bits:          [2]byte{bits[0], bits[1]},
 			MatchFraction: float64(matches[best]) / float64(windowBits/2),
+			Soft:          soft,
 		})
 	}
 	return out, nil
@@ -154,6 +218,16 @@ func QuaternaryBits(ws []QuaternaryWindowResult) []byte {
 	out := make([]byte, 0, 2*len(ws))
 	for _, w := range ws {
 		out = append(out, w.Bits[0], w.Bits[1])
+	}
+	return out
+}
+
+// QuaternarySoft flattens window results into the per-bit soft stream,
+// aligned index-for-index with QuaternaryBits.
+func QuaternarySoft(ws []QuaternaryWindowResult) []int16 {
+	out := make([]int16, 0, 2*len(ws))
+	for _, w := range ws {
+		out = append(out, w.Soft[0], w.Soft[1])
 	}
 	return out
 }

@@ -1,0 +1,10 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// the long paired SNR sweeps skip, since ~10x instrumentation overhead on
+// a three-arm sweep pushes the package past reasonable CI budgets while
+// adding no race coverage beyond what the short sweeps already exercise
+// through the same runner.
+const raceEnabled = true

@@ -44,7 +44,7 @@ func TestBERvsSNRCacheHitRate(t *testing.T) {
 	opt.Seed = 3
 	opt.Workers = 1
 	waves := waveform.New(0)
-	if _, err := berVsSNR(opt, waves); err != nil {
+	if _, err := berVsSNR(opt, waves, nil); err != nil {
 		t.Fatal(err)
 	}
 	st := waves.Stats()
@@ -64,7 +64,7 @@ func TestBERvsSNRCacheBitIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := berVsSNR(opt, nil)
+	plain, err := berVsSNR(opt, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +109,7 @@ func BenchmarkSNRSweepUncached(b *testing.B) {
 	opt.Workers = 1
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := berVsSNR(opt, nil); err != nil {
+		if _, err := berVsSNR(opt, nil, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

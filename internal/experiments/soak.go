@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/fec"
 	"repro/internal/runner"
 )
 
@@ -21,13 +22,21 @@ type SoakCell struct {
 	// bias — packets that fade out entirely count against it — so it is
 	// the statistic the monotonicity invariant is asserted on.
 	Residual float64
-	Packets  int
+	// CodedBER and CodedResidual are the same statistics for a twin
+	// session running the RS-coded uplink over the identical channel
+	// realisation (same seed; the coded path rewrites only transmitted
+	// bit content, never the draw order). The soak asserts CodedResidual
+	// never exceeds Residual beyond finite-sample slack: correction must
+	// not make a faulted link worse.
+	CodedBER      float64
+	CodedResidual float64
+	Packets       int
 }
 
 // String renders the cell as a bench-log row.
 func (c SoakCell) String() string {
-	return fmt.Sprintf("%-15s d=%4.1fm λ=%.2f loss=%4.2f BER=%7.1e residual=%.3f",
-		c.Radio, c.DistanceM, c.Intensity, c.LossRate, c.BER, c.Residual)
+	return fmt.Sprintf("%-15s d=%4.1fm λ=%.2f loss=%4.2f BER=%7.1e residual=%.3f coded=%.3f",
+		c.Radio, c.DistanceM, c.Intensity, c.LossRate, c.BER, c.Residual, c.CodedResidual)
 }
 
 // SoakResult is the chaos soak's outcome: every cell plus the invariant
@@ -69,10 +78,12 @@ func slackFor(packets int) float64 {
 // three radios and asserts the robustness invariants:
 //
 //   - no cell panics (a panic is converted into a violation, not a crash);
-//   - every cell is bit-identical across worker counts 1, 4 and all-cores
-//     under its fixed seed;
+//   - every cell — uncoded and RS-coded alike — is bit-identical across
+//     worker counts 1, 4 and all-cores under its fixed seed;
 //   - the residual corruption (loss + surviving-bit errors) is monotone
-//     non-decreasing in fault intensity, within residualSlack.
+//     non-decreasing in fault intensity, within residualSlack;
+//   - at every intensity the coded residual stays within slack of the
+//     uncoded residual: the RS uplink never makes a faulted link worse.
 //
 // The returned error covers harness failures (bad profile, session
 // construction); invariant breaks land in SoakResult.Violations so one
@@ -122,9 +133,19 @@ func Soak(profile *faults.Profile, opt Options) (SoakResult, error) {
 		}
 	}
 
+	// Coded invariant: correction must not raise the residual at any
+	// fault intensity.
+	slack := slackFor(opt.packets())
+	for _, c := range res.Cells {
+		if c.CodedResidual > c.Residual+slack {
+			res.Violations = append(res.Violations, fmt.Sprintf(
+				"%v λ=%.2f: coded residual %.3f exceeds uncoded %.3f beyond slack %.3f",
+				c.Radio, c.Intensity, c.CodedResidual, c.Residual, slack))
+		}
+	}
+
 	// Monotonicity: within each radio's intensity ladder, residual
 	// corruption must not drop by more than the finite-sample slack.
-	slack := slackFor(opt.packets())
 	for r := range radios {
 		ladder := res.Cells[r*len(soakIntensities) : (r+1)*len(soakIntensities)]
 		for i := 1; i < len(ladder); i++ {
@@ -174,19 +195,51 @@ func soakCell(radio core.Radio, profile *faults.Profile, lam float64, seed int64
 				radio, lam, workers), nil
 		}
 	}
+
+	// Twin session over the identical channel realisation, RS-coded. The
+	// same worker-count sweep guards the coded decode path's determinism.
+	ccfg := cfg
+	ccfg.Coding = &soakCode
+	cs, sessErr := core.NewSession(ccfg)
+	if sessErr != nil {
+		return cell, "", sessErr
+	}
+	coded, runErr := cs.RunParallel(packets, 1)
+	if runErr != nil {
+		return cell, "", runErr
+	}
+	for _, workers := range []int{4, 0} {
+		again, runErr := cs.RunParallel(packets, workers)
+		if runErr != nil {
+			return cell, "", runErr
+		}
+		if again != coded {
+			return cell, fmt.Sprintf("%v λ=%.2f: coded result depends on worker count (%d workers diverged)",
+				radio, lam, workers), nil
+		}
+	}
+
 	ber := base.BER()
 	if base.TagBitsDecoded == 0 {
 		ber = 1
 	}
 	loss := base.LossRate()
+	codedLoss := coded.LossRate()
 	cell = SoakCell{
-		Radio:     radio,
-		DistanceM: dist,
-		Intensity: lam,
-		LossRate:  loss,
-		BER:       ber,
-		Residual:  loss + (1-loss)*ber,
-		Packets:   base.Packets * 3,
+		Radio:         radio,
+		DistanceM:     dist,
+		Intensity:     lam,
+		LossRate:      loss,
+		BER:           ber,
+		Residual:      loss + (1-loss)*ber,
+		CodedBER:      coded.CodedBER(),
+		CodedResidual: codedLoss + (1-codedLoss)*coded.CodedBER(),
+		Packets:       (base.Packets + coded.Packets) * 3,
 	}
 	return cell, "", nil
 }
+
+// soakCode is the RS code the soak's coded twin sessions run: a short
+// high-redundancy code (t=3 per codeword) whose correction radius is
+// meaningful on soak-stressed links.
+var soakCode = fec.Config{N: 15, K: 9}

@@ -1,0 +1,88 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseErrorPaths pins the spec-grammar parser's failure modes: each
+// malformed spec must be rejected with an error naming the actual problem,
+// not just any error — a misleading message sends an operator debugging
+// the wrong field of a chaos-profile flag.
+func TestParseErrorPaths(t *testing.T) {
+	cases := []struct {
+		name    string
+		spec    string
+		wantSub string
+	}{
+		{"empty", "", "empty profile spec"},
+		{"whitespace only", "   ", "empty profile spec"},
+		{"misspelled preset", "bursty-wif", "neither a preset"},
+		{"preset with typo suffix", "chaosx", "neither a preset"},
+		{"bare kind without body", "burst", "neither a preset"},
+		{"unknown kind", "gamma:x=1", "unknown impairment kind"},
+		{"kind with empty body", "burst:", "no key=value entries"},
+		{"entry missing value", "burst:p01", "not key=value"},
+		{"unknown key", "burst:wat=1", `unknown key "wat"`},
+		{"duplicate key", "burst:p01=0.1,p01=0.2", `duplicate key "p01"`},
+		{"non-numeric value", "burst:p01=fast", `value for "p01"`},
+		{"NaN value", "burst:p01=NaN", "non-finite"},
+		{"Inf value", "drift:step=Inf", "non-finite"},
+		{"probability above 1", "burst:p01=2,p10=0.5", "out of [0, 1]"},
+		{"negative probability", "impulse:prob=-0.5", "out of [0, 1]"},
+		{"burst that never recovers", "burst:p01=0.1,p10=0", "never recovers"},
+		{"negative burst loss", "burst:p01=0.1,p10=0.2,loss=-3", "must be finite and >= 0"},
+		{"negative drift", "drift:step=-5", "must be finite and >= 0"},
+		{"zero outage period", "outage:period=0,len=1", "period 0 must be positive"},
+		{"outage longer than period", "outage:period=5,len=9", "out of [0, period=5]"},
+		{"negative outage start", "outage:period=5,len=2,start=-1", "start -1 must be >= 0"},
+		{"brownout harvest too high", "brownout:harvest=7", "never browns out"},
+		{"negative brownout capacity", "brownout:harvest=0.5,cap=-1", "must be finite and >= 0"},
+		{"non-finite impulse power", "impulse:prob=0.1,power=NaN", "non-finite"},
+		{"zero intensity", "chaos@0", "out of (0, 1]"},
+		{"intensity above 1", "chaos@1.5", "out of (0, 1]"},
+		{"negative intensity", "chaos@-0.3", "out of (0, 1]"},
+		{"non-numeric intensity", "chaos@fast", "bad intensity"},
+		{"only empty sections", ";;;", "defines no impairments"},
+		{"intensity on empty body", "@0.5", "defines no impairments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := Parse(tc.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q) accepted as %+v", tc.spec, p)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Parse(%q) error %q does not mention %q", tc.spec, err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestValidateRangeErrors drives Validate directly with out-of-range
+// structs that the parser cannot construct (e.g. programmatic profiles),
+// ensuring the range checks live in Validate rather than only in Parse.
+func TestValidateRangeErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Profile
+		wantSub string
+	}{
+		{"negative intensity", Profile{Intensity: -0.1}, "intensity"},
+		{"intensity above 1", Profile{Intensity: 1.1}, "intensity"},
+		{"burst p01 above 1", Profile{Burst: &Burst{PGoodBad: 1.5, PBadGood: 0.5}}, "transition probabilities"},
+		{"outage zero period", Profile{Outage: &Outage{PeriodSlots: 0, LengthSlots: 0}}, "must be positive"},
+		{"impulse prob above 1", Profile{Impulse: &Impulse{Prob: 2}}, "out of [0, 1]"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if err == nil {
+				t.Fatalf("Validate(%+v) accepted", tc.p)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.wantSub)
+			}
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package fec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The WiFi chunk geometry: 15 symbols, parity 2 (t=1), 13 data.
+func wifiCodeword(seed int64) (data, clean []byte, parity int) {
+	rng := rand.New(rand.NewSource(seed))
+	data = make([]byte, 13)
+	rng.Read(data)
+	parity = 2
+	clean = make([]byte, len(data)+parity)
+	copy(clean, data)
+	rsEncode(data, clean[len(data):])
+	return data, clean, parity
+}
+
+func BenchmarkRSEncode(b *testing.B) {
+	data, clean, parity := wifiCodeword(1)
+	out := make([]byte, parity)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rsEncode(data, out)
+	}
+	_ = clean
+}
+
+func BenchmarkRSDecode(b *testing.B) {
+	_, clean, parity := wifiCodeword(2)
+	rec := make([]byte, len(clean))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(rec, clean)
+		rec[3] ^= 0x5a // one symbol error, inside t
+		if _, ok := rsDecode(rec, parity); !ok {
+			b.Fatal("decode failed")
+		}
+	}
+}
+
+// The symbol-level encode/decode hot path must stay allocation-free: it
+// runs once per packet attempt inside the zero-allocation session loop.
+func TestRSAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc budgets are meaningless under the race detector")
+	}
+	data, clean, parity := wifiCodeword(3)
+	out := make([]byte, parity)
+	// Warm the generator cache and the scratch pool outside the measured
+	// window; steady-state is what the session loop sees.
+	rsEncode(data, out)
+	rec := make([]byte, len(clean))
+	copy(rec, clean)
+	rec[0] ^= 1
+	rsDecode(rec, parity)
+
+	if n := testing.AllocsPerRun(200, func() {
+		rsEncode(data, out)
+	}); n != 0 {
+		t.Fatalf("rsEncode allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		copy(rec, clean)
+		rec[5] ^= 0x31
+		if _, ok := rsDecode(rec, parity); !ok {
+			t.Fatal("decode failed")
+		}
+	}); n != 0 {
+		t.Fatalf("rsDecode allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package fec
+
+const raceEnabled = false

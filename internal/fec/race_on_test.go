@@ -1,0 +1,7 @@
+//go:build race
+
+package fec
+
+// raceEnabled gates the AllocsPerRun pins: the race runtime adds
+// bookkeeping allocations that would make the budgets meaningless.
+const raceEnabled = true

@@ -1,0 +1,52 @@
+package obs
+
+import "sync/atomic"
+
+// FECCounters instruments the serve layer's Reed-Solomon codec work. All
+// methods are safe for concurrent use and the zero value is ready; the
+// server embeds one and surfaces Snapshot through /metrics.
+type FECCounters struct {
+	chunksEncoded    atomic.Int64
+	chunksDecoded    atomic.Int64
+	decodeFailures   atomic.Int64
+	symbolsCorrected atomic.Int64
+}
+
+// Encode records one chunk RS-encoded on behalf of a request.
+func (c *FECCounters) Encode() { c.chunksEncoded.Add(1) }
+
+// Decode records one chunk RS-decoded: its corrected-symbol count and
+// whether every codeword resolved inside the correction radius.
+func (c *FECCounters) Decode(corrected int, ok bool) {
+	c.chunksDecoded.Add(1)
+	c.symbolsCorrected.Add(int64(corrected))
+	if !ok {
+		c.decodeFailures.Add(1)
+	}
+}
+
+// AddDecodes folds in a batch of decode outcomes at once (the simulate
+// endpoint's per-session aggregates).
+func (c *FECCounters) AddDecodes(chunks, corrected, failures int64) {
+	c.chunksDecoded.Add(chunks)
+	c.symbolsCorrected.Add(corrected)
+	c.decodeFailures.Add(failures)
+}
+
+// FECStats is the /metrics JSON view of the FEC counters.
+type FECStats struct {
+	ChunksEncoded    int64 `json:"chunks_encoded"`
+	ChunksDecoded    int64 `json:"chunks_decoded"`
+	DecodeFailures   int64 `json:"decode_failures"`
+	SymbolsCorrected int64 `json:"symbols_corrected"`
+}
+
+// Snapshot captures the counters.
+func (c *FECCounters) Snapshot() FECStats {
+	return FECStats{
+		ChunksEncoded:    c.chunksEncoded.Load(),
+		ChunksDecoded:    c.chunksDecoded.Load(),
+		DecodeFailures:   c.decodeFailures.Load(),
+		SymbolsCorrected: c.symbolsCorrected.Load(),
+	}
+}

@@ -56,6 +56,11 @@ type batcher struct {
 	wg        sync.WaitGroup
 	closeOnce sync.Once
 
+	// testHook, when set by a test, runs at the head of every dispatch —
+	// the injection point for a slow decode when exercising the request
+	// deadline.
+	testHook func()
+
 	// metrics
 	batches  atomic.Int64
 	batched  atomic.Int64
@@ -138,6 +143,9 @@ func (b *batcher) gather(first *decodeJob) []*decodeJob {
 // writes result slot i only, so outputs are bit-identical to running each
 // request serially regardless of batch composition or worker count.
 func (b *batcher) dispatch(batch []*decodeJob) {
+	if b.testHook != nil {
+		b.testHook()
+	}
 	b.batches.Add(1)
 	b.batched.Add(int64(len(batch)))
 	for {

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/channel"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/fec"
 	"repro/internal/obs"
 )
 
@@ -95,10 +97,11 @@ func formatStream(vals []byte) string {
 // ---- /v1/encode -------------------------------------------------------
 
 type encodeRequest struct {
-	Radio   string `json:"radio"`
-	Ref     string `json:"ref"`
-	TagBits string `json:"tag_bits"`
-	Window  int    `json:"window"`
+	Radio   string      `json:"radio"`
+	Ref     string      `json:"ref"`
+	TagBits string      `json:"tag_bits"`
+	Window  int         `json:"window"`
+	Coding  *fec.Config `json:"coding,omitempty"`
 }
 
 type encodeResponse struct {
@@ -106,6 +109,10 @@ type encodeResponse struct {
 	RX          string `json:"rx"`
 	TagBitsUsed int    `json:"tag_bits_used"`
 	Windows     int    `json:"windows"`
+	// Coding-only fields: the payload size the layout carries and the
+	// coded stream length actually mapped onto the excitation.
+	DataBits  int `json:"data_bits,omitempty"`
+	CodedBits int `json:"coded_bits,omitempty"`
 }
 
 func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
@@ -128,33 +135,75 @@ func (s *Server) handleEncode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	var resp encodeResponse
+	if req.Coding != nil {
+		// RS-encode the payload first; the coded stream is what rides the
+		// excitation. The layout is sized by the stream's window capacity.
+		if req.Window <= 0 {
+			writeError(w, http.StatusBadRequest, "window %d must be positive with coding", req.Window)
+			return
+		}
+		lay, err := fec.LayoutFor(len(ref)/req.Window, *req.Coding)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "coding: %v", err)
+			return
+		}
+		if len(tagBits) > lay.DataBits() {
+			writeError(w, http.StatusBadRequest,
+				"tag_bits %d exceed the coded payload capacity %d (stream carries %d coded bits)",
+				len(tagBits), lay.DataBits(), lay.CodedBits())
+			return
+		}
+		data := make([]byte, lay.DataBits())
+		copy(data, tagBits)
+		coded, err := lay.EncodeBits(data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "coding: %v", err)
+			return
+		}
+		s.fec.Encode()
+		tagBits = coded
+		resp.DataBits = lay.DataBits()
+		resp.CodedBits = lay.CodedBits()
+	}
 	rx, used, err := freerider.EncodeStream(radio, ref, tagBits, req.Window)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, encodeResponse{
-		Radio:       freerider.RadioKey(radio),
-		RX:          formatStream(rx),
-		TagBitsUsed: used,
-		Windows:     len(ref) / req.Window,
-	})
+	resp.Radio = freerider.RadioKey(radio)
+	resp.RX = formatStream(rx)
+	resp.TagBitsUsed = used
+	resp.Windows = len(ref) / req.Window
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- /v1/decode -------------------------------------------------------
 
 type decodeRequest struct {
-	Radio  string `json:"radio"`
-	Ref    string `json:"ref"`
-	RX     string `json:"rx"`
-	Window int    `json:"window"`
+	Radio  string      `json:"radio"`
+	Ref    string      `json:"ref"`
+	RX     string      `json:"rx"`
+	Window int         `json:"window"`
+	Coding *fec.Config `json:"coding,omitempty"`
+}
+
+// decodedCoding is the decode response's RS view of the hard-decision
+// stream: the recovered payload bits, how many symbols the decoder had to
+// correct, and whether every codeword resolved. On !ok the data bits are
+// the raw hard-decision passthrough.
+type decodedCoding struct {
+	DataBits         string `json:"data_bits"`
+	CorrectedSymbols int    `json:"corrected_symbols"`
+	OK               bool   `json:"ok"`
 }
 
 type decodeResponse struct {
-	Radio    string    `json:"radio"`
-	TagBits  string    `json:"tag_bits"`
-	Windows  int       `json:"windows"`
-	Mismatch []float64 `json:"mismatch"`
+	Radio    string         `json:"radio"`
+	TagBits  string         `json:"tag_bits"`
+	Windows  int            `json:"windows"`
+	Mismatch []float64      `json:"mismatch"`
+	Coded    *decodedCoding `json:"coded,omitempty"`
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
@@ -177,27 +226,75 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	// Validate the code before spending batcher time on the stream.
+	var lay fec.Layout
+	if req.Coding != nil {
+		if req.Window <= 0 {
+			writeError(w, http.StatusBadRequest, "window %d must be positive with coding", req.Window)
+			return
+		}
+		lay, err = fec.LayoutFor(len(ref)/req.Window, *req.Coding)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "coding: %v", err)
+			return
+		}
+	}
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
 	job := &decodeJob{
 		radio: radio, ref: ref, rx: rx, window: req.Window,
 		out: make(chan decodeJobResult, 1),
 	}
-	if err := s.batcher.submit(r.Context(), job); err != nil {
+	if err := s.batcher.submit(ctx, job); err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout,
+				"decode exceeded the %s request deadline", s.cfg.RequestTimeout)
+			return
+		}
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	}
-	res := <-job.out
+	var res decodeJobResult
+	select {
+	case res = <-job.out:
+	case <-ctx.Done():
+		// The batch keeps running; its send lands in the job's buffered
+		// channel, so abandoning it here leaks nothing.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout,
+				"decode exceeded the %s request deadline", s.cfg.RequestTimeout)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", ctx.Err())
+		return
+	}
 	if res.err != nil {
 		writeError(w, http.StatusBadRequest, "%v", res.err)
 		return
 	}
+	hard := freerider.DecisionBits(res.windows)
 	resp := decodeResponse{
 		Radio:    freerider.RadioKey(radio),
-		TagBits:  formatStream(freerider.DecisionBits(res.windows)),
+		TagBits:  formatStream(hard),
 		Windows:  len(res.windows),
 		Mismatch: make([]float64, len(res.windows)),
 	}
 	for i, wd := range res.windows {
 		resp.Mismatch[i] = wd.MismatchFraction
+	}
+	if req.Coding != nil {
+		data, corrected, ok := lay.DecodeBits(hard)
+		if data == nil {
+			writeError(w, http.StatusBadRequest,
+				"coding: stream yields %d bits, layout needs %d coded bits", len(hard), lay.CodedBits())
+			return
+		}
+		s.fec.Decode(corrected, ok)
+		resp.Coded = &decodedCoding{
+			DataBits:         formatStream(data),
+			CorrectedSymbols: corrected,
+			OK:               ok,
+		}
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -205,17 +302,18 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 // ---- /v1/simulate -----------------------------------------------------
 
 type simulateRequest struct {
-	Radio       string  `json:"radio"`
-	Distance    float64 `json:"distance"`
-	TxDistance  float64 `json:"tx_distance,omitempty"`
-	NLOS        bool    `json:"nlos,omitempty"`
-	Packets     int     `json:"packets"`
-	PayloadSize int     `json:"payload_size,omitempty"`
-	Redundancy  int     `json:"redundancy,omitempty"`
-	RateMbps    int     `json:"rate_mbps,omitempty"`
-	Quaternary  bool    `json:"quaternary,omitempty"`
-	Seed        int64   `json:"seed"`
-	Faults      string  `json:"faults,omitempty"`
+	Radio       string      `json:"radio"`
+	Distance    float64     `json:"distance"`
+	TxDistance  float64     `json:"tx_distance,omitempty"`
+	NLOS        bool        `json:"nlos,omitempty"`
+	Packets     int         `json:"packets"`
+	PayloadSize int         `json:"payload_size,omitempty"`
+	Redundancy  int         `json:"redundancy,omitempty"`
+	RateMbps    int         `json:"rate_mbps,omitempty"`
+	Quaternary  bool        `json:"quaternary,omitempty"`
+	Seed        int64       `json:"seed"`
+	Faults      string      `json:"faults,omitempty"`
+	Coding      *fec.Config `json:"coding,omitempty"`
 }
 
 type simulateResponse struct {
@@ -228,6 +326,8 @@ type simulateResponse struct {
 	ThroughputBps  float64            `json:"throughput_bps"`
 	BER            float64            `json:"ber"`
 	LossRate       float64            `json:"loss_rate"`
+	// CodedBER is the post-correction payload BER (coded requests only).
+	CodedBER float64 `json:"coded_ber,omitempty"`
 }
 
 func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
@@ -259,12 +359,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.Coding != nil {
+		if err := req.Coding.Validate(); err != nil {
+			writeError(w, http.StatusBadRequest, "coding: %v", err)
+			return
+		}
+	}
 
 	key := configKey(freerider.RadioKey(radio), req)
 	sess, hit, err := s.pool.get(key, func() (*core.Session, error) {
 		cfg := freerider.DefaultConfig(radio, req.Distance)
 		cfg.Seed = req.Seed
 		cfg.Faults = profile
+		cfg.Coding = req.Coding
 		if req.TxDistance > 0 {
 			cfg.Link.TxToTag = req.TxDistance
 		}
@@ -290,12 +397,42 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	res, err := sess.RunParallel(req.Packets, s.cfg.Workers)
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, "%v", err)
+	// The run happens off-handler so the request deadline can fire while a
+	// large sweep is still computing. The channel is buffered: on timeout
+	// the worker finishes into the buffer and is collected by GC — results
+	// from cached sessions stay deterministic either way.
+	ctx, cancel := s.requestCtx(r)
+	defer cancel()
+	type simOutcome struct {
+		res core.SessionResult
+		err error
+	}
+	outc := make(chan simOutcome, 1)
+	go func() {
+		if s.testSimHook != nil {
+			s.testSimHook()
+		}
+		res, err := sess.RunParallel(req.Packets, s.cfg.Workers)
+		outc <- simOutcome{res, err}
+	}()
+	var out simOutcome
+	select {
+	case out = <-outc:
+	case <-ctx.Done():
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			writeError(w, http.StatusGatewayTimeout,
+				"simulate exceeded the %s request deadline", s.cfg.RequestTimeout)
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "%v", ctx.Err())
 		return
 	}
-	writeJSON(w, http.StatusOK, simulateResponse{
+	if out.err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", out.err)
+		return
+	}
+	res := out.res
+	resp := simulateResponse{
 		Radio:          freerider.RadioKey(radio),
 		ConfigKey:      key,
 		CacheHit:       hit,
@@ -305,7 +442,13 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		ThroughputBps:  res.ThroughputBps(),
 		BER:            res.BER(),
 		LossRate:       res.LossRate(),
-	})
+	}
+	if req.Coding != nil {
+		resp.CodedBER = res.CodedBER()
+		s.fec.AddDecodes(int64(res.Packets-res.PacketsLost),
+			int64(res.CorrectedSymbols), int64(res.RSFailures))
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // ---- /v1/experiments/{name} ------------------------------------------

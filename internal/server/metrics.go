@@ -20,6 +20,7 @@ type metricsResponse struct {
 	Batcher             batcherStats                    `json:"batcher"`
 	WaveformCache       obs.CacheStats                  `json:"waveform_cache"`
 	WaveformCacheShards []obs.ShardStats                `json:"waveform_cache_shards"`
+	FEC                 obs.FECStats                    `json:"fec"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -30,6 +31,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		Batcher:             s.batcher.stats(),
 		WaveformCache:       s.waveforms.Stats(),
 		WaveformCacheShards: s.waveforms.ShardStats(),
+		FEC:                 s.fec.Snapshot(),
 	})
 }
 

@@ -133,7 +133,7 @@ func (p *sessionPool) stats() poolStats {
 // 64-bit truncation. The packet count is deliberately excluded — it is a
 // run parameter, not session state — so sweeps over n share one session.
 func configKey(radio string, req simulateRequest) string {
-	k := waveform.NewKey().
+	b := waveform.NewKey().
 		String("simulate").
 		String(radio).
 		Float64(req.Distance).
@@ -145,6 +145,12 @@ func configKey(radio string, req simulateRequest) string {
 		Bool(req.Quaternary).
 		Int64(req.Seed).
 		String(req.Faults).
-		Sum()
+		Bool(req.Coding != nil)
+	if req.Coding != nil {
+		b = b.Int64(int64(req.Coding.N)).
+			Int64(int64(req.Coding.K)).
+			Int64(int64(req.Coding.Interleave))
+	}
+	k := b.Sum()
 	return hex.EncodeToString(k[:])
 }

@@ -43,6 +43,10 @@ const (
 	DefaultMaxBodyBytes = 8 << 20
 	DefaultMaxPackets   = 2000
 
+	// DefaultRequestTimeout bounds how long /v1/decode and /v1/simulate
+	// may compute before the handler answers 504.
+	DefaultRequestTimeout = 30 * time.Second
+
 	// shutdownGrace bounds how long ListenAndServe waits for in-flight
 	// requests once its context is cancelled.
 	shutdownGrace = 10 * time.Second
@@ -71,6 +75,11 @@ type Config struct {
 	MaxBodyBytes int64
 	// MaxPackets caps the per-request packet count of /v1/simulate.
 	MaxPackets int
+	// RequestTimeout is the per-request compute deadline on /v1/decode
+	// and /v1/simulate: a request still working when it expires is
+	// answered 504 Gateway Timeout. 0 selects DefaultRequestTimeout;
+	// negative disables the deadline.
+	RequestTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +104,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxPackets <= 0 {
 		c.MaxPackets = DefaultMaxPackets
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
 	return c
 }
 
@@ -102,10 +114,10 @@ func (c Config) withDefaults() Config {
 // gates and metrics. Create with New, serve via Handler or
 // ListenAndServe, and Close when done to drain the batcher.
 type Server struct {
-	cfg       Config
-	mux       *http.ServeMux
-	batcher   *batcher
-	pool      *sessionPool
+	cfg     Config
+	mux     *http.ServeMux
+	batcher *batcher
+	pool    *sessionPool
 	// waveforms is the process-wide TX waveform cache: every simulate
 	// session the pool builds shares it, so repeated requests with the
 	// same seed replay synthesised excitations even across distinct link
@@ -113,7 +125,13 @@ type Server struct {
 	waveforms *waveform.Cache
 	endpoints *obs.EndpointSet
 	gates     map[string]*runner.Gate
+	fec       obs.FECCounters
 	start     time.Time
+
+	// testSimHook, when set by a test, runs inside the simulate worker
+	// goroutine before the session run — the injection point for a slow
+	// session when exercising the request deadline.
+	testSimHook func()
 }
 
 // New builds a server from the config (zero values take defaults).
@@ -173,4 +191,13 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	s.Close()
 	<-errCh // ListenAndServe returns ErrServerClosed after Shutdown
 	return err
+}
+
+// requestCtx derives the compute-deadline context for /v1/decode and
+// /v1/simulate (RequestTimeout <= 0 disables the deadline).
+func (s *Server) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.cfg.RequestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 }

@@ -285,10 +285,10 @@ func TestSimulate(t *testing.T) {
 func TestSimulateValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{MaxPackets: 10})
 	cases := []simulateRequest{
-		{Radio: "wifi", Distance: 0, Packets: 1},             // bad distance
-		{Radio: "wifi", Distance: 5, Packets: 0},             // bad packets
-		{Radio: "wifi", Distance: 5, Packets: 11},            // over MaxPackets
-		{Radio: "wifi", Distance: 5, Packets: 1, RateMbps: 54},  // non-BPSK/QPSK rate
+		{Radio: "wifi", Distance: 0, Packets: 1},                     // bad distance
+		{Radio: "wifi", Distance: 5, Packets: 0},                     // bad packets
+		{Radio: "wifi", Distance: 5, Packets: 11},                    // over MaxPackets
+		{Radio: "wifi", Distance: 5, Packets: 1, RateMbps: 54},       // non-BPSK/QPSK rate
 		{Radio: "zigbee", Distance: 5, Packets: 1, Quaternary: true}, // quaternary off-WiFi
 		{Radio: "wifi", Distance: 5, Packets: 1, Faults: "no-such-profile"},
 	}

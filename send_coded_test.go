@@ -1,0 +1,206 @@
+package freerider
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/fec"
+)
+
+// TestSendRecoverAfterValidation: negative RecoverAfter is a caller bug and
+// must be rejected up front, mirroring the Attempts check; zero selects the
+// default and must work.
+func TestSendRecoverAfterValidation(t *testing.T) {
+	opts := DefaultSendOptions()
+	opts.RecoverAfter = -1
+	_, _, err := SendDetailed(WiFi, 8, patternBits(16), 1, opts)
+	if err == nil {
+		t.Fatal("RecoverAfter=-1 accepted")
+	}
+	if !strings.Contains(err.Error(), "RecoverAfter") {
+		t.Fatalf("error %q does not name RecoverAfter", err)
+	}
+	opts.RecoverAfter = 0
+	out, _, err := SendDetailed(WiFi, 8, patternBits(16), 1, opts)
+	if err != nil {
+		t.Fatalf("RecoverAfter=0 (default) failed: %v", err)
+	}
+	if !bitsEqual(out, patternBits(16)) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+// TestSendCodedRoundTrip: the coded ladder must deliver payloads intact on
+// a clean link for every radio, with the default code and a short one.
+func TestSendCodedRoundTrip(t *testing.T) {
+	codes := []CodingConfig{DefaultCodingConfig(), {N: 15, K: 9}}
+	for _, r := range []Radio{WiFi, ZigBee, Bluetooth} {
+		for _, cc := range codes {
+			cc := cc
+			opts := DefaultSendOptions()
+			opts.Coding = &cc
+			payload := patternBits(300)
+			out, rep, err := SendDetailed(r, 8, payload, 3, opts)
+			if err != nil {
+				t.Fatalf("%v code (%d,%d): %v", r, cc.N, cc.K, err)
+			}
+			if !bitsEqual(out, payload) {
+				t.Fatalf("%v code (%d,%d): payload corrupted", r, cc.N, cc.K)
+			}
+			if rep.Chunks == 0 {
+				t.Fatalf("%v: no chunks recorded", r)
+			}
+		}
+	}
+}
+
+// TestSendCodedChunksShrink: with coding on, each chunk carries only the
+// post-FEC payload, so the same transfer spends more chunks than uncoded.
+func TestSendCodedChunksShrink(t *testing.T) {
+	payload := patternBits(500)
+	_, plain, err := SendDetailed(WiFi, 8, payload, 9, DefaultSendOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSendOptions()
+	cc := CodingConfig{N: 15, K: 9}
+	opts.Coding = &cc
+	_, coded, err := SendDetailed(WiFi, 8, payload, 9, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coded.Chunks <= plain.Chunks {
+		t.Fatalf("coded transfer used %d chunks, uncoded %d; parity overhead should cost chunks",
+			coded.Chunks, plain.Chunks)
+	}
+}
+
+// TestSendCodedSingleAttemptMatchesHardPath is the pre-FEC regression pin:
+// with Attempts=1 the combiner holds exactly one soft vector, and slicing
+// it must be bit-identical to the hard-decision decode path. The test
+// replays the transfer's packets on a twin session and checks that RS
+// decode over the raw hard decisions reproduces every delivered chunk —
+// i.e. chase combining at depth 1 changed nothing.
+func TestSendCodedSingleAttemptMatchesHardPath(t *testing.T) {
+	const seed = 21
+	cc := CodingConfig{N: 15, K: 9}
+	opts := DefaultSendOptions()
+	opts.Attempts = 1
+	opts.Coding = &cc
+	payload := patternBits(240)
+	out, rep, err := SendDetailed(WiFi, 8, payload, seed, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(out, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if rep.CombiningGains != 0 {
+		t.Fatalf("Attempts=1 credited %d combining gains; depth-1 combining cannot gain", rep.CombiningGains)
+	}
+
+	// Twin session: same cfg and seed, same packet sequence, but decoded
+	// purely from hard decisions (DecodedTag), no combiner anywhere.
+	cfg := DefaultConfig(WiFi, 8)
+	cfg.Seed = seed
+	fc := fec.Config(cc)
+	cfg.Coding = &fc
+	s, err := NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lay, ok := s.Layout()
+	if !ok {
+		t.Fatal("no layout")
+	}
+	var hard []byte
+	for off := 0; off < len(payload); {
+		hi := off + s.DataCapacity()
+		if hi > len(payload) {
+			hi = len(payload)
+		}
+		chunk := payload[off:hi]
+		data := chunk
+		if len(data) < lay.DataBits() {
+			padded := make([]byte, lay.DataBits())
+			copy(padded, data)
+			data = padded
+		}
+		txBits, err := lay.EncodeBits(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pr, err := s.RunPacket(txBits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pr.Decoded || len(pr.DecodedTag) < lay.CodedBits() {
+			t.Fatalf("twin packet at off %d lost; Send delivered it, replay must too", off)
+		}
+		dec, _, ok := lay.DecodeBits(pr.DecodedTag)
+		if !ok {
+			t.Fatalf("hard-decision RS decode failed at off %d", off)
+		}
+		hard = append(hard, dec[:len(chunk)]...)
+		off = hi
+	}
+	if !bitsEqual(hard, out) {
+		t.Fatal("Attempts=1 combined path diverges from pure hard-decision path")
+	}
+}
+
+// TestSendCodedCombiningGain: a deterministic operating point (impulse
+// noise over a weak t=1 code) where at least one chunk is delivered by the
+// accumulated soft history when the delivering attempt alone would have
+// failed. Pins that CombiningGains actually fires, not just compiles.
+func TestSendCodedCombiningGain(t *testing.T) {
+	fp, err := ParseFaultProfile("impulse:prob=0.003,power=-51")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSendOptions()
+	opts.Attempts = 12
+	opts.Faults = fp
+	cc := CodingConfig{N: 15, K: 13}
+	opts.Coding = &cc
+	payload := patternBits(160)
+	out, rep, err := SendDetailed(WiFi, 8, payload, 5, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(out, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if rep.CorruptPackets == 0 {
+		t.Fatal("operating point too clean: no corrupt packets, gain proves nothing")
+	}
+	if rep.CombiningGains == 0 {
+		t.Fatalf("no combining gains at the pinned operating point (retx=%d corrupt=%d)",
+			rep.Retransmissions, rep.CorruptPackets)
+	}
+}
+
+// TestSendCodedQuaternaryFallback: the coded ladder composes with the
+// scheme ladder — a quaternary coded transfer under bursty faults must
+// still deliver, resetting the combiner across the layout change.
+func TestSendCodedQuaternaryFallback(t *testing.T) {
+	fp, err := ParseFaultProfile("bursty-wifi")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultSendOptions()
+	opts.Attempts = 6
+	opts.Quaternary = true
+	opts.Faults = fp
+	cc := DefaultCodingConfig()
+	opts.Coding = &cc
+	payload := patternBits(400)
+	out, rep, err := SendDetailed(WiFi, 8, payload, 2, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bitsEqual(out, payload) {
+		t.Fatal("payload corrupted")
+	}
+	_ = rep
+}
