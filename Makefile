@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults fuzz-fec ci
+.PHONY: build test race vet staticcheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults fuzz-fec fuzz-decoder ci
 
 build:
 	$(GO) build ./...
@@ -69,12 +69,12 @@ BENCH_DSP_TIME_FAST ?= 2000x
 BENCH_DSP_TIME_E2E ?= 100x
 BENCH_DSP_TIME_SWEEP ?= 2x
 BENCH_DSP_COUNT ?= 5
-BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|SNRSweep|CalibrationProbe|RSEncode|RSDecode'
+BENCH_DSP_PATTERN = 'FFT1024|FFT64|Convolve101Taps|SessionRunPacket|LinkApply|ProfileAt|ImpairedApply|SNRSweep|CalibrationProbe|RSEncode|RSDecode|DifferentialDecode'
 
 bench-dsp:
 	@( $(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
 		-benchtime=$(BENCH_DSP_TIME_FAST) -count=$(BENCH_DSP_COUNT) \
-		./internal/signal ./internal/channel ./internal/faults ./internal/fec ; \
+		./internal/signal ./internal/channel ./internal/faults ./internal/fec ./internal/decoder ; \
 	$(GO) test -run='^$$' -bench=$(BENCH_DSP_PATTERN) -benchmem \
 		-benchtime=$(BENCH_DSP_TIME_E2E) -count=$(BENCH_DSP_COUNT) \
 		./internal/core ; \
@@ -126,9 +126,17 @@ fuzz-fec:
 	$(GO) test -run=^$$ -fuzz=FuzzRSRoundTrip -fuzztime=10s ./internal/fec
 	$(GO) test -run=^$$ -fuzz=FuzzCombinerSlice -fuzztime=5s ./internal/fec
 
+# fuzz-decoder smoke-fuzzes both window decoders (dual-receiver compare
+# and single-receiver differential) against truncated, mismatched and
+# degenerate inputs, checking the structural invariants on every success.
+fuzz-decoder:
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeWindows$$ -fuzztime=10s ./internal/decoder
+	$(GO) test -run=^$$ -fuzz=FuzzDecodeDifferentialWindows -fuzztime=10s ./internal/decoder
+
 # ci is the gate: everything must build, pass vet (and staticcheck where
 # installed), pass the suite with the race detector on (in shuffled
 # order), hold the service layer bit-identical under concurrent load,
-# survive the quick chaos soak, keep the fault-spec and RS-codec fuzzers
-# clean, and stay within the DSP and serve benchmark budgets.
-ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults fuzz-fec bench-dsp bench-serve
+# survive the quick chaos soak, keep the fault-spec, RS-codec and window
+# decoder fuzzers clean, and stay within the DSP and serve benchmark
+# budgets.
+ci: build vet staticcheck race loadtest-quick soak-quick fuzz-faults fuzz-fec fuzz-decoder bench-dsp bench-serve

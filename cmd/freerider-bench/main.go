@@ -79,6 +79,7 @@ func main() {
 	snrK := snrFlags.Int("code-k", 9, "RS data symbols k (with -coded)")
 	snrInterleave := snrFlags.Int("interleave", 1, "RS interleave depth (with -coded)")
 	snrChase := snrFlags.Int("chase", 4, "retransmission budget for the chase-combined arm (with -coded; <2 disables)")
+	snrSingle := snrFlags.Bool("single", false, "pair the sweep with a single-receiver (Double-decker) run and report the dB sensitivity cost at BER 1e-2")
 	if flag.NArg() > 1 {
 		if flag.Arg(0) != "snr" {
 			fmt.Fprintf(os.Stderr, "unexpected arguments after %q: %v\n", flag.Arg(0), flag.Args()[1:])
@@ -181,6 +182,31 @@ func main() {
 			return result{Title: "§3.2.1 — OFDM symbols per tag bit (redundancy study)", Rows: pts}, err
 		},
 		"snr": func() (result, error) {
+			if *snrSingle {
+				if *snrCoded {
+					return result{}, fmt.Errorf("snr: -single and -coded are mutually exclusive")
+				}
+				res, err := experiments.SingleReceiverBERvsSNR(opt)
+				if err != nil {
+					return result{}, err
+				}
+				lines := []string{"dual-receiver:"}
+				for _, p := range res.Dual {
+					lines = append(lines, "  "+p.String())
+				}
+				lines = append(lines, "single-receiver (Double-decker):")
+				for _, p := range res.Single {
+					lines = append(lines, "  "+p.String())
+				}
+				lines = append(lines, fmt.Sprintf(
+					"BER<=%.0e: dual needs %.2f dB, single needs %.2f dB — sensitivity cost %.2f dB",
+					res.TargetBER, res.DualSNRdB, res.SingleSNRdB, res.DeltaDB))
+				return result{
+					Title: "BER vs SNR — single- vs dual-receiver decode (sensitivity study)",
+					Rows:  res,
+					lines: lines,
+				}, nil
+			}
 			if !*snrCoded {
 				pts, err := experiments.BERvsSNR(opt)
 				return result{Title: "BER vs SNR — WiFi decoder operating curve (memoized excitation)", Rows: pts}, err
@@ -524,11 +550,13 @@ experiments:
   collision   slot-collision physics at sample level (§2.4.1)
   quaternary  eq. 4 binary vs eq. 5 quaternary phase translation
   cfo         carrier-frequency-offset robustness sweep
-  snr [-coded [-code-n N -code-k K -interleave D -chase R]]
+  snr [-coded [-code-n N -code-k K -interleave D -chase R] | -single]
               BER vs SNR; -coded pairs it with an RS-coded sweep on the
               dense transition-band grid and reports the dB margin gain
               at BER 1e-3; -chase adds the chase-combined uplink at a
-              retransmission budget of R (default 4)
+              retransmission budget of R (default 4); -single pairs it
+              with a single-receiver (Double-decker) sweep and reports
+              the dB sensitivity cost at BER 1e-2
   waterfall   native PHY sensitivity curves (BER/packet rate vs SNR)
   table1      codeword translation logic table (Table 1)
   soak        chaos soak: fault-intensity sweep + degraded transfer

@@ -20,6 +20,24 @@ func ExampleSend() {
 	// Output: hi
 }
 
+// ExampleSend_singleReceiver runs the same transfer in the
+// single-receiver (Double-decker) deployment: no reference receiver, the
+// tag bits are recovered from the backscattered capture alone by
+// comparing each window's PHY flip features against its predecessor.
+func ExampleSend_singleReceiver() {
+	bits := freerider.BitsFromBytes([]byte("hi"))
+	opts := freerider.DefaultSendOptions()
+	opts.Receiver = freerider.SingleReceiver
+	decoded, err := freerider.SendWithOptions(freerider.WiFi, 5, bits, 1, opts)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	msg, _ := freerider.BytesFromBits(decoded[:len(bits)])
+	fmt.Printf("%s\n", msg)
+	// Output: hi
+}
+
 // ExampleSendDetailed transfers a message and inspects the
 // DegradationReport to see how hard the link fought back: retransmission
 // and fallback counts, and whether the transfer degraded at all.

@@ -90,6 +90,36 @@ func RadioKey(r Radio) string {
 	return "wifi"
 }
 
+// ReceiverMode selects dual-receiver (reference-compare) or
+// single-receiver (Double-decker differential) decoding; see
+// core.ReceiverMode.
+type ReceiverMode = core.ReceiverMode
+
+// Receiver modes. DualReceiver (the zero value) is the paper's two-
+// receiver deployment; SingleReceiver decodes from the backscattered
+// capture alone via the self-referenced differential decision.
+const (
+	DualReceiver   = core.DualReceiver
+	SingleReceiver = core.SingleReceiver
+)
+
+// ReceiverModeNames lists the wire names ParseReceiverMode accepts, in
+// ReceiverMode order.
+func ReceiverModeNames() []string { return []string{"dual", "single"} }
+
+// ParseReceiverMode maps a case-insensitive wire name to its
+// ReceiverMode. The empty string means DualReceiver, so absent request
+// fields and flags keep the historical behaviour.
+func ParseReceiverMode(name string) (ReceiverMode, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "dual":
+		return DualReceiver, nil
+	case "single":
+		return SingleReceiver, nil
+	}
+	return 0, fmt.Errorf("freerider: unknown receiver mode %q (want %s)", name, strings.Join(ReceiverModeNames(), ", "))
+}
+
 // WindowDecision is one decoded tag bit with its decision quality; see
 // decoder.WindowResult.
 type WindowDecision = decoder.WindowResult
@@ -162,15 +192,40 @@ func EncodeStream(r Radio, ref, tagBits []byte, window int) ([]byte, int, error)
 // 1 over the backhaul) and the stream receiver 2 decoded on the adjacent
 // channel — using the radio's calibrated per-window majority threshold.
 // One WindowDecision is returned per complete window; DecisionBits
-// flattens them.
-func DecodeStream(r Radio, ref, rx []byte, window int) ([]WindowDecision, error) {
+// flattens them. The int return is the dropped-element count: elements of
+// the longer stream that had no counterpart to compare against (0 for
+// aligned streams; nonzero flags a length mismatch that would previously
+// have been truncated silently).
+func DecodeStream(r Radio, ref, rx []byte, window int) ([]WindowDecision, int, error) {
 	if err := validateStream(r, "ref", ref); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	if err := validateStream(r, "rx", rx); err != nil {
-		return nil, err
+		return nil, 0, err
 	}
 	return decoder.DecodeWindows(ref, rx, window, decodeThreshold(r))
+}
+
+// DecodeDifferentialStream recovers tag bits from a single receiver's
+// flip-feature stream (the Double-decker decision): features holds one
+// 0/1 flip estimate per PHY unit as extracted by the radio's
+// single-receiver path — pilot-correlation phase for WiFi, complemented-
+// codebook correlation for ZigBee, filtered in-band power for Bluetooth —
+// and each window is compared against its predecessor, with window 0
+// anchored to the untranslated header state. No reference stream is
+// needed; the radio argument is validated and kept for wire-surface
+// symmetry with DecodeStream (the feature alphabet is binary for every
+// radio, and all three slice at the 0.5 midpoint).
+func DecodeDifferentialStream(r Radio, features []byte, window int) ([]WindowDecision, error) {
+	if _, err := ParseRadio(RadioKey(r)); err != nil {
+		return nil, err
+	}
+	for i, v := range features {
+		if v >= 2 {
+			return nil, fmt.Errorf("freerider: feature element %d is %d, want 0 or 1", i, v)
+		}
+	}
+	return decoder.DecodeDifferentialWindows(features, window, 0.5)
 }
 
 // DecisionBits extracts just the tag bits from a DecodeStream result.
@@ -273,6 +328,14 @@ type SendOptions struct {
 	// builds. The combiner is reset on every scheme change (fallback or
 	// probe): soft values do not align across layouts.
 	Coding *CodingConfig
+	// Receiver selects the decode deployment: DualReceiver (the zero
+	// value, the paper's two-receiver setup) or SingleReceiver, which
+	// decodes every attempt from the backscattered capture alone via the
+	// differential decision. The whole degradation ladder — retransmission,
+	// chase-combining, fallback — composes unchanged on top; expect more
+	// retransmissions at a given range, since the single receiver's
+	// effective decision window is a fraction of the dual one's.
+	Receiver ReceiverMode
 }
 
 // DefaultSendAttempts is the per-chunk excitation-packet budget Send uses
@@ -383,6 +446,7 @@ func SendDetailed(r Radio, tagToRxMetres float64, bits []byte, seed int64, opts 
 	cfg.Seed = seed
 	cfg.Faults = opts.Faults
 	cfg.Coding = opts.Coding
+	cfg.ReceiverMode = opts.Receiver
 	if opts.Quaternary {
 		if r != WiFi {
 			return nil, rep, fmt.Errorf("freerider: quaternary translation is only implemented for WiFi")

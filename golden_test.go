@@ -57,6 +57,19 @@ type goldenStream struct {
 	Decoded string `json:"decoded"`
 }
 
+// goldenSingle pins one RunPacket call decoded in single-receiver
+// (Double-decker) mode: same pinned tag bits as the dual-mode packet,
+// decoded from the backscattered capture alone, soft decisions included
+// (single mode always emits them).
+type goldenSingle struct {
+	TagBits    string  `json:"tag_bits"`
+	Detected   bool    `json:"detected"`
+	Decoded    bool    `json:"decoded"`
+	DecodedTag string  `json:"decoded_tag"`
+	BitErrors  int     `json:"bit_errors"`
+	Soft       []int16 `json:"soft"`
+}
+
 type goldenVector struct {
 	Radio       string       `json:"radio"`
 	DistanceM   float64      `json:"distance_m"`
@@ -64,6 +77,7 @@ type goldenVector struct {
 	Seed        int64        `json:"seed"`
 	Capacity    int          `json:"capacity_bits"`
 	Packet      goldenPacket `json:"packet"`
+	Single      goldenSingle `json:"single"`
 	Run         goldenRun    `json:"run"`
 	Stream      goldenStream `json:"stream"`
 }
@@ -128,6 +142,28 @@ func computeGolden(t *testing.T, r freerider.Radio) goldenVector {
 		BitErrors:  pr.BitErrors,
 	}
 
+	// The same pinned packet decoded single-receiver: a fresh session in
+	// SingleReceiver mode sees the identical sequential channel draw, so
+	// the vector isolates the decode rule, not the channel.
+	singleCfg := cfg
+	singleCfg.ReceiverMode = freerider.SingleReceiver
+	ss, err := freerider.NewSession(singleCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spr, err := ss.RunPacket(tagBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v.Single = goldenSingle{
+		TagBits:    hexStream(tagBits),
+		Detected:   spr.Detected,
+		Decoded:    spr.Decoded,
+		DecodedTag: hexStream(spr.DecodedTag),
+		BitErrors:  spr.BitErrors,
+		Soft:       append([]int16{}, spr.SoftTag...),
+	}
+
 	// Short aggregated run on derived per-packet streams (a fresh
 	// session so the RunPacket above cannot shift it).
 	s2, err := freerider.NewSession(cfg)
@@ -168,7 +204,7 @@ func computeGolden(t *testing.T, r freerider.Radio) goldenVector {
 	if used != len(streamTag) {
 		t.Fatalf("stream vector consumed %d of %d tag bits", used, len(streamTag))
 	}
-	ws, err := freerider.DecodeStream(r, ref, enc, window)
+	ws, _, err := freerider.DecodeStream(r, ref, enc, window)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,13 @@ type Receiver struct {
 	// channelFilter rejects out-of-channel energy (e.g. the mirror sideband
 	// a backscatter tag produces); designed lazily for the sample rate.
 	channelFilter []float64
+	// CollectPower makes Demod also retain the per-sample filtered power
+	// |y[n]|², which Demodulated.BitPowers folds into per-bit means. A
+	// flipped bit's FSK tone is toggled to a sideband the channel filter
+	// mostly rejects, so its in-band power drops — the single-receiver
+	// flip feature. Off by default so the dual-receiver path allocates
+	// nothing extra.
+	CollectPower bool
 }
 
 // channelFilterTaps is the shared ±500 kHz channel-selection filter: a
@@ -123,6 +130,11 @@ func (rx *Receiver) Detect(cap *signal.Signal) (int, float64) {
 type Demodulated struct {
 	rx   *Receiver
 	disc []float64
+	// power is the per-sample filtered power |y[n]|², retained only when
+	// the receiver's CollectPower flag was set at Demod time (the filtered
+	// samples themselves live in a released arena and cannot be revisited
+	// later).
+	power []float64
 }
 
 // Demod channel-filters and FM-discriminates the capture once, returning a
@@ -130,7 +142,8 @@ type Demodulated struct {
 // discriminator output. The results are bit-identical to the one-shot
 // methods, which perform exactly this pass internally.
 func (rx *Receiver) Demod(cap *signal.Signal) *Demodulated {
-	return &Demodulated{rx: rx, disc: rx.demodulate(cap)}
+	disc, power := rx.demodulateFull(cap)
+	return &Demodulated{rx: rx, disc: disc, power: power}
 }
 
 // demodulate runs the channel filter + FM discriminator over a capture.
@@ -138,10 +151,24 @@ func (rx *Receiver) Demod(cap *signal.Signal) *Demodulated {
 // bit-identical to Clone().Filter()), so the only escaping allocation is
 // the discriminator output itself.
 func (rx *Receiver) demodulate(cap *signal.Signal) []float64 {
+	disc, _ := rx.demodulateFull(cap)
+	return disc
+}
+
+// demodulateFull is demodulate plus, when CollectPower is set, the
+// per-sample filtered power snapshot taken before the arena holding the
+// filtered samples is released. power is nil when CollectPower is off.
+func (rx *Receiver) demodulateFull(cap *signal.Signal) (disc, power []float64) {
 	a := signal.GetArena()
 	defer a.Release()
 	filtered := signal.ConvolveInto(a.Complex(len(cap.Samples)), cap.Samples, rx.channelFilter, a)
-	return Discriminate(&signal.Signal{Rate: cap.Rate, Samples: filtered})
+	if rx.CollectPower {
+		power = make([]float64, len(filtered))
+		for i, v := range filtered {
+			power[i] = real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return Discriminate(&signal.Signal{Rate: cap.Rate, Samples: filtered}), power
 }
 
 // Detect is Receiver.Detect against the shared discriminator pass.
@@ -152,6 +179,31 @@ func (d *Demodulated) Detect() (int, float64) {
 // RawBitsAt is Receiver.RawBitsAt against the shared discriminator pass.
 func (d *Demodulated) RawBitsAt(start, nBits int) []byte {
 	return rawBitsFrom(d.disc, start, nBits)
+}
+
+// BitPowers returns the mean filtered in-band power of up to nBits
+// bit-time windows starting at sample index start — the single-receiver
+// flip feature's raw material. It returns fewer than nBits entries when
+// the capture ends early, and nil when the pass was taken without
+// Receiver.CollectPower set.
+func (d *Demodulated) BitPowers(start, nBits int) []float64 {
+	if d.power == nil {
+		return nil
+	}
+	out := make([]float64, 0, nBits)
+	for i := 0; i < nBits; i++ {
+		lo := start + i*SamplesPerBit
+		hi := lo + SamplesPerBit
+		if lo < 0 || hi > len(d.power) {
+			break
+		}
+		var acc float64
+		for _, v := range d.power[lo:hi] {
+			acc += v
+		}
+		out = append(out, acc/float64(SamplesPerBit))
+	}
+	return out
 }
 
 // Discriminate converts a baseband capture into instantaneous frequency,

@@ -65,7 +65,7 @@ func TestMisalignedFlipsDestroyDecoding(t *testing.T) {
 		if err != nil {
 			t.Fatalf("offset %g: %v", extraOffset, err)
 		}
-		ws, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:],
+		ws, _, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:],
 			cfg.Redundancy*rate.NDBPS, 0.5)
 		if err != nil {
 			t.Fatal(err)
@@ -73,7 +73,7 @@ func TestMisalignedFlipsDestroyDecoding(t *testing.T) {
 		if len(ws) > used {
 			ws = ws[:used]
 		}
-		e, n := decoder.BER(tagBits[:used], decoder.Bits(ws))
+		e, n, _ := decoder.BER(tagBits[:used], decoder.Bits(ws))
 		return float64(e) / float64(n)
 	}
 

@@ -50,6 +50,37 @@ func (r Radio) String() string {
 	return fmt.Sprintf("Radio(%d)", int(r))
 }
 
+// ReceiverMode selects how many commodity receivers decode the uplink.
+type ReceiverMode int
+
+const (
+	// DualReceiver is the paper's deployment: receiver 1 captures the
+	// clean excitation stream, receiver 2 the backscattered stream, and
+	// the decoder window-compares the two. The zero value, so existing
+	// configs keep their behaviour.
+	DualReceiver ReceiverMode = iota
+	// SingleReceiver decodes from the backscattered capture alone
+	// (Double-decker): the PHY extracts a per-unit flip feature —
+	// pilot-correlation phase (WiFi), complemented-codebook correlation
+	// (ZigBee), filtered in-band power (Bluetooth) — and the decoder
+	// compares each window against its predecessor
+	// (decoder.DecodeDifferentialWindows). No reference stream, no
+	// backhaul; the cost is a smaller effective window (features per PHY
+	// unit instead of bits per PHY unit) and transition-error propagation.
+	SingleReceiver
+)
+
+// String names the receiver mode.
+func (m ReceiverMode) String() string {
+	switch m {
+	case DualReceiver:
+		return "dual"
+	case SingleReceiver:
+		return "single"
+	}
+	return fmt.Sprintf("ReceiverMode(%d)", int(m))
+}
+
 // Config describes one backscatter link end to end.
 type Config struct {
 	Radio Radio
@@ -109,6 +140,13 @@ type Config struct {
 	// is what makes sharing across sessions and goroutines safe. Nil
 	// disables caching and leaves every result bit-identical either way.
 	Waveforms *waveform.Cache
+	// ReceiverMode selects dual-receiver (window-compare against the
+	// clean reference stream; the default) or single-receiver decode
+	// (self-referenced differential decision on PHY flip features). The
+	// tag's transmission is identical in both modes — it always keys the
+	// absolute flip state — so cached waveforms are shared across modes
+	// and the mode does not participate in waveform cache keys.
+	ReceiverMode ReceiverMode
 	// ContentSeed, when non-zero, decouples packet content (payload bytes,
 	// tag bits, WiFi scrambler seed) from the channel realisation (fading,
 	// noise) in Run/RunParallel: content draws from streams derived from
@@ -127,6 +165,26 @@ const (
 	wifiDetectionThreshold = 0.72 // periodicity metric; fails below ~4 dB instantaneous SNR
 	zbDetectionThreshold   = 0.85 // fails below ~4.3 dB
 	btDetectionThreshold   = 0.81 // fails below ~3 dB
+)
+
+// Single-receiver (differential) decision constants.
+const (
+	// singleThreshold slices the window-to-window disagreement fraction.
+	// All three flip features are symmetric binary estimates (a flipped
+	// unit looks like the complement of an unflipped one), so the midpoint
+	// is the maximum-likelihood threshold for every radio — unlike the
+	// dual ZigBee path, whose mismatch fraction saturates at the
+	// codebook's confusion floor rather than 1.
+	singleThreshold = 0.5
+	// cpeGain is the EWMA gain of the single-receiver WiFi feature
+	// extractor's common-phase-error tracker (see decodeWiFiSingle).
+	cpeGain = 0.25
+	// btSinglePowerRatio is the filtered-power ratio below which a
+	// Bluetooth bit counts as flipped. The tag's square-wave toggle puts
+	// (2/π)² ≈ 0.41 of a flipped bit's power in the surviving sideband
+	// inside the ±500 kHz channel filter; 0.7 sits midway between that
+	// and the unflipped ratio of 1 on a linear scale.
+	btSinglePowerRatio = 0.7
 )
 
 func (c Config) detectionThreshold(def float64) float64 {
@@ -204,9 +262,17 @@ type PacketResult struct {
 	DecodedTag []byte  // the decoded tag bits (nil when not decoded)
 	// SoftTag carries the decoder's per-bit int16 soft decisions aligned
 	// with DecodedTag (positive → 0, negative → 1, |s| the margin; see
-	// decoder.SoftScale). Populated only when Config.Coding is set — the
-	// uncoded fast path stays allocation-identical to earlier builds.
+	// decoder.SoftScale). Populated when Config.Coding is set, and always
+	// in single-receiver mode (a new path with no allocation pins to
+	// preserve) — the uncoded dual fast path stays allocation-identical
+	// to earlier builds.
 	SoftTag []int16
+	// DroppedElements counts stream elements the decoder could not
+	// compare because the two sides disagreed on length (reference vs
+	// capture in the window compare, sent vs decoded tag bits in the BER
+	// accounting). Zero on aligned packets; nonzero values surface
+	// mismatches that were previously truncated away silently.
+	DroppedElements int
 	// Coded-uplink outcome (Config.Coding only). DataBits is the payload
 	// bits the chunk carried after FEC overhead; DecodedData the
 	// RS-corrected payload; DataBitErrors its errors against the sent
@@ -262,6 +328,19 @@ func validate(cfg Config) error {
 		}
 	default:
 		return fmt.Errorf("core: unknown radio %v", cfg.Radio)
+	}
+	switch cfg.ReceiverMode {
+	case DualReceiver:
+	case SingleReceiver:
+		if cfg.PilotPhaseTracking {
+			// Pilot tracking would rotate the tag's phase steps away before
+			// the single receiver's flip feature ever sees them — the same
+			// reason FreeRider's dual decoder needs tracking off (§3.2.1),
+			// but fatal rather than merely degrading here.
+			return fmt.Errorf("core: single-receiver mode is incompatible with pilot phase tracking")
+		}
+	default:
+		return fmt.Errorf("core: unknown receiver mode %v", cfg.ReceiverMode)
 	}
 	if cfg.PayloadSize <= 0 {
 		return fmt.Errorf("core: payload size %d must be positive", cfg.PayloadSize)
@@ -626,6 +705,7 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	rx.DetectionThreshold = s.cfg.detectionThreshold(wifiDetectionThreshold)
 	rx.PilotPhaseTracking = s.cfg.PilotPhaseTracking
 	rx.SoftDecision = s.cfg.SoftDecision
+	rx.CollectPilotPhases = s.cfg.ReceiverMode == SingleReceiver
 	pkt, err := rx.Receive(cap)
 	if err != nil {
 		return res, nil // undetected: lost packet, not a session error
@@ -634,6 +714,9 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	res.RSSI = s.cfg.Link.BackscatterRSSI()
 	if len(pkt.PSDU) != len(psdu) {
 		return res, nil // header decoded to a wrong length; treat as loss
+	}
+	if s.cfg.ReceiverMode == SingleReceiver {
+		return s.decodeWiFiSingle(res, pkt, tagBits, used)
 	}
 	// Tag windows start one OFDM symbol into the data (the SERVICE symbol
 	// is reflected unmodified; see translator()).
@@ -654,7 +737,9 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 		}
 		res.Decoded = true
 		res.DecodedTag = decoded
-		res.BitErrors, _ = decoder.BER(tagBits[:used], decoded)
+		var berDropped int
+		res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], decoded)
+		res.DroppedElements += berDropped
 		if s.cfg.Coding != nil {
 			soft := decoder.QuaternarySoft(qws)
 			if len(soft) > used {
@@ -668,7 +753,89 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	if len(pkt.RawBits) <= rate.NDBPS {
 		return res, nil
 	}
-	ws, err := decoder.DecodeWindows(entry.Ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
+	ws, dropped, err := decoder.DecodeWindows(entry.Ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
+	if err != nil {
+		return PacketResult{}, err
+	}
+	res.DroppedElements += dropped
+	if len(ws) > used {
+		ws = ws[:used]
+	}
+	res.Decoded = true
+	res.DecodedTag = decoder.Bits(ws)
+	var berDropped int
+	res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+	res.DroppedElements += berDropped
+	if s.cfg.Coding != nil {
+		res.SoftTag = decoder.Soft(ws)
+	}
+	return res, nil
+}
+
+// decodeWiFiSingle is the Double-decker decision for WiFi: the receiver's
+// per-symbol pilot-correlation phases are an absolute estimate of the
+// tag's applied rotation. PilotPhases[0] is the SERVICE symbol — reflected
+// untranslated (see translator()), it anchors the all-zero state the
+// differential decoder assumes before window 0, and the tag windows start
+// at index 1. The effective window is Redundancy features instead of the
+// dual path's Redundancy·NDBPS bits — the heart of the single-receiver
+// sensitivity cost the BER-vs-SNR experiment measures.
+//
+// The raw phases carry a slowly accumulating common phase error on top of
+// the tag rotation (the tag's phase jumps bias the receiver's CP-based
+// residual-CFO estimate, leaving a drift of ~0.01 rad/symbol that crosses
+// a quantisation boundary mid-packet). Quantising the absolute phase
+// directly would hand that drift to the differential decoder as a slow
+// parade of false transitions, so the feature extractor runs a
+// decision-directed tracker first: the residual after removing the nearest
+// rotation hypothesis is rotation-independent, and an EWMA of it estimates
+// the drift, which is subtracted before quantising. Drift per symbol is
+// orders of magnitude below the π/4 (binary: π/2) decision radius, so the
+// tracker cannot lose lock to the tag's own steps.
+func (s *Session) decodeWiFiSingle(res PacketResult, pkt *wifi.RxPacket, tagBits []byte, used int) (PacketResult, error) {
+	if len(pkt.PilotPhases) <= 1 {
+		return res, nil
+	}
+	feat := make([]byte, len(pkt.PilotPhases)-1)
+	if s.cfg.Quaternary {
+		var cpe float64
+		for i, p := range pkt.PilotPhases {
+			// Quantise to quarter turns: the eq. 5 rotation index.
+			q := wrapPhase(p - cpe)
+			n := math.Round(q / (math.Pi / 2))
+			cpe = wrapPhase(cpe + cpeGain*(q-n*(math.Pi/2)))
+			if i > 0 {
+				feat[i-1] = byte(int(n) & 3)
+			}
+		}
+		qws, err := decoder.DecodeDifferentialQuaternaryWindows(feat, s.cfg.Redundancy)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		decoded := decoder.QuaternaryBits(qws)
+		soft := decoder.QuaternarySoft(qws)
+		if len(decoded) > used {
+			decoded = decoded[:used]
+			soft = soft[:used]
+		}
+		res.Decoded = true
+		res.DecodedTag = decoded
+		res.SoftTag = soft
+		var berDropped int
+		res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], decoded)
+		res.DroppedElements += berDropped
+		return res, nil
+	}
+	var cpe float64
+	for i, p := range pkt.PilotPhases {
+		q := wrapPhase(p - cpe)
+		n := math.Round(q / math.Pi)
+		cpe = wrapPhase(cpe + cpeGain*(q-n*math.Pi))
+		if i > 0 && math.Abs(q) > math.Pi/2 {
+			feat[i-1] = 1
+		}
+	}
+	ws, err := decoder.DecodeDifferentialWindows(feat, s.cfg.Redundancy, singleThreshold)
 	if err != nil {
 		return PacketResult{}, err
 	}
@@ -677,10 +844,10 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	}
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
-	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
-	if s.cfg.Coding != nil {
-		res.SoftTag = decoder.Soft(ws)
-	}
+	res.SoftTag = decoder.Soft(ws)
+	var berDropped int
+	res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+	res.DroppedElements += berDropped
 	return res, nil
 }
 
@@ -749,6 +916,7 @@ func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faul
 
 	zrx := zigbee.NewReceiver()
 	zrx.DetectionThreshold = s.cfg.detectionThreshold(zbDetectionThreshold)
+	zrx.CollectFlips = s.cfg.ReceiverMode == SingleReceiver
 	frame, err := zrx.Receive(cap)
 	if err != nil {
 		return res, nil
@@ -758,16 +926,39 @@ func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faul
 	if len(frame.Symbols) != len(entry.Ref) {
 		return res, nil
 	}
-	ws, err := decoder.DecodeWindows(entry.Ref, frame.Symbols, s.cfg.Redundancy, 0.3)
+	if s.cfg.ReceiverMode == SingleReceiver {
+		// Double-decker: each payload symbol's flip feature asks whether
+		// the chip window correlated better with the complemented codebook
+		// than the true one (see zigbee.BestWorstSymbol) — a clean binary
+		// estimate of the tag's absolute flip state, one per symbol.
+		ws, err := decoder.DecodeDifferentialWindows(frame.Flips, s.cfg.Redundancy, singleThreshold)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		if len(ws) > used {
+			ws = ws[:used]
+		}
+		res.Decoded = true
+		res.DecodedTag = decoder.Bits(ws)
+		res.SoftTag = decoder.Soft(ws)
+		var berDropped int
+		res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+		res.DroppedElements += berDropped
+		return res, nil
+	}
+	ws, dropped, err := decoder.DecodeWindows(entry.Ref, frame.Symbols, s.cfg.Redundancy, 0.3)
 	if err != nil {
 		return PacketResult{}, err
 	}
+	res.DroppedElements += dropped
 	if len(ws) > used {
 		ws = ws[:used]
 	}
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
-	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	var berDropped int
+	res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+	res.DroppedElements += berDropped
 	if s.cfg.Coding != nil {
 		res.SoftTag = decoder.Soft(ws)
 	}
@@ -843,6 +1034,7 @@ func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf f
 
 	rx := bluetooth.NewReceiver()
 	rx.DetectionThreshold = s.cfg.detectionThreshold(btDetectionThreshold)
+	rx.CollectPower = s.cfg.ReceiverMode == SingleReceiver
 	// One channel-filter + discriminator pass answers both the sync
 	// detection and the raw bit slicing.
 	demod := rx.Demod(cap)
@@ -853,21 +1045,64 @@ func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf f
 	res.Detected = true
 	res.RSSI = s.cfg.Link.BackscatterRSSI()
 
+	const hdr = 40 // tag modulation starts after preamble + access address
+	if s.cfg.ReceiverMode == SingleReceiver {
+		// Double-decker: a flipped bit's FSK tone is toggled out to a
+		// sideband the ±500 kHz channel filter mostly rejects, so its
+		// filtered in-band power drops to ≈(2/π)² of an unflipped bit's.
+		// The 40 untranslated header bits self-calibrate the reference
+		// power — no second receiver, and no absolute power knowledge.
+		powers := demod.BitPowers(start, len(ref))
+		if len(powers) < len(ref) {
+			return res, nil
+		}
+		refPower := 0.0
+		for _, p := range powers[:hdr] {
+			refPower += p
+		}
+		refPower /= hdr
+		if refPower <= 0 {
+			return res, nil
+		}
+		feat := make([]byte, len(ref)-hdr)
+		for i, p := range powers[hdr:] {
+			if p < btSinglePowerRatio*refPower {
+				feat[i] = 1
+			}
+		}
+		ws, err := decoder.DecodeDifferentialWindows(feat, s.cfg.Redundancy, singleThreshold)
+		if err != nil {
+			return PacketResult{}, err
+		}
+		if len(ws) > used {
+			ws = ws[:used]
+		}
+		res.Decoded = true
+		res.DecodedTag = decoder.Bits(ws)
+		res.SoftTag = decoder.Soft(ws)
+		var berDropped int
+		res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+		res.DroppedElements += berDropped
+		return res, nil
+	}
+
 	raw := demod.RawBitsAt(start, len(ref))
 	if len(raw) < len(ref) {
 		return res, nil
 	}
-	const hdr = 40 // tag modulation starts after preamble + access address
-	ws, err := decoder.DecodeWindows(ref[hdr:], raw[hdr:], s.cfg.Redundancy, 0.5)
+	ws, dropped, err := decoder.DecodeWindows(ref[hdr:], raw[hdr:], s.cfg.Redundancy, 0.5)
 	if err != nil {
 		return PacketResult{}, err
 	}
+	res.DroppedElements += dropped
 	if len(ws) > used {
 		ws = ws[:used]
 	}
 	res.Decoded = true
 	res.DecodedTag = decoder.Bits(ws)
-	res.BitErrors, _ = decoder.BER(tagBits[:used], res.DecodedTag)
+	var berDropped int
+	res.BitErrors, _, berDropped = decoder.BER(tagBits[:used], res.DecodedTag)
+	res.DroppedElements += berDropped
 	if s.cfg.Coding != nil {
 		res.SoftTag = decoder.Soft(ws)
 	}
@@ -885,6 +1120,11 @@ type SessionResult struct {
 	// SamplesProcessed counts the complex-baseband samples pushed through
 	// the receiver chain, for the harness's points/sec metrics.
 	SamplesProcessed int64
+	// DroppedElements aggregates PacketResult.DroppedElements: stream
+	// elements the decoder could not compare because the two sides
+	// disagreed on length. Nonzero values flag alignment trouble that was
+	// previously truncated away silently.
+	DroppedElements int
 	// Coded-uplink aggregates (zero unless Config.Coding is set): payload
 	// bits recovered after RS correction, residual errors among them,
 	// total symbol corrections, and packets where a codeword exceeded the
@@ -985,7 +1225,9 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 		pr.DecodedData = data
 		pr.CorrectedSymbols = corrected
 		pr.RSFailed = !ok
-		pr.DataBitErrors, _ = decoder.BER(dataBits, data)
+		var berDropped int
+		pr.DataBitErrors, _, berDropped = decoder.BER(dataBits, data)
+		pr.DroppedElements += berDropped
 	} else if pr.Decoded {
 		// Truncated decode: too few windows to cover the coded region.
 		pr.RSFailed = true
@@ -998,6 +1240,7 @@ func (r *SessionResult) accumulate(pr PacketResult, gap float64) {
 	r.TagBitsSent += pr.TagBits
 	r.ElapsedSeconds += pr.AirTime + gap
 	r.SamplesProcessed += int64(pr.Samples)
+	r.DroppedElements += pr.DroppedElements
 	if !pr.Decoded {
 		r.PacketsLost++
 		return
@@ -1052,4 +1295,9 @@ func (s *Session) RunParallel(n, workers int) (SessionResult, error) {
 		out.accumulate(prs[i], s.cfg.InterPacketGap)
 	}
 	return out, nil
+}
+
+// wrapPhase folds an angle into (-π, π].
+func wrapPhase(x float64) float64 {
+	return math.Atan2(math.Sin(x), math.Cos(x))
 }

@@ -88,7 +88,7 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 	}
 
 	window := s.cfg.Redundancy * rate.NDBPS
-	ws, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
+	ws, _, err := decoder.DecodeWindows(ref[rate.NDBPS:], pkt.RawBits[rate.NDBPS:], window, 0.5)
 	if err != nil {
 		return MultiTagResult{}, err
 	}
@@ -110,7 +110,7 @@ func (s *Session) RunCollision(tagData [][]byte) (MultiTagResult, error) {
 			res.PerTagBER[i] = 1
 			continue
 		}
-		e, _ := decoder.BER(data[:n], decoded[:n])
+		e, _, _ := decoder.BER(data[:n], decoded[:n])
 		res.PerTagBER[i] = float64(e) / float64(n)
 	}
 	return res, nil

@@ -1,0 +1,53 @@
+package decoder
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// A ZigBee-sized feature stream: 50 tag bits over 4-symbol windows, with
+// ~5% feature noise so the transition detector does real work.
+func noisyFeatures(seed int64, limit int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	const window, bits = 4, 50
+	feat := make([]byte, window*bits)
+	state := byte(0)
+	for w := 0; w < bits; w++ {
+		if rng.Intn(2) == 1 {
+			state ^= 1
+		}
+		for i := 0; i < window; i++ {
+			v := state
+			if limit > 2 {
+				v = byte(rng.Intn(limit))
+			}
+			if rng.Intn(20) == 0 {
+				v ^= 1
+			}
+			feat[w*window+i] = v
+		}
+	}
+	return feat
+}
+
+func BenchmarkDifferentialDecode(b *testing.B) {
+	feat := noisyFeatures(1, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDifferentialWindows(feat, 4, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDifferentialDecodeQuaternary(b *testing.B) {
+	feat := noisyFeatures(2, 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DecodeDifferentialQuaternaryWindows(feat, 4); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

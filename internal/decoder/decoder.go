@@ -68,16 +68,25 @@ type WindowResult struct {
 // clean complementing translations, while ZigBee uses a lower threshold
 // because an inverted chip sequence decodes to a *different* symbol only
 // with the codebook's confusion margin.
-func DecodeWindows(ref, rx []byte, window int, threshold float64) ([]WindowResult, error) {
+//
+// The second return value is the dropped-element count: the elements of
+// the longer stream beyond the common length, which had no counterpart to
+// compare against. Aligned streams report 0; a nonzero value means the
+// two receivers disagreed on the stream length and the comparison covered
+// only the common prefix. (Tail elements that do not fill a complete
+// window are inherent to windowing and are not counted.)
+func DecodeWindows(ref, rx []byte, window int, threshold float64) ([]WindowResult, int, error) {
 	if window <= 0 {
-		return nil, fmt.Errorf("decoder: window %d must be positive", window)
+		return nil, 0, fmt.Errorf("decoder: window %d must be positive", window)
 	}
 	if threshold <= 0 || threshold >= 1 {
-		return nil, fmt.Errorf("decoder: threshold %g outside (0,1)", threshold)
+		return nil, 0, fmt.Errorf("decoder: threshold %g outside (0,1)", threshold)
 	}
 	n := len(ref)
+	dropped := len(rx) - n
 	if len(rx) < n {
 		n = len(rx)
+		dropped = len(ref) - n
 	}
 	out := make([]WindowResult, 0, n/window)
 	for lo := 0; lo+window <= n; lo += window {
@@ -96,7 +105,7 @@ func DecodeWindows(ref, rx []byte, window int, threshold float64) ([]WindowResul
 		}
 		out = append(out, WindowResult{Bit: bit, MismatchFraction: frac, Soft: softFor(bit, margin)})
 	}
-	return out, nil
+	return out, dropped, nil
 }
 
 // Bits extracts just the tag bits from a window result slice.
@@ -232,17 +241,21 @@ func QuaternarySoft(ws []QuaternaryWindowResult) []int16 {
 	return out
 }
 
-// BER compares sent and decoded tag bits, returning errors and total
-// compared (the shorter length).
-func BER(sent, decoded []byte) (errors, total int) {
+// BER compares sent and decoded tag bits, returning errors, total
+// compared (the shorter length), and the dropped-element count — the
+// excess of the longer input that had no counterpart. A nonzero dropped
+// means the comparison covered only a prefix and the reported error count
+// understates the true bit errors.
+func BER(sent, decoded []byte) (errors, total, dropped int) {
 	n := len(sent)
 	if len(decoded) < n {
 		n = len(decoded)
 	}
+	dropped = len(sent) + len(decoded) - 2*n
 	for i := 0; i < n; i++ {
 		if sent[i]&1 != decoded[i]&1 {
 			errors++
 		}
 	}
-	return errors, n
+	return errors, n, dropped
 }

@@ -36,9 +36,12 @@ func TestDecodeWindowsCleanComplement(t *testing.T) {
 	for i := 8; i < 12; i++ {
 		rx[i] ^= 1
 	}
-	ws, err := DecodeWindows(ref, rx, 4, 0.5)
+	ws, dropped, err := DecodeWindows(ref, rx, 4, 0.5)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if dropped != 0 {
+		t.Fatalf("dropped %d on equal-length streams", dropped)
 	}
 	if !bytes.Equal(Bits(ws), []byte{1, 0, 1}) {
 		t.Fatalf("decoded %v, want [1 0 1]", Bits(ws))
@@ -70,7 +73,7 @@ func TestDecodeWindowsToleratesBoundaryErrors(t *testing.T) {
 			rx[idx] ^= flip
 		}
 	}
-	ws, err := DecodeWindows(ref, rx, window, 0.5)
+	ws, _, err := DecodeWindows(ref, rx, window, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +88,7 @@ func TestDecodeWindowsLowThresholdForSymbolStreams(t *testing.T) {
 	// window may show ~10% mismatch. A 0.3 threshold separates them.
 	ref := []byte{3, 7, 1, 15, 3, 7, 1, 15}
 	rx := []byte{9, 2, 4, 8, 3, 7, 2, 15} // first window all wrong, second has 1 error
-	ws, err := DecodeWindows(ref, rx, 4, 0.3)
+	ws, _, err := DecodeWindows(ref, rx, 4, 0.3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,23 +100,64 @@ func TestDecodeWindowsLowThresholdForSymbolStreams(t *testing.T) {
 func TestDecodeWindowsLengthHandling(t *testing.T) {
 	ref := make([]byte, 10)
 	rx := make([]byte, 7)
-	ws, err := DecodeWindows(ref, rx, 3, 0.5)
+	ws, dropped, err := DecodeWindows(ref, rx, 3, 0.5)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ws) != 2 { // min(10,7)=7 -> 2 complete windows
 		t.Fatalf("windows %d, want 2", len(ws))
 	}
+	if dropped != 3 { // the reference's unmatched tail
+		t.Fatalf("dropped %d, want 3", dropped)
+	}
+}
+
+// TestDecodeWindowsDropped pins the dropped-element accounting: the count
+// is the length mismatch between the streams (elements with no
+// counterpart to compare), never the sub-window tail both streams share —
+// that remainder is inherent to windowing and would make every routine
+// packet report noise.
+func TestDecodeWindowsDropped(t *testing.T) {
+	cases := []struct {
+		name                     string
+		refLen, rxLen, window    int
+		wantWindows, wantDropped int
+	}{
+		{"empty both", 0, 0, 4, 0, 0},
+		{"empty rx", 8, 0, 4, 0, 8},
+		{"empty ref", 0, 8, 4, 0, 8},
+		{"window larger than streams", 3, 3, 4, 0, 0},
+		{"window larger, mismatched", 3, 2, 4, 0, 1},
+		{"exact boundary", 8, 8, 4, 2, 0},
+		{"shared sub-window tail not dropped", 10, 10, 4, 2, 0},
+		{"rx shorter", 12, 9, 4, 2, 3},
+		{"ref shorter", 9, 12, 4, 2, 3},
+		{"mismatch plus shared tail", 11, 9, 4, 2, 2},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ws, dropped, err := DecodeWindows(make([]byte, c.refLen), make([]byte, c.rxLen), c.window, 0.5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ws) != c.wantWindows {
+				t.Errorf("windows %d, want %d", len(ws), c.wantWindows)
+			}
+			if dropped != c.wantDropped {
+				t.Errorf("dropped %d, want %d", dropped, c.wantDropped)
+			}
+		})
+	}
 }
 
 func TestDecodeWindowsValidation(t *testing.T) {
-	if _, err := DecodeWindows(nil, nil, 0, 0.5); err == nil {
+	if _, _, err := DecodeWindows(nil, nil, 0, 0.5); err == nil {
 		t.Error("zero window accepted")
 	}
-	if _, err := DecodeWindows(nil, nil, 4, 1.5); err == nil {
+	if _, _, err := DecodeWindows(nil, nil, 4, 1.5); err == nil {
 		t.Error("threshold 1.5 accepted")
 	}
-	if _, err := DecodeWindows(nil, nil, 4, 0); err == nil {
+	if _, _, err := DecodeWindows(nil, nil, 4, 0); err == nil {
 		t.Error("threshold 0 accepted")
 	}
 }
@@ -140,7 +184,7 @@ func TestDecodeWindowsRoundTripProperty(t *testing.T) {
 		for i := range ref {
 			rx[i] = ref[i] ^ tagBits[i/window]
 		}
-		ws, err := DecodeWindows(ref, rx, window, 0.5)
+		ws, _, err := DecodeWindows(ref, rx, window, 0.5)
 		if err != nil {
 			return false
 		}
@@ -168,12 +212,16 @@ func TestQuaternaryDecode(t *testing.T) {
 }
 
 func TestBER(t *testing.T) {
-	e, n := BER([]byte{1, 0, 1, 1}, []byte{1, 1, 1, 0})
-	if e != 2 || n != 4 {
-		t.Fatalf("BER = %d/%d, want 2/4", e, n)
+	e, n, dropped := BER([]byte{1, 0, 1, 1}, []byte{1, 1, 1, 0})
+	if e != 2 || n != 4 || dropped != 0 {
+		t.Fatalf("BER = %d/%d dropped %d, want 2/4 dropped 0", e, n, dropped)
 	}
-	e, n = BER([]byte{1, 0}, []byte{1})
-	if e != 0 || n != 1 {
-		t.Fatalf("short BER = %d/%d", e, n)
+	e, n, dropped = BER([]byte{1, 0}, []byte{1})
+	if e != 0 || n != 1 || dropped != 1 {
+		t.Fatalf("short BER = %d/%d dropped %d, want 0/1 dropped 1", e, n, dropped)
+	}
+	e, n, dropped = BER(nil, []byte{1, 1, 1})
+	if e != 0 || n != 0 || dropped != 3 {
+		t.Fatalf("empty-sent BER = %d/%d dropped %d, want 0/0 dropped 3", e, n, dropped)
 	}
 }

@@ -1,0 +1,110 @@
+package decoder
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeWindows drives the dual-receiver window compare with
+// arbitrary stream pairs, window sizes and thresholds: truncated and
+// mismatched-length inputs, degenerate windows, out-of-range thresholds.
+// Beyond not panicking, every successful decode must satisfy the
+// structural invariants the rest of the pipeline leans on.
+func FuzzDecodeWindows(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0}, []byte{1, 0, 0, 1}, 2, 0.5)
+	f.Add([]byte{}, []byte{1}, 1, 0.3)
+	f.Add([]byte{3, 7, 1, 15}, []byte{9, 2}, 4, 0.3)      // window > rx
+	f.Add([]byte{1, 1, 1}, []byte{1, 1, 1, 1, 1}, 0, 0.5) // degenerate window
+	f.Add([]byte{0}, []byte{0}, 1, 1.5)                   // bad threshold
+	f.Fuzz(func(t *testing.T, ref, rx []byte, window int, threshold float64) {
+		ws, dropped, err := DecodeWindows(ref, rx, window, threshold)
+		if err != nil {
+			if window > 0 && threshold > 0 && threshold < 1 {
+				t.Fatalf("valid parameters rejected: %v", err)
+			}
+			return
+		}
+		n := len(ref)
+		if len(rx) < n {
+			n = len(rx)
+		}
+		if len(ws) != n/window {
+			t.Fatalf("windows %d, want %d", len(ws), n/window)
+		}
+		wantDropped := len(ref) + len(rx) - 2*n
+		if dropped != wantDropped {
+			t.Fatalf("dropped %d, want %d", dropped, wantDropped)
+		}
+		for i, w := range ws {
+			if w.Bit > 1 {
+				t.Fatalf("window %d: bit %d", i, w.Bit)
+			}
+			if w.MismatchFraction < 0 || w.MismatchFraction > 1 {
+				t.Fatalf("window %d: mismatch fraction %g", i, w.MismatchFraction)
+			}
+			if got := sliceSoft(w.Soft); got != w.Bit {
+				t.Fatalf("window %d: soft %d slices to %d, hard %d", i, w.Soft, got, w.Bit)
+			}
+		}
+	})
+}
+
+// FuzzDecodeDifferentialWindows drives the single-receiver differential
+// decode with arbitrary feature streams: the decode must never panic, and
+// on success the transition/XOR structure must hold — the bit stream's
+// XOR differences must match re-deriving each window's transition from
+// its mismatch fraction.
+func FuzzDecodeDifferentialWindows(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 1, 0, 0}, 2, 0.5)
+	f.Add([]byte{}, 4, 0.5)
+	f.Add([]byte{1, 2, 3}, 0, 0.5)    // degenerate window
+	f.Add([]byte{1}, 1, -0.5)         // bad threshold
+	f.Add([]byte{9, 8, 7, 6}, 3, 0.9) // non-binary features, truncated tail
+	f.Fuzz(func(t *testing.T, rx []byte, window int, threshold float64) {
+		ws, err := DecodeDifferentialWindows(rx, window, threshold)
+		if err != nil {
+			if window > 0 && threshold > 0 && threshold < 1 {
+				t.Fatalf("valid parameters rejected: %v", err)
+			}
+			return
+		}
+		if len(ws) != len(rx)/window {
+			t.Fatalf("windows %d, want %d", len(ws), len(rx)/window)
+		}
+		prev := byte(0)
+		for i, w := range ws {
+			if w.Bit > 1 {
+				t.Fatalf("window %d: bit %d", i, w.Bit)
+			}
+			if w.MismatchFraction < 0 || w.MismatchFraction > 1 {
+				t.Fatalf("window %d: mismatch fraction %g", i, w.MismatchFraction)
+			}
+			trans := byte(0)
+			if w.MismatchFraction > threshold {
+				trans = 1
+			}
+			if w.Bit != prev^trans {
+				t.Fatalf("window %d: bit %d breaks the cumulative XOR (prev %d, trans %d)",
+					i, w.Bit, prev, trans)
+			}
+			prev = w.Bit
+			if got := sliceSoft(w.Soft); got != w.Bit {
+				t.Fatalf("window %d: soft %d slices to %d, hard %d", i, w.Soft, got, w.Bit)
+			}
+		}
+
+		// Masking features to their used bit must not change the result:
+		// the decoder may only ever read feature&1.
+		masked := make([]byte, len(rx))
+		for i, v := range rx {
+			masked[i] = v & 1
+		}
+		ws2, err := DecodeDifferentialWindows(masked, window, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(Bits(ws), Bits(ws2)) {
+			t.Fatal("decode depends on feature bits beyond bit 0")
+		}
+	})
+}

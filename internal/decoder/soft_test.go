@@ -27,7 +27,7 @@ func TestSoftHardCoherenceBinary(t *testing.T) {
 				for i := 0; i < mism; i++ {
 					rx[i] = 1
 				}
-				ws, err := DecodeWindows(ref, rx, window, th)
+				ws, _, err := DecodeWindows(ref, rx, window, th)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -58,7 +58,7 @@ func TestSoftMarginMonotone(t *testing.T) {
 		for i := 0; i < mism; i++ {
 			rx[i] = 1
 		}
-		ws, err := DecodeWindows(ref, rx, window, 0.5)
+		ws, _, err := DecodeWindows(ref, rx, window, 0.5)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -47,14 +47,14 @@ func BERvsSNR(opt Options) ([]SNRPoint, error) {
 // would. With coding set, each point's BER is the post-correction payload
 // BER (CodedBER) instead of the raw stream BER.
 func berVsSNR(opt Options, waves *waveform.Cache, coding *fec.Config) ([]SNRPoint, error) {
-	return berVsSNROn(snrGridDB, opt, waves, coding)
+	return berVsSNROn(snrGridDB, opt, waves, coding, core.DualReceiver)
 }
 
 // berVsSNROn is berVsSNR over an explicit SNR grid. The coded sweep passes
 // a denser grid: the decoder's bit-error band is narrow (surviving packets
 // at 2 dB grid points measure error-free on either side of it), so the
 // coarse grid steps straight over the region where a code earns its keep.
-func berVsSNROn(grid []float64, opt Options, waves *waveform.Cache, coding *fec.Config) ([]SNRPoint, error) {
+func berVsSNROn(grid []float64, opt Options, waves *waveform.Cache, coding *fec.Config, mode core.ReceiverMode) ([]SNRPoint, error) {
 	sp := opt.span("snr")
 	out := make([]SNRPoint, len(grid))
 	var contentSeed int64
@@ -68,6 +68,7 @@ func berVsSNROn(grid []float64, opt Options, waves *waveform.Cache, coding *fec.
 		cfg.Waveforms = waves
 		cfg.Faults = opt.Faults
 		cfg.Coding = coding
+		cfg.ReceiverMode = mode
 		cfg.Link.NoiseFloor = cfg.Link.BackscatterRSSI() - grid[i]
 		s, err := core.NewSession(cfg)
 		if err != nil {
@@ -179,11 +180,11 @@ func CodedBERvsSNRChase(opt Options, coding *fec.Config, depth int) (CodedSNRRes
 	if err := cc.Validate(); err != nil {
 		return CodedSNRResult{}, err
 	}
-	uncoded, err := berVsSNROn(codedSnrGridDB, opt, waveform.New(0), nil)
+	uncoded, err := berVsSNROn(codedSnrGridDB, opt, waveform.New(0), nil, core.DualReceiver)
 	if err != nil {
 		return CodedSNRResult{}, err
 	}
-	coded, err := berVsSNROn(codedSnrGridDB, opt, waveform.New(0), &cc)
+	coded, err := berVsSNROn(codedSnrGridDB, opt, waveform.New(0), &cc, core.DualReceiver)
 	if err != nil {
 		return CodedSNRResult{}, err
 	}
@@ -317,6 +318,66 @@ func chaseBERvsSNROn(grid []float64, opt Options, cc fec.Config, depth int) ([]S
 		return nil, err
 	}
 	return out, nil
+}
+
+// SingleReceiverSNRResult pairs dual- and single-receiver BER-vs-SNR
+// sweeps over the identical excitation content (one shared waveform
+// cache — the tag's transmit side is mode-independent, so both arms
+// replay the same synthesised packets) and summarises the sensitivity
+// the Double-decker deployment gives up for dropping the reference
+// receiver.
+type SingleReceiverSNRResult struct {
+	Dual   []SNRPoint // dual-receiver reference-compare decode
+	Single []SNRPoint // single-receiver differential decode
+
+	// TargetBER is the operating threshold the sensitivity delta is read
+	// at; DualSNRdB/SingleSNRdB are where each curve last crosses down
+	// through it (log-BER interpolated, +Inf if never held). DeltaDB is
+	// SingleSNRdB - DualSNRdB: the extra link margin the single-receiver
+	// decode needs — the cost of the ~Redundancy-element pilot feature
+	// window (vs Redundancy·NDBPS codeword elements) compounded by
+	// transition-error propagation through the cumulative XOR.
+	TargetBER   float64
+	DualSNRdB   float64
+	SingleSNRdB float64
+	DeltaDB     float64
+}
+
+// singleTargetBER is the operating threshold the single-receiver sweep
+// reports its sensitivity delta at. It is looser than the coded sweep's
+// 1e-3: the differential decode's transition errors double under the
+// cumulative XOR, so its floor sits higher than the dual decoder's.
+const singleTargetBER = 1e-2
+
+// SingleReceiverBERvsSNR sweeps the WiFi decoder's operating curve in
+// both receiver modes over the dense transition-band grid and reports the
+// dB of extra SNR the single-receiver (Double-decker) decode needs to
+// hold the target BER. Both arms share one waveform cache and one
+// ContentSeed: receiver mode never enters waveform keys, so the second
+// arm replays the first arm's excitations and the comparison isolates
+// the receive side.
+func SingleReceiverBERvsSNR(opt Options) (SingleReceiverSNRResult, error) {
+	waves := waveform.New(0)
+	dual, err := berVsSNROn(codedSnrGridDB, opt, waves, nil, core.DualReceiver)
+	if err != nil {
+		return SingleReceiverSNRResult{}, err
+	}
+	single, err := berVsSNROn(codedSnrGridDB, opt, waves, nil, core.SingleReceiver)
+	if err != nil {
+		return SingleReceiverSNRResult{}, err
+	}
+	res := SingleReceiverSNRResult{
+		Dual:        dual,
+		Single:      single,
+		TargetBER:   singleTargetBER,
+		DualSNRdB:   SNRAtBER(dual, singleTargetBER),
+		SingleSNRdB: SNRAtBER(single, singleTargetBER),
+	}
+	res.DeltaDB = res.SingleSNRdB - res.DualSNRdB
+	if math.IsInf(res.DualSNRdB, 1) && math.IsInf(res.SingleSNRdB, 1) {
+		res.DeltaDB = 0 // neither mode reaches the target: no delta to report
+	}
+	return res, nil
 }
 
 // SNRAtBER reads the SNR (dB) where the curve last crosses down through

@@ -1,0 +1,64 @@
+package obs
+
+import "sync/atomic"
+
+// ModeCounters instruments the serve layer's receiver-mode split: how many
+// decode and simulate requests ran dual- vs single-receiver, plus the
+// dropped-element total the decoders reported (stream elements that had no
+// counterpart to compare against — silently truncated before the decoders
+// learned to count them). All methods are safe for concurrent use and the
+// zero value is ready; the server embeds one and surfaces Snapshot through
+// /metrics.
+type ModeCounters struct {
+	dualDecodes     atomic.Int64
+	singleDecodes   atomic.Int64
+	dualSimulates   atomic.Int64
+	singleSimulates atomic.Int64
+	droppedElements atomic.Int64
+}
+
+// Decode records one /v1/decode request under the given mode.
+func (c *ModeCounters) Decode(single bool) {
+	if single {
+		c.singleDecodes.Add(1)
+	} else {
+		c.dualDecodes.Add(1)
+	}
+}
+
+// Simulate records one /v1/simulate request under the given mode.
+func (c *ModeCounters) Simulate(single bool) {
+	if single {
+		c.singleSimulates.Add(1)
+	} else {
+		c.dualSimulates.Add(1)
+	}
+}
+
+// AddDropped folds in a dropped-element count from a decode or a
+// session's aggregate.
+func (c *ModeCounters) AddDropped(n int64) {
+	if n > 0 {
+		c.droppedElements.Add(n)
+	}
+}
+
+// ModeStats is the /metrics JSON view of the receiver-mode counters.
+type ModeStats struct {
+	DualDecodes     int64 `json:"dual_decodes"`
+	SingleDecodes   int64 `json:"single_decodes"`
+	DualSimulates   int64 `json:"dual_simulates"`
+	SingleSimulates int64 `json:"single_simulates"`
+	DroppedElements int64 `json:"dropped_elements"`
+}
+
+// Snapshot captures the counters.
+func (c *ModeCounters) Snapshot() ModeStats {
+	return ModeStats{
+		DualDecodes:     c.dualDecodes.Load(),
+		SingleDecodes:   c.singleDecodes.Load(),
+		DualSimulates:   c.dualSimulates.Load(),
+		SingleSimulates: c.singleSimulates.Load(),
+		DroppedElements: c.droppedElements.Load(),
+	}
+}

@@ -22,11 +22,15 @@ type decodeJob struct {
 	ref    []byte
 	rx     []byte
 	window int
+	// single selects the differential (single-receiver) decode: rx is
+	// then a flip-feature stream and ref must be empty.
+	single bool
 	out    chan decodeJobResult
 }
 
 type decodeJobResult struct {
 	windows []freerider.WindowDecision
+	dropped int
 	err     error
 }
 
@@ -159,8 +163,13 @@ func (b *batcher) dispatch(batch []*decodeJob) {
 	// result slot so one bad request cannot fail its batch peers.
 	_ = runner.Map(len(batch), b.workers, func(i int) error {
 		j := batch[i]
-		ws, err := freerider.DecodeStream(j.radio, j.ref, j.rx, j.window)
-		results[i] = decodeJobResult{windows: ws, err: err}
+		if j.single {
+			ws, err := freerider.DecodeDifferentialStream(j.radio, j.rx, j.window)
+			results[i] = decodeJobResult{windows: ws, err: err}
+			return nil
+		}
+		ws, dropped, err := freerider.DecodeStream(j.radio, j.ref, j.rx, j.window)
+		results[i] = decodeJobResult{windows: ws, dropped: dropped, err: err}
 		return nil
 	})
 	for i, j := range batch {

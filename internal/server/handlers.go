@@ -186,6 +186,10 @@ type decodeRequest struct {
 	RX     string      `json:"rx"`
 	Window int         `json:"window"`
 	Coding *fec.Config `json:"coding,omitempty"`
+	// Mode selects the decode rule: "dual" (or absent — window-compare rx
+	// against ref) or "single" (Double-decker differential: rx is then a
+	// binary flip-feature stream and ref must be empty).
+	Mode string `json:"mode,omitempty"`
 }
 
 // decodedCoding is the decode response's RS view of the hard-decision
@@ -200,10 +204,15 @@ type decodedCoding struct {
 
 type decodeResponse struct {
 	Radio    string         `json:"radio"`
+	Mode     string         `json:"mode"`
 	TagBits  string         `json:"tag_bits"`
 	Windows  int            `json:"windows"`
 	Mismatch []float64      `json:"mismatch"`
 	Coded    *decodedCoding `json:"coded,omitempty"`
+	// DroppedElements counts stream elements truncated away because ref
+	// and rx disagreed on length (dual mode only; aligned streams report
+	// 0 and omit the field).
+	DroppedElements int `json:"dropped_elements,omitempty"`
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
@@ -216,24 +225,44 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	ref, err := parseStream(radio, "ref", req.Ref)
+	mode, err := freerider.ParseReceiverMode(req.Mode)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	rx, err := parseStream(radio, "rx", req.RX)
+	single := mode == freerider.SingleReceiver
+	var ref, rx []byte
+	if single {
+		if req.Ref != "" {
+			writeError(w, http.StatusBadRequest,
+				"single mode decodes from rx alone; ref must be empty")
+			return
+		}
+		// Flip features are 0/1 for every radio (the WiFi alphabet).
+		rx, err = parseStream(freerider.WiFi, "rx", req.RX)
+	} else {
+		ref, err = parseStream(radio, "ref", req.Ref)
+		if err == nil {
+			rx, err = parseStream(radio, "rx", req.RX)
+		}
+	}
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Validate the code before spending batcher time on the stream.
+	// Validate the code before spending batcher time on the stream. In
+	// single mode the stream length is rx's (there is no ref).
 	var lay fec.Layout
 	if req.Coding != nil {
 		if req.Window <= 0 {
 			writeError(w, http.StatusBadRequest, "window %d must be positive with coding", req.Window)
 			return
 		}
-		lay, err = fec.LayoutFor(len(ref)/req.Window, *req.Coding)
+		streamLen := len(ref)
+		if single {
+			streamLen = len(rx)
+		}
+		lay, err = fec.LayoutFor(streamLen/req.Window, *req.Coding)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, "coding: %v", err)
 			return
@@ -242,7 +271,7 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := s.requestCtx(r)
 	defer cancel()
 	job := &decodeJob{
-		radio: radio, ref: ref, rx: rx, window: req.Window,
+		radio: radio, ref: ref, rx: rx, window: req.Window, single: single,
 		out: make(chan decodeJobResult, 1),
 	}
 	if err := s.batcher.submit(ctx, job); err != nil {
@@ -272,12 +301,16 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", res.err)
 		return
 	}
+	s.modes.Decode(single)
+	s.modes.AddDropped(int64(res.dropped))
 	hard := freerider.DecisionBits(res.windows)
 	resp := decodeResponse{
-		Radio:    freerider.RadioKey(radio),
-		TagBits:  formatStream(hard),
-		Windows:  len(res.windows),
-		Mismatch: make([]float64, len(res.windows)),
+		Radio:           freerider.RadioKey(radio),
+		Mode:            mode.String(),
+		TagBits:         formatStream(hard),
+		Windows:         len(res.windows),
+		Mismatch:        make([]float64, len(res.windows)),
+		DroppedElements: res.dropped,
 	}
 	for i, wd := range res.windows {
 		resp.Mismatch[i] = wd.MismatchFraction
@@ -314,10 +347,15 @@ type simulateRequest struct {
 	Seed        int64       `json:"seed"`
 	Faults      string      `json:"faults,omitempty"`
 	Coding      *fec.Config `json:"coding,omitempty"`
+	// Receiver selects the decode deployment: "dual" (or absent) for the
+	// two-receiver reference compare, "single" for the Double-decker
+	// differential decode.
+	Receiver string `json:"receiver,omitempty"`
 }
 
 type simulateResponse struct {
 	Radio          string             `json:"radio"`
+	Receiver       string             `json:"receiver"`
 	ConfigKey      string             `json:"config_key"`
 	CacheHit       bool               `json:"cache_hit"`
 	CapacityBits   int                `json:"capacity_bits"`
@@ -365,13 +403,19 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode, err := freerider.ParseReceiverMode(req.Receiver)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
 
-	key := configKey(freerider.RadioKey(radio), req)
+	key := configKey(freerider.RadioKey(radio), mode, req)
 	sess, hit, err := s.pool.get(key, func() (*core.Session, error) {
 		cfg := freerider.DefaultConfig(radio, req.Distance)
 		cfg.Seed = req.Seed
 		cfg.Faults = profile
 		cfg.Coding = req.Coding
+		cfg.ReceiverMode = mode
 		if req.TxDistance > 0 {
 			cfg.Link.TxToTag = req.TxDistance
 		}
@@ -432,8 +476,11 @@ func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	res := out.res
+	s.modes.Simulate(mode == freerider.SingleReceiver)
+	s.modes.AddDropped(int64(res.DroppedElements))
 	resp := simulateResponse{
 		Radio:          freerider.RadioKey(radio),
+		Receiver:       mode.String(),
 		ConfigKey:      key,
 		CacheHit:       hit,
 		CapacityBits:   sess.Capacity(),
@@ -517,6 +564,8 @@ var experimentRegistry = map[string]experimentEntry{
 		func(opt experiments.Options, _ bool) (any, error) { return experiments.RedundancySweep(opt) }},
 	"snr": {"BER vs SNR — WiFi decoder operating curve (memoized excitation)",
 		func(opt experiments.Options, _ bool) (any, error) { return experiments.BERvsSNR(opt) }},
+	"snr-single": {"BER vs SNR — single-receiver (Double-decker) vs dual-receiver sensitivity",
+		func(opt experiments.Options, _ bool) (any, error) { return experiments.SingleReceiverBERvsSNR(opt) }},
 	"pilots": {"§3.2.1 — pilot phase tracking ablation",
 		func(opt experiments.Options, _ bool) (any, error) {
 			without, with, err := experiments.PilotTrackingAblation(opt)

@@ -44,7 +44,7 @@ func buildDecodeCases(t testing.TB, n int) []decodeCase {
 				rx[j] ^= 1
 			}
 		}
-		ws, err := freerider.DecodeStream(radio, ref, rx, window)
+		ws, _, err := freerider.DecodeStream(radio, ref, rx, window)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -21,6 +21,7 @@ type metricsResponse struct {
 	WaveformCache       obs.CacheStats                  `json:"waveform_cache"`
 	WaveformCacheShards []obs.ShardStats                `json:"waveform_cache_shards"`
 	FEC                 obs.FECStats                    `json:"fec"`
+	ReceiverModes       obs.ModeStats                   `json:"receiver_modes"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
@@ -32,6 +33,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		WaveformCache:       s.waveforms.Stats(),
 		WaveformCacheShards: s.waveforms.ShardStats(),
 		FEC:                 s.fec.Snapshot(),
+		ReceiverModes:       s.modes.Snapshot(),
 	})
 }
 

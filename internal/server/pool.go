@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"sync"
 
+	freerider "repro"
+
 	"repro/internal/core"
 	"repro/internal/waveform"
 )
@@ -132,10 +134,14 @@ func (p *sessionPool) stats() poolStats {
 // "%v\x1f"-join encoding), and the full sha256 digest is kept — no
 // 64-bit truncation. The packet count is deliberately excluded — it is a
 // run parameter, not session state — so sweeps over n share one session.
-func configKey(radio string, req simulateRequest) string {
+func configKey(radio string, mode freerider.ReceiverMode, req simulateRequest) string {
 	b := waveform.NewKey().
 		String("simulate").
 		String(radio).
+		// Normalised mode string ("dual"/"single"), not the raw request
+		// field, so an absent receiver and an explicit "dual" share one
+		// session.
+		String(mode.String()).
 		Float64(req.Distance).
 		Float64(req.TxDistance).
 		Bool(req.NLOS).

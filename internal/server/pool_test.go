@@ -63,7 +63,7 @@ func TestConfigKeyCollisionRegression(t *testing.T) {
 	// other part.
 	a := simulateRequest{Radio: "wifi", Distance: 5, Packets: 1, Seed: 1, Faults: "burst\x1f0.5"}
 	b := simulateRequest{Radio: "wifi", Distance: 5, Packets: 1, Seed: 1, Faults: "burst\x1f0.50"}
-	if configKey(a.Radio, a) == configKey(b.Radio, b) {
+	if configKey(a.Radio, freerider.DualReceiver, a) == configKey(b.Radio, freerider.DualReceiver, b) {
 		t.Error("distinct faults specs produced one session key")
 	}
 }
@@ -73,7 +73,7 @@ func TestConfigKeyCollisionRegression(t *testing.T) {
 // the exclusion of the packet count from the key.
 func TestConfigKeyShape(t *testing.T) {
 	req := simulateRequest{Radio: "zigbee", Distance: 3, Packets: 10, Seed: 5, Faults: "none"}
-	key := configKey(req.Radio, req)
+	key := configKey(req.Radio, freerider.DualReceiver, req)
 	if len(key) != sha256.Size*2 {
 		t.Fatalf("key %q has %d hex chars, want the full %d-char sha256 digest", key, len(key), sha256.Size*2)
 	}
@@ -82,13 +82,19 @@ func TestConfigKeyShape(t *testing.T) {
 	}
 	req2 := req
 	req2.Packets = 500
-	if configKey(req2.Radio, req2) != key {
+	if configKey(req2.Radio, freerider.DualReceiver, req2) != key {
 		t.Fatal("packet count is a run parameter and must not change the session key")
 	}
 	req3 := req
 	req3.Seed = 6
-	if configKey(req3.Radio, req3) == key {
+	if configKey(req3.Radio, freerider.DualReceiver, req3) == key {
 		t.Fatal("distinct seeds must produce distinct keys")
+	}
+	// Receiver mode is session state: single must key apart from dual, and
+	// the normalised mode string means an absent receiver field and an
+	// explicit "dual" request share one session.
+	if configKey(req.Radio, freerider.SingleReceiver, req) == key {
+		t.Fatal("receiver mode must change the session key")
 	}
 }
 

@@ -126,6 +126,7 @@ type Server struct {
 	endpoints *obs.EndpointSet
 	gates     map[string]*runner.Gate
 	fec       obs.FECCounters
+	modes     obs.ModeCounters
 	start     time.Time
 
 	// testSimHook, when set by a test, runs inside the simulate worker

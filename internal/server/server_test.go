@@ -143,7 +143,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			}
 
 			// And the decode response must match the direct library call.
-			ws, err := freerider.DecodeStream(radio, ref, wantRX, window)
+			ws, _, err := freerider.DecodeStream(radio, ref, wantRX, window)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -421,9 +421,92 @@ func TestShutdownDrains(t *testing.T) {
 
 func mustDecode(t *testing.T, r freerider.Radio, ref, rx []byte, window int) []freerider.WindowDecision {
 	t.Helper()
-	ws, err := freerider.DecodeStream(r, ref, rx, window)
+	ws, _, err := freerider.DecodeStream(r, ref, rx, window)
 	if err != nil {
 		t.Fatal(err)
 	}
 	return ws
+}
+
+// TestSingleReceiverEndpoints drives both endpoints in single-receiver
+// mode end to end: /v1/decode on a differential flip-feature stream
+// against the direct library call, /v1/simulate against a direct
+// single-mode Run (keyed apart from the dual pool entry), and the
+// /metrics per-mode counters.
+func TestSingleReceiverEndpoints(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// Flip features for tag bits 1,0,1 over windows of 4.
+	feat := []byte{1, 1, 1, 1, 0, 0, 0, 0, 1, 1, 1, 1}
+	ws, err := freerider.DecodeDifferentialStream(freerider.WiFi, feat, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postJSON(t, ts.URL+"/v1/decode", decodeRequest{
+		Radio: "wifi", RX: streamString(feat), Window: 4, Mode: "single",
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single decode: %d %s", resp.StatusCode, body)
+	}
+	var dec decodeResponse
+	if err := json.Unmarshal(body, &dec); err != nil {
+		t.Fatal(err)
+	}
+	if dec.Mode != "single" || dec.TagBits != streamString(freerider.DecisionBits(ws)) {
+		t.Fatalf("single decode = %+v, want mode single, tag bits %s",
+			dec, streamString(freerider.DecisionBits(ws)))
+	}
+
+	// A reference stream contradicts single mode.
+	resp, body = postJSON(t, ts.URL+"/v1/decode", decodeRequest{
+		Radio: "wifi", Ref: "0101", RX: streamString(feat), Window: 4, Mode: "single",
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("single decode with ref: got %d %s, want 400", resp.StatusCode, body)
+	}
+
+	// Simulate dual then single with identical knobs: the single request
+	// must not hit the dual session, and must match a direct single Run.
+	req := simulateRequest{Radio: "zigbee", Distance: 4, Packets: 2, Seed: 3}
+	if resp, body := postJSON(t, ts.URL+"/v1/simulate", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("dual simulate: %d %s", resp.StatusCode, body)
+	}
+	req.Receiver = "single"
+	resp, body = postJSON(t, ts.URL+"/v1/simulate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("single simulate: %d %s", resp.StatusCode, body)
+	}
+	var sim simulateResponse
+	if err := json.Unmarshal(body, &sim); err != nil {
+		t.Fatal(err)
+	}
+	if sim.Receiver != "single" {
+		t.Fatalf("receiver %q, want single", sim.Receiver)
+	}
+	if sim.CacheHit {
+		t.Fatal("single simulate hit the dual-mode pool entry")
+	}
+	cfg := freerider.DefaultConfig(freerider.ZigBee, 4)
+	cfg.Seed = 3
+	cfg.ReceiverMode = freerider.SingleReceiver
+	sess, err := freerider.NewSession(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := sess.Run(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Result != want {
+		t.Fatalf("single simulate diverges from direct Run:\n got %+v\nwant %+v", sim.Result, want)
+	}
+
+	var got metricsResponse
+	if resp := getJSON(t, ts.URL+"/metrics", &got); resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	m := got.ReceiverModes
+	if m.SingleDecodes != 1 || m.DualDecodes != 0 || m.SingleSimulates != 1 || m.DualSimulates != 1 {
+		t.Fatalf("mode counters = %+v, want 1 single decode, 1 dual + 1 single simulate", m)
+	}
 }

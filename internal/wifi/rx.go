@@ -35,6 +35,14 @@ type RxPacket struct {
 	// quaternary (eq. 5) codeword rotations, which are invisible after
 	// convolutional decoding.
 	DemappedBits []byte
+	// PilotPhases is one pilot-correlation phase per data symbol (radians,
+	// in (-π, π]): the phase of Σ pilots·conj(expected), the same
+	// correlation pilot phase tracking would correct with. It estimates the
+	// tag's applied rotation per symbol, which is what the single-receiver
+	// (Double-decker) differential decoder consumes. Collected only when
+	// Receiver.CollectPilotPhases is set; index 0 is the SERVICE symbol,
+	// which the tag never translates.
+	PilotPhases []float64
 }
 
 // Receiver decodes 802.11a/g PPDUs from complex baseband captures.
@@ -59,6 +67,12 @@ type Receiver struct {
 	// LLR-based soft Viterbi decoding (~2 dB coding gain). Off by default
 	// to keep the calibrated link budgets comparable.
 	SoftDecision bool
+	// CollectPilotPhases records each data symbol's pilot-correlation
+	// phase on RxPacket.PilotPhases for the single-receiver differential
+	// decoder. Off by default so the dual-receiver path stays
+	// allocation-identical. Unlike PilotPhaseTracking this only observes
+	// the pilots — the data subcarriers are never corrected.
+	CollectPilotPhases bool
 }
 
 // NewReceiver returns a receiver with the default detection threshold and
@@ -458,11 +472,18 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	if rx.SoftDecision {
 		soft = make([]float64, 0, nSym*rate.NCBPS)
 	}
+	var pilotPhases []float64
+	if rx.CollectPilotPhases {
+		pilotPhases = make([]float64, 0, nSym)
+	}
 	for i := 0; i < nSym; i++ {
 		off := dataStart + i*SymbolLen
 		pts, pilots, err := disassembleSymbolBuf(s[off:off+SymbolLen], h, fftBuf)
 		if err != nil {
 			return nil, err
+		}
+		if rx.CollectPilotPhases {
+			pilotPhases = append(pilotPhases, pilotPhase(pilots, i+1))
 		}
 		if rx.PilotPhaseTracking {
 			pts = correctPhase(pts, pilots, i+1)
@@ -540,8 +561,25 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		SNRdB:        snr,
 		FCSOK:        checkFCS(psdu),
 		DemappedBits: demapped,
+		PilotPhases:  pilotPhases,
 	}
 	return pkt, nil
+}
+
+// pilotPhase returns the phase of the pilot correlation against the
+// expected 802.11 pilot pattern for data symbol symIdx — the quantity
+// correctPhase would rotate away. With phase tracking off (FreeRider's
+// required receiver behaviour) it directly observes the tag's applied
+// rotation plus slowly-varying common phase error, which the differential
+// window compare cancels.
+func pilotPhase(pilots [NumPilots]complex128, symIdx int) float64 {
+	p := PilotPolarity(symIdx)
+	var acc complex128
+	for i, pl := range PilotSubcarriers {
+		expected := complex(pl.Polarity*p, 0)
+		acc += pilots[i] * cmplx.Conj(expected)
+	}
+	return cmplx.Phase(acc)
 }
 
 // estimateChannel least-squares estimates H on each used bin from the two

@@ -83,6 +83,13 @@ type RxFrame struct {
 	// CorrMargin is the mean winning correlation (0..32) across the frame's
 	// symbols — a quality indicator that collapses when a tag flips phase.
 	CorrMargin float64
+	// Flips is the per-symbol flip feature, aligned 1:1 with Symbols: 1
+	// when the chip window correlated better with the complemented
+	// codebook than the true one (see BestWorstSymbol), i.e. the tag was
+	// phase-inverting during that symbol. Collected only when
+	// Receiver.CollectFlips is set; the single-receiver differential
+	// decoder consumes it.
+	Flips []byte
 }
 
 // Receiver decodes 802.15.4 frames from complex baseband captures.
@@ -95,6 +102,11 @@ type Receiver struct {
 	// transparent to the tag's data-region phase modulation. On by
 	// default.
 	CFOCorrection bool
+	// CollectFlips records each data symbol's complemented-codebook flip
+	// feature on RxFrame.Flips for the single-receiver differential
+	// decoder. Off by default so the dual-receiver path's work and
+	// allocations are unchanged.
+	CollectFlips bool
 }
 
 // NewReceiver returns a receiver with the default threshold and CFO
@@ -298,13 +310,13 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 		return nil, ErrNoFrame
 	}
 	inv := 1 / gain
-	demodSymbol := func(symStart int) (byte, int, error) {
+	demodSymbol := func(symStart int) (byte, int, byte, error) {
 		chips := make([]byte, ChipsPerSymbol)
 		for k := 0; k < ChipsPerSymbol; k++ {
 			// Chip k peaks at (k+1)·Tc after its rail's start.
 			idx := symStart + (k+1)*SamplesPerChip
 			if idx >= len(samples) {
-				return 0, 0, ErrTruncated
+				return 0, 0, 0, ErrTruncated
 			}
 			v := samples[idx] * inv
 			var level float64
@@ -317,8 +329,16 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 				chips[k] = 1
 			}
 		}
+		if rx.CollectFlips {
+			s, c, worst := BestWorstSymbol(chips)
+			var flip byte
+			if c+worst < 0 {
+				flip = 1
+			}
+			return s, c, flip, nil
+		}
 		s, c := BestSymbol(chips)
-		return s, c, nil
+		return s, c, 0, nil
 	}
 
 	// Skip preamble, check SFD (2 symbols), read length, then payload+FCS.
@@ -326,7 +346,7 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 	var hdr [4]byte // SFD low, SFD high, len low, len high nibbles
 	var corrSum, corrN float64
 	for i := 0; i < 4; i++ {
-		s, c, err := demodSymbol(pos)
+		s, c, _, err := demodSymbol(pos)
 		if err != nil {
 			return nil, err
 		}
@@ -344,12 +364,19 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 	}
 
 	syms := make([]byte, 0, length*2)
+	var flips []byte
+	if rx.CollectFlips {
+		flips = make([]byte, 0, length*2)
+	}
 	for i := 0; i < length*2; i++ {
-		s, c, err := demodSymbol(pos)
+		s, c, flip, err := demodSymbol(pos)
 		if err != nil {
 			return nil, err
 		}
 		syms = append(syms, s)
+		if rx.CollectFlips {
+			flips = append(flips, flip)
+		}
 		corrSum += float64(c)
 		corrN++
 		pos += SymbolSamples
@@ -369,5 +396,6 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int, gain complex128) (
 		RSSI:       frameSamples.MeanPowerDBm(),
 		FCSOK:      bits.CRC16CCITT(payload) == fcs,
 		CorrMargin: corrSum / corrN,
+		Flips:      flips,
 	}, nil
 }

@@ -122,6 +122,28 @@ func BestSymbol(chips []byte) (byte, int) {
 	return best, bestC
 }
 
+// BestWorstSymbol is BestSymbol extended with the codebook's worst (most
+// negative) correlation over the same window. Because complementing every
+// chip negates the correlation — corr(r, ~x) = −corr(r, x) — the best
+// match against the *complemented* codebook is exactly −worstC, so
+// bestC + worstC < 0 means the window correlates better with a
+// complemented sequence than with any true one: the single-receiver flip
+// feature for a tag that phase-inverts chips.
+func BestWorstSymbol(chips []byte) (best byte, bestC, worstC int) {
+	best, bestC = byte(0), -ChipsPerSymbol-1
+	worstC = ChipsPerSymbol + 1
+	for s := 0; s < 16; s++ {
+		c := CorrelateChips(chips, s)
+		if c > bestC {
+			best, bestC = byte(s), c
+		}
+		if c < worstC {
+			worstC = c
+		}
+	}
+	return best, bestC, worstC
+}
+
 // FrameDuration returns the airtime of a frame with an n-byte payload
 // (preamble 4 B + SFD 1 B + length 1 B + payload + FCS 2 B at 250 kbps).
 func FrameDuration(n int) float64 {
