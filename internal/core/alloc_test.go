@@ -2,37 +2,53 @@ package core
 
 import "testing"
 
-// TestRunPacketBluetoothAllocs pins the steady-state heap traffic of the
-// full Bluetooth packet pipeline (TX synthesis included — no waveform
-// cache configured). The budget covers only the escaping results: the
-// random payload, the frame-bit reference, the synthesised/translated
-// waveforms and the discriminator output; all filter/convolution scratch
-// lives in pooled arenas. A regression here means a fast path started
-// allocating per packet again.
-func TestRunPacketBluetoothAllocs(t *testing.T) {
+// TestRunPacketAllocs pins the steady-state heap traffic of the full
+// per-packet pipeline for every radio (TX synthesis included — no
+// waveform cache configured). The counts cover only the escaping
+// results: the random payload, the frame-bit reference, the
+// synthesised/translated waveforms and the demodulator output; all
+// filter/convolution scratch lives in pooled arenas and every pool on
+// the path is a GC-stable signal.FreeList, so the counts are exact
+// integers, not budgets. A change in either direction means the fast
+// path's allocation behaviour moved: re-measure and update the pin
+// alongside the change that caused it.
+func TestRunPacketAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation pins are not meaningful under the race detector")
 	}
-	cfg := DefaultConfig(Bluetooth, 5)
-	s, err := NewSession(cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	tagBits := make([]byte, s.Capacity())
-	for i := range tagBits {
-		tagBits[i] = byte(i) & 1
-	}
-	// Warm the arena and session pools so the measurement sees steady state.
-	if _, err := s.RunPacket(tagBits); err != nil {
-		t.Fatal(err)
-	}
-	const budget = 14 // measured by BenchmarkSessionRunPacket/Bluetooth
-	got := testing.AllocsPerRun(20, func() {
-		if _, err := s.RunPacket(tagBits); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if got > budget {
-		t.Fatalf("Bluetooth RunPacket allocates %.1f/op, budget %d", got, budget)
+	for _, tc := range []struct {
+		radio Radio
+		want  float64 // measured by BenchmarkSessionRunPacket
+	}{
+		{WiFi, 17},
+		{ZigBee, 20},
+		{Bluetooth, 12},
+	} {
+		t.Run(tc.radio.String(), func(t *testing.T) {
+			cfg := DefaultConfig(tc.radio, 5)
+			s, err := NewSession(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tagBits := make([]byte, s.Capacity())
+			for i := range tagBits {
+				tagBits[i] = byte(i) & 1
+			}
+			// Warm the arena and session pools so the measurement sees
+			// steady state.
+			for k := 0; k < 3; k++ {
+				if _, err := s.RunPacket(tagBits); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(20, func() {
+				if _, err := s.RunPacket(tagBits); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got != tc.want {
+				t.Fatalf("%v RunPacket allocates %.1f/op, want exactly %.0f", tc.radio, got, tc.want)
+			}
+		})
 	}
 }

@@ -1,6 +1,10 @@
 package core
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/waveform"
+)
 
 // BenchmarkSessionRunPacket times one full sample-level backscatter packet
 // (ambient TX → tag codeword translation → channel → receiver → tag
@@ -29,6 +33,39 @@ func BenchmarkSessionRunPacket(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := s.RunPacket(tagBits); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSessionRunPacketBatch is the batch pipeline's per-packet cost:
+// DefaultBatchSize packets per RunPacketBatch call over a warm waveform
+// cache and a fixed ContentSeed, so every iteration replays the same
+// packet indices with cache-hit synthesis and the number measures the
+// receive-side DSP the batch path amortises — channel, receiver, decode.
+// ns/op is per packet (the loop strides by the batch size). The serial
+// BenchmarkSessionRunPacket above stays as-is: the pair is the
+// ROADMAP "sub-millisecond packet" scoreboard, cache half vs DSP half.
+func BenchmarkSessionRunPacketBatch(b *testing.B) {
+	for _, radio := range []Radio{WiFi, ZigBee, Bluetooth} {
+		b.Run(radio.String(), func(b *testing.B) {
+			cfg := DefaultConfig(radio, 5)
+			cfg.Waveforms = waveform.New(0)
+			cfg.ContentSeed = 7 // fixed content: replayed indices hit the cache
+			s, err := NewSession(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Warm pools and populate the waveform cache for the batch.
+			if _, err := s.RunPacketBatch(0, DefaultBatchSize); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += DefaultBatchSize {
+				if _, err := s.RunPacketBatch(0, DefaultBatchSize); err != nil {
 					b.Fatal(err)
 				}
 			}

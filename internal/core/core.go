@@ -11,7 +11,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/bits"
 	"repro/internal/bluetooth"
@@ -592,13 +591,15 @@ func (s *Session) zigbeeMPDU(rng *rand.Rand) []byte {
 // capturePool recycles the receiver-side capture buffers (hundreds of KB
 // per packet). Decoded frames copy everything they keep — payload bytes,
 // bit slices — so a capture can be recycled as soon as its packet's decode
-// finishes; RunParallel workers share the Session, hence a sync.Pool
-// rather than Session fields.
-var capturePool = sync.Pool{New: func() any { return signal.New(0, 0) }}
+// finishes; RunParallel workers share the Session, hence a shared pool
+// rather than Session fields. The GC-stable FreeList (see signal.FreeList)
+// keeps steady-state allocation counts deterministic; Cap bounds the
+// pinned capture memory to one buffer per plausible worker.
+var capturePool = signal.FreeList[*signal.Signal]{New: func() *signal.Signal { return signal.New(0, 0) }, Cap: 32}
 
 // packetRNGPool recycles the per-packet RNGs RunParallel's derived streams
 // use (the default source carries a ~5 KB state table).
-var packetRNGPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+var packetRNGPool = signal.FreeList[*rand.Rand]{New: func() *rand.Rand { return rand.New(rand.NewSource(0)) }}
 
 // link instantiates the configured link for one packet, seeding it from the
 // packet's RNG stream and attaching the slot's channel-level faults (nil
@@ -694,9 +695,9 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	used := entry.Used
 	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	cap := capturePool.Get().(*signal.Signal)
+	cap := capturePool.Get()
 	defer capturePool.Put(cap)
-	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyToWithPower(cap, entry.Wave, 400, false, entry.MeanPower); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -706,6 +707,9 @@ func (s *Session) runWiFi(tagBits []byte, content, chanRng *rand.Rand, wtx *wifi
 	rx.PilotPhaseTracking = s.cfg.PilotPhaseTracking
 	rx.SoftDecision = s.cfg.SoftDecision
 	rx.CollectPilotPhases = s.cfg.ReceiverMode == SingleReceiver
+	// The session reports the link budget's backscatter RSSI (below), never
+	// the capture measurement, so skip that full-packet power pass.
+	rx.SkipRSSI = true
 	pkt, err := rx.Receive(cap)
 	if err != nil {
 		return res, nil // undetected: lost packet, not a session error
@@ -907,9 +911,9 @@ func (s *Session) runZigBee(tagBits []byte, content, chanRng *rand.Rand, pf faul
 	used := entry.Used
 	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	cap := capturePool.Get().(*signal.Signal)
+	cap := capturePool.Get()
 	defer capturePool.Put(cap)
-	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyToWithPower(cap, entry.Wave, 400, false, entry.MeanPower); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -1025,9 +1029,9 @@ func (s *Session) runBluetooth(tagBits []byte, content, chanRng *rand.Rand, pf f
 	ref := entry.Ref
 	res := PacketResult{AirTime: entry.Airtime, TagBits: used, Fault: pf}
 
-	cap := capturePool.Get().(*signal.Signal)
+	cap := capturePool.Get()
 	defer capturePool.Put(cap)
-	if err := s.link(chanRng, pf).ApplyTo(cap, entry.Wave, 400, false); err != nil {
+	if err := s.link(chanRng, pf).ApplyToWithPower(cap, entry.Wave, 400, false, entry.MeanPower); err != nil {
 		return PacketResult{}, err
 	}
 	res.Samples = len(cap.Samples)
@@ -1172,13 +1176,26 @@ func (r SessionResult) LossRate() float64 {
 // runPacketAt runs packet idx of a multi-packet session on its own derived
 // RNG stream. The stream — tag data, payload, WiFi scrambler seed, fading
 // and noise — depends only on (Config.Seed, idx), never on which packets
-// ran before or on which worker this one lands, which is what makes Run
-// and RunParallel bit-identical.
+// ran before or on which worker this one lands, which is what makes Run,
+// RunBatch and RunParallel bit-identical.
 func (s *Session) runPacketAt(idx int) (PacketResult, error) {
-	// Seed fully re-initialises a pooled generator's state, so the stream
-	// is exactly what a fresh rand.New(rand.NewSource(seed)) would draw.
-	rng := packetRNGPool.Get().(*rand.Rand)
+	rng := packetRNGPool.Get()
 	defer packetRNGPool.Put(rng)
+	var crng *rand.Rand
+	if s.cfg.ContentSeed != 0 {
+		crng = packetRNGPool.Get()
+		defer packetRNGPool.Put(crng)
+	}
+	return s.runPacketAtWith(idx, rng, crng)
+}
+
+// runPacketAtWith is runPacketAt with caller-supplied scratch generators
+// (crng may be nil when no ContentSeed is set). Both are fully re-seeded
+// here — Seed re-initialises the whole source state, so a recycled
+// generator draws exactly what a fresh rand.New(rand.NewSource(seed))
+// would — which is what lets batch loops hoist the pool traffic out of
+// their per-packet loop without changing a single draw.
+func (s *Session) runPacketAtWith(idx int, rng, crng *rand.Rand) (PacketResult, error) {
 	rng.Seed(runner.DeriveSeed(s.cfg.Seed, "core.packet", idx))
 	// With a ContentSeed, packet content comes off its own derived stream so
 	// sweeps that vary Seed per point still synthesise identical packets;
@@ -1186,8 +1203,6 @@ func (s *Session) runPacketAt(idx int) (PacketResult, error) {
 	// order (content first, then the channel seed), bit for bit.
 	content := rng
 	if s.cfg.ContentSeed != 0 {
-		crng := packetRNGPool.Get().(*rand.Rand)
-		defer packetRNGPool.Put(crng)
 		crng.Seed(runner.DeriveSeed(s.cfg.ContentSeed, "core.content", idx))
 		content = crng
 	}
@@ -1257,36 +1272,102 @@ func (r *SessionResult) accumulate(pr PacketResult, gap float64) {
 	}
 }
 
+// DefaultBatchSize is the packet count per batch dispatch used by Run,
+// RunParallel and the serve layer when the caller does not choose one.
+// Large enough to amortise per-dispatch setup (RNG pool checkout, scratch
+// warm-up, plan lookups), small enough that RunParallel still load-balances
+// across workers on modest packet counts.
+const DefaultBatchSize = 8
+
+// runPacketRange runs packets [lo, hi) of the derived-stream timeline into
+// prs[0:hi-lo] with one set of pooled scratch generators for the whole
+// range. Each packet still re-seeds from (Config.Seed, idx) — see
+// runPacketAtWith — so the results are bit-identical to calling
+// runPacketAt per index.
+func (s *Session) runPacketRange(lo, hi int, prs []PacketResult) error {
+	rng := packetRNGPool.Get()
+	defer packetRNGPool.Put(rng)
+	var crng *rand.Rand
+	if s.cfg.ContentSeed != 0 {
+		crng = packetRNGPool.Get()
+		defer packetRNGPool.Put(crng)
+	}
+	for i := lo; i < hi; i++ {
+		pr, err := s.runPacketAtWith(i, rng, crng)
+		if err != nil {
+			return err
+		}
+		prs[i-lo] = pr
+	}
+	return nil
+}
+
+// RunPacketBatch synthesises, impairs and decodes the n packets at indices
+// start..start+n-1 of the session's derived-stream timeline and returns
+// their per-packet results. It is the batch counterpart of runPacketAt —
+// every packet draws from its own (Config.Seed, index) stream, so the
+// returned slice is bit-identical, element for element, to running the
+// serial per-packet loop over the same indices — while the batch amortises
+// RNG pool checkouts and keeps the scratch arenas, FFT plans and capture
+// buffers hot across consecutive packets. With a Waveforms cache attached,
+// consecutive identical packets (retransmissions, fixed-content sweeps)
+// decode against one cached synthesis.
+func (s *Session) RunPacketBatch(start, n int) ([]PacketResult, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("core: negative batch size %d", n)
+	}
+	prs := make([]PacketResult, n)
+	if err := s.runPacketRange(start, start+n, prs); err != nil {
+		return nil, err
+	}
+	return prs, nil
+}
+
+// RunBatch is Run with an explicit batch size: packets are processed in
+// contiguous ranges of `batch` (<= 0 selects DefaultBatchSize) through
+// RunPacketBatch's amortised loop. The aggregate result is bit-identical
+// to Run and RunParallel for every batch size.
+func (s *Session) RunBatch(n, batch int) (SessionResult, error) {
+	if batch <= 0 {
+		batch = DefaultBatchSize
+	}
+	var out SessionResult
+	prs := make([]PacketResult, batch)
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		if err := s.runPacketRange(lo, hi, prs[:hi-lo]); err != nil {
+			return SessionResult{}, err
+		}
+		for i := range prs[:hi-lo] {
+			out.accumulate(prs[i], s.cfg.InterPacketGap)
+		}
+	}
+	return out, nil
+}
+
 // Run executes n excitation packets with fresh random tag data on each and
 // aggregates the results. Each packet runs on its own RNG stream derived
 // from (Config.Seed, packet index), so the result is exactly what
 // RunParallel produces with any worker count.
 func (s *Session) Run(n int) (SessionResult, error) {
-	var out SessionResult
-	for i := 0; i < n; i++ {
-		pr, err := s.runPacketAt(i)
-		if err != nil {
-			return out, err
-		}
-		out.accumulate(pr, s.cfg.InterPacketGap)
-	}
-	return out, nil
+	return s.RunBatch(n, DefaultBatchSize)
 }
 
 // RunParallel is Run spread over a bounded worker pool (all cores when
-// workers <= 0). Per-packet seed derivation makes the aggregate
-// SessionResult bit-identical to the serial Run for every worker count;
-// on error it returns a zero result plus the error the serial loop would
-// have hit first.
+// workers <= 0), sharding DefaultBatchSize-packet batches across the pool
+// rather than single packets so each dispatch amortises its setup.
+// Per-packet seed derivation makes the aggregate SessionResult
+// bit-identical to the serial Run for every worker count and batch
+// sharding; on error it returns a zero result plus the error the serial
+// loop would have hit first (batches are contiguous index ranges, so the
+// lowest failing batch's first error is the serial loop's first error).
 func (s *Session) RunParallel(n, workers int) (SessionResult, error) {
 	prs := make([]PacketResult, n)
-	if err := runner.Map(n, workers, func(i int) error {
-		pr, err := s.runPacketAt(i)
-		if err != nil {
-			return err
-		}
-		prs[i] = pr
-		return nil
+	if err := runner.MapBatches(n, DefaultBatchSize, workers, func(lo, hi int) error {
+		return s.runPacketRange(lo, hi, prs[lo:hi])
 	}); err != nil {
 		return SessionResult{}, err
 	}

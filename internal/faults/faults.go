@@ -27,16 +27,24 @@ package faults
 import (
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/channel"
 	"repro/internal/runner"
+	"repro/internal/signal"
 )
 
 // faultRNGPool recycles the generators At replays the burst and drift
 // processes on; At runs once per packet slot, so without the pool those
-// two sources dominate the fault layer's steady-state allocations.
-var faultRNGPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+// two sources dominate the fault layer's steady-state allocations. It is
+// a GC-stable free list rather than a sync.Pool: the pool's GC-driven
+// eviction made At's allocation count flicker (0↔2 in the BENCH_DSP
+// trajectory) depending on collection timing, while the free list, once
+// warm, is deterministically allocation-free. The list is bounded so a
+// transient burst of concurrent At calls cannot pin generators forever.
+var faultRNGPool = signal.FreeList[*rand.Rand]{
+	New: func() *rand.Rand { return rand.New(rand.NewSource(0)) },
+	Cap: 32,
+}
 
 // Burst is a Gilbert–Elliott burst-interference / deep-fade process: a
 // two-state Markov chain stepped once per slot. In the bad state the link
@@ -232,12 +240,12 @@ func (p *Profile) At(seed int64, slot int) Packet {
 	// pool keeps the ~5 KB source state out of the per-packet heap traffic.
 	var burstRng, driftRng *rand.Rand
 	if p.Burst != nil {
-		burstRng = faultRNGPool.Get().(*rand.Rand)
+		burstRng = faultRNGPool.Get()
 		defer faultRNGPool.Put(burstRng)
 		burstRng.Seed(runner.DeriveSeed(seed, "faults.burst"))
 	}
 	if p.Drift != nil {
-		driftRng = faultRNGPool.Get().(*rand.Rand)
+		driftRng = faultRNGPool.Get()
 		defer faultRNGPool.Put(driftRng)
 		driftRng.Seed(runner.DeriveSeed(seed, "faults.drift"))
 	}

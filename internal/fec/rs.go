@@ -1,6 +1,10 @@
 package fec
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/signal"
+)
 
 // maxParity bounds the redundancy of any code this package will build: 64
 // parity symbols is t=32, already far beyond what a single excitation
@@ -86,7 +90,7 @@ type rsScratch struct {
 	orig  [maxN]byte
 }
 
-var scratchPool = sync.Pool{New: func() any { return new(rsScratch) }}
+var scratchPool = signal.FreeList[*rsScratch]{New: func() *rsScratch { return new(rsScratch) }}
 
 // syndromes fills out[:parity] with S_i = rec(α^i) via Horner (rec[0] is
 // the highest-degree symbol) and reports whether any is nonzero.
@@ -119,7 +123,7 @@ func rsDecode(rec []byte, parity int) (corrected int, ok bool) {
 	if parity > maxParity || n > maxN || n <= parity {
 		return 0, false
 	}
-	sc := scratchPool.Get().(*rsScratch)
+	sc := scratchPool.Get()
 	defer scratchPool.Put(sc)
 
 	synd := sc.synd[:parity]

@@ -90,6 +90,33 @@ func Map(n, workers int, fn func(i int) error) error {
 	return err
 }
 
+// MapBatches runs fn(lo, hi) over contiguous index ranges covering [0, n)
+// in steps of `batch` (the last range may be short) on the same bounded
+// pool as Map. Batch b covers [b·batch, min((b+1)·batch, n)). Because every
+// index still lands in exactly one call and ranges are fixed by (n, batch)
+// alone — never by worker count or scheduling — a caller whose fn(lo, hi)
+// is equivalent to the serial loop over [lo, hi) gets results bit-identical
+// to Map(n, workers, perIndexFn) while amortising per-dispatch setup
+// (scratch checkout, RNG seeding, plan lookups) across each range. Errors
+// report lowest batch first, matching the serial order.
+func MapBatches(n, batch, workers int, fn func(lo, hi int) error) error {
+	if n < 0 {
+		return fmt.Errorf("runner: negative job count %d", n)
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	nb := (n + batch - 1) / batch
+	return Map(nb, workers, func(b int) error {
+		lo := b * batch
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		return fn(lo, hi)
+	})
+}
+
 // MapStats is Map plus pool statistics for the metrics layer.
 func MapStats(n, workers int, fn func(i int) error) (Stats, error) {
 	if n < 0 {

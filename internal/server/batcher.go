@@ -8,8 +8,6 @@ import (
 	"time"
 
 	freerider "repro"
-
-	"repro/internal/runner"
 )
 
 // errDraining is returned by submit once the batcher has begun shutdown.
@@ -143,9 +141,11 @@ func (b *batcher) gather(first *decodeJob) []*decodeJob {
 	return batch
 }
 
-// dispatch runs one batch through the deterministic worker pool. Job i
-// writes result slot i only, so outputs are bit-identical to running each
-// request serially regardless of batch composition or worker count.
+// dispatch hands one coalesced batch to the library's batch decode entry
+// point as a single call. DecodeBatch guarantees slot i is exactly the
+// serial DecodeStream/DecodeDifferentialStream result for request i, so
+// batching stays invisible in the outputs regardless of batch composition
+// or worker count — only the dispatch count changes.
 func (b *batcher) dispatch(batch []*decodeJob) {
 	if b.testHook != nil {
 		b.testHook()
@@ -158,22 +158,23 @@ func (b *batcher) dispatch(batch []*decodeJob) {
 			break
 		}
 	}
-	results := make([]decodeJobResult, len(batch))
-	// fn never returns an error: per-job failures travel in the job's own
-	// result slot so one bad request cannot fail its batch peers.
-	_ = runner.Map(len(batch), b.workers, func(i int) error {
-		j := batch[i]
-		if j.single {
-			ws, err := freerider.DecodeDifferentialStream(j.radio, j.rx, j.window)
-			results[i] = decodeJobResult{windows: ws, err: err}
-			return nil
-		}
-		ws, dropped, err := freerider.DecodeStream(j.radio, j.ref, j.rx, j.window)
-		results[i] = decodeJobResult{windows: ws, dropped: dropped, err: err}
-		return nil
-	})
+	reqs := make([]freerider.DecodeRequest, len(batch))
 	for i, j := range batch {
-		j.out <- results[i]
+		reqs[i] = freerider.DecodeRequest{
+			Radio:  j.radio,
+			Ref:    j.ref,
+			RX:     j.rx,
+			Window: j.window,
+			Single: j.single,
+		}
+	}
+	results := freerider.DecodeBatch(reqs, b.workers)
+	for i, j := range batch {
+		j.out <- decodeJobResult{
+			windows: results[i].Windows,
+			dropped: results[i].Dropped,
+			err:     results[i].Err,
+		}
 	}
 }
 

@@ -19,10 +19,25 @@ func Derotate(samples []complex128, cfo, rate float64) {
 	}
 	step := cmplx.Exp(complex(0, -2*math.Pi*cfo/rate))
 	rot := complex(1, 0)
-	for i := range samples {
-		samples[i] *= rot
-		rot *= step
-		if i&0x3FF == 0x3FF {
+	// Block form of the historical per-sample loop: the renorm fires only at
+	// i ≡ 1023 (mod 1024), so each 1024-sample run executes the same
+	// multiply/advance sequence with the boundary test hoisted out of the
+	// inner loop. Operations and their order are unchanged — the renorm
+	// still happens right after the boundary sample's rot advance.
+	n := len(samples)
+	for i := 0; i < n; {
+		end := (i | 0x3FF) + 1
+		boundary := end <= n
+		if !boundary {
+			end = n
+		}
+		blk := samples[i:end]
+		for j := range blk {
+			blk[j] *= rot
+			rot *= step
+		}
+		i = end
+		if boundary {
 			rot /= complex(cmplx.Abs(rot), 0)
 		}
 	}

@@ -3,6 +3,7 @@ package signal
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // LowpassFIR designs a windowed-sinc (Hamming) lowpass FIR filter with the
@@ -96,49 +97,187 @@ func ConvolveInto(dst, x []complex128, h []float64, a *Arena) []complex128 {
 	return append(dst[:0], full[delay:delay+len(x)]...)
 }
 
-// ConvolveFFTThreshold is the tap count above which overlap-save FFT
-// convolution (ConvolveFFT) beats the direct form. It is advisory: the
-// FFT path reorders floating-point summation and is therefore NOT
-// bit-identical to Convolve, so bit-exact paths (anything feeding the
+// ConvolveFFTThreshold is the tap count at and above which overlap-save FFT
+// convolution (ConvolveFFT) beats the direct form for typical capture
+// lengths (see ConvolveUseFFT for the length-aware crossover). It is
+// advisory: the FFT path reorders floating-point summation and is therefore
+// NOT bit-identical to Convolve, so bit-exact paths (anything feeding the
 // golden vectors or the RunParallel identity check) must keep calling
 // Convolve/ConvolveInto regardless of tap count.
 const ConvolveFFTThreshold = 128
 
-// ConvolveFFT computes the same "same"-aligned filtering as Convolve using
-// overlap-save FFT blocks. Results agree with Convolve only to floating-
-// point tolerance (summation order differs) — this path is opt-in for
-// analysis and offline tooling, never a silent replacement on decode paths.
-func ConvolveFFT(x []complex128, h []float64) []complex128 {
-	if len(x) == 0 || len(h) == 0 {
-		return nil
+// ConvolveFFTTolerance bounds the relative error of ConvolveFFT against the
+// direct Convolve reference: for every output sample,
+//
+//	|fft − direct| ≤ ConvolveFFTTolerance · Σ|x[i]|·|h[j]|  (the L1 mass)
+//
+// The FFT path accumulates O(log n) rounding steps per output versus the
+// direct form's O(taps), both in float64, so the observed error is ~1e-15
+// relative; the gate leaves three orders of magnitude of slack and the
+// property tests in filter_fft_test.go enforce it across the crossover.
+const ConvolveFFTTolerance = 1e-12
+
+// ConvolveUseFFT reports whether the overlap-save FFT path is predicted to
+// beat direct convolution for an nx-sample input filtered by nh taps. The
+// model counts real multiply-adds: direct is 4·nx·nh; the FFT path is two
+// n-point transforms plus a pointwise product per L = n−nh+1 outputs
+// (≈ 10·n·log2(n) + 8·n real ops). Short signals and short filters stay on
+// the direct form, which is also the bit-identical one.
+func ConvolveUseFFT(nx, nh int) bool {
+	if nx == 0 || nh == 0 || nh < 16 {
+		return false
 	}
-	m := len(h)
+	n := convolveFFTSize(nh)
+	l := n - nh + 1
+	fftPerOut := (10*float64(n)*math.Log2(float64(n)) + 8*float64(n)) / float64(l)
+	directPerOut := 4 * float64(nh)
+	return fftPerOut < directPerOut
+}
+
+// convolveFFTSize picks the overlap-save block size for an m-tap filter:
+// the power of two at least 4·m (and at least 64), which keeps ≥ 75% of
+// every block's outputs valid while the transforms stay cache-resident.
+func convolveFFTSize(m int) int {
 	n := 1
 	for n < 4*m || n < 64 {
 		n <<= 1
 	}
+	return n
+}
+
+// firPlan carries one filter's frequency-domain image at one block size,
+// cached so repeated ConvolveFFT calls with the same taps (the per-packet
+// channel and Gauss filters) skip the filter FFT and its allocation.
+type firPlan struct {
+	plan *Plan
+	taps []float64    // defensive copy, compared on lookup against collisions
+	hf   []complex128 // n-point FFT of taps
+}
+
+// firPlanCache maps {tap hash, tap count, block size} to *firPlan.
+// Collisions are resolved by comparing the stored taps, so a hash collision
+// costs one extra build, never a wrong filter.
+var firPlanCache sync.Map // firKey -> []*firPlan
+
+type firKey struct {
+	hash uint64
+	m, n int
+}
+
+func tapsHash(h []float64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	acc := uint64(offset64)
+	for _, v := range h {
+		b := math.Float64bits(v)
+		for s := 0; s < 64; s += 8 {
+			acc ^= (b >> s) & 0xFF
+			acc *= prime64
+		}
+	}
+	return acc
+}
+
+func firPlanFor(h []float64, n int) (*firPlan, error) {
+	key := firKey{hash: tapsHash(h), m: len(h), n: n}
+	if v, ok := firPlanCache.Load(key); ok {
+		for _, fp := range v.([]*firPlan) {
+			if floatsEqual(fp.taps, h) {
+				return fp, nil
+			}
+		}
+	}
 	p, err := PlanFor(n)
 	if err != nil {
-		return Convolve(x, h) // unreachable: n is a power of two
+		return nil, err
 	}
 	hf := make([]complex128, n)
 	for i, hv := range h {
 		hf[i] = complex(hv, 0)
 	}
-	p.FFT(hf)
+	if err := p.FFT(hf); err != nil {
+		return nil, err
+	}
+	fp := &firPlan{plan: p, taps: append([]float64(nil), h...), hf: hf}
+	for {
+		v, loaded := firPlanCache.LoadOrStore(key, []*firPlan{fp})
+		if !loaded {
+			return fp, nil
+		}
+		plans := v.([]*firPlan)
+		for _, prior := range plans {
+			if floatsEqual(prior.taps, h) {
+				return prior, nil
+			}
+		}
+		if firPlanCache.CompareAndSwap(key, v, append(append([]*firPlan(nil), plans...), fp)) {
+			return fp, nil
+		}
+	}
+}
 
+func floatsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// ConvolveFFT computes the same "same"-aligned filtering as Convolve using
+// overlap-save FFT blocks. The filter's frequency response is plan-cached
+// (first call per filter pays one FFT; every later call is lookup-only) and
+// all scratch comes from a pooled arena, so a warm call allocates only its
+// result. Results agree with Convolve to ConvolveFFTTolerance — summation
+// order differs — so this path is opt-in for analysis, offline tooling and
+// explicitly-gated fast paths, never a silent replacement on bit-exact
+// decode paths.
+func ConvolveFFT(x []complex128, h []float64) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return nil
+	}
 	a := GetArena()
 	defer a.Release()
-	block := a.Complex(n)
+	out := make([]complex128, len(x))
+	return convolveFFTInto(out, x, h, a)
+}
+
+// ConvolveFFTInto is ConvolveFFT with caller-provided storage: the result
+// is written into dst[:len(x)] (which must have capacity) and scratch comes
+// from the supplied arena, so a warm caller allocates nothing.
+func ConvolveFFTInto(dst, x []complex128, h []float64, a *Arena) []complex128 {
+	if len(x) == 0 || len(h) == 0 {
+		return dst[:0]
+	}
+	return convolveFFTInto(dst[:len(x)], x, h, a)
+}
+
+func convolveFFTInto(out, x []complex128, h []float64, a *Arena) []complex128 {
+	m := len(h)
+	n := convolveFFTSize(m)
+	fp, err := firPlanFor(h, n)
+	if err != nil {
+		// Unreachable (n is a power of two), but fail exact rather than wrong.
+		return append(out[:0], Convolve(x, h)...)
+	}
+	p, hf := fp.plan, fp.hf
+	block := a.ComplexUninit(n)
 	fullLen := len(x) + m - 1
-	full := a.Complex(fullLen)
+	full := a.ComplexUninit(fullLen)
 	// Overlap-save: each block covers input x[pos-m+1 : pos-m+1+n]; after
 	// the circular convolution, entries m-1..n-1 are valid linear-convolution
 	// outputs full[pos : pos+L].
 	L := n - m + 1
 	for pos := 0; pos < fullLen; pos += L {
+		lo := pos - m + 1
 		for i := 0; i < n; i++ {
-			idx := pos - m + 1 + i
+			idx := lo + i
 			if idx >= 0 && idx < len(x) {
 				block[i] = x[idx]
 			} else {
@@ -157,7 +296,6 @@ func ConvolveFFT(x []complex128, h []float64) []complex128 {
 		copy(full[pos:pos+lim], block[m-1:m-1+lim])
 	}
 	delay := (m - 1) / 2
-	out := make([]complex128, len(x))
 	copy(out, full[delay:delay+len(x)])
 	return out
 }

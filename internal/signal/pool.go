@@ -1,0 +1,52 @@
+package signal
+
+import "sync"
+
+// FreeList is a bounded, mutex-guarded free list: a sync.Pool whose
+// contents survive garbage collection. The runtime's pool empties with
+// collection cycles, so the steady-state allocation count of code using
+// one depends on GC timing — the BENCH_DSP trajectory showed per-packet
+// allocs/op flickering by ±1 with collection cadence, which forced the
+// benchgate allocation budgets to tolerate drift. A FreeList trades that
+// nondeterminism for a bounded amount of pinned memory: Get pops (or
+// calls New on a cold list), Put pushes back unless Cap items are already
+// free. The mutex is uncontended in practice — the per-packet pipelines
+// check out a handful of objects per millisecond-scale packet.
+type FreeList[T any] struct {
+	// New constructs a fresh value when the list is empty. Must be set.
+	New func() T
+	// Cap bounds how many free values the list retains; zero means 16.
+	// Values returned beyond the bound are dropped for the GC.
+	Cap int
+
+	mu   sync.Mutex
+	free []T
+}
+
+// Get returns a recycled value or a fresh one from New.
+func (l *FreeList[T]) Get() T {
+	l.mu.Lock()
+	if n := len(l.free); n > 0 {
+		v := l.free[n-1]
+		var zero T
+		l.free[n-1] = zero // drop the reference so oversized values can die
+		l.free = l.free[:n-1]
+		l.mu.Unlock()
+		return v
+	}
+	l.mu.Unlock()
+	return l.New()
+}
+
+// Put returns a value to the list, dropping it if the list is full.
+func (l *FreeList[T]) Put(v T) {
+	max := l.Cap
+	if max <= 0 {
+		max = 16
+	}
+	l.mu.Lock()
+	if len(l.free) < max {
+		l.free = append(l.free, v)
+	}
+	l.mu.Unlock()
+}

@@ -46,11 +46,11 @@ type KeyBuilder struct {
 	buf []byte
 }
 
-var builderPool = sync.Pool{New: func() any { return new(KeyBuilder) }}
+var builderPool = signal.FreeList[*KeyBuilder]{New: func() *KeyBuilder { return new(KeyBuilder) }}
 
 // NewKey checks a fresh builder out of the pool.
 func NewKey() *KeyBuilder {
-	b := builderPool.Get().(*KeyBuilder)
+	b := builderPool.Get()
 	b.buf = b.buf[:0]
 	return b
 }

@@ -61,7 +61,7 @@ type phaseTracker struct {
 // the unwrapping, which never jumps by π), so this tracker removes
 // oscillator drift *without* erasing the tag's modulation — unlike the
 // pilot-based tracking of §3.2.1.
-func (t *phaseTracker) correct(pts [NumData]complex128, m Modulation) [NumData]complex128 {
+func (t *phaseTracker) correct(pts *[NumData]complex128, m Modulation) {
 	var order float64
 	var offset float64
 	switch m {
@@ -70,28 +70,40 @@ func (t *phaseTracker) correct(pts [NumData]complex128, m Modulation) [NumData]c
 	case QPSK:
 		order, offset = 4, math.Pi // y⁴ of (±1±j)/√2 lands on e^{jπ}
 	default:
-		return pts // QAM has no simple power-law collapse; skip
+		return // QAM has no simple power-law collapse; skip
 	}
+	// Unrolled power accumulation: the multiply chains below are exactly
+	// the historical p := y; p *= y; ... left-to-right sequences, so the
+	// accumulated estimate is bit-identical.
 	var acc complex128
-	for _, y := range pts {
-		p := y
-		for k := 1; k < int(order); k++ {
-			p *= y
+	if order == 2 {
+		for _, y := range pts {
+			acc += y * y
 		}
-		acc += p
+	} else {
+		for _, y := range pts {
+			p := y * y
+			p *= y
+			p *= y
+			acc += p
+		}
 	}
 	if acc == 0 {
-		return pts
+		return
 	}
 	raw := (cmplx.Phase(acc) - offset) / order // in (-π/m, π/m]
 	period := 2 * math.Pi / order
 	theta := raw + period*math.Round((t.prev-raw)/period)
 	t.prev = theta
-	rot := cmplx.Exp(complex(0, -theta))
+	// cmplx.Exp(0 - jθ) reduces to complex(cos(-θ), sin(-θ)): the real part
+	// is exactly 0 (never Inf/NaN), Exp(0) is exactly 1, and 1·c, 1·s are
+	// exact — so calling Sincos directly skips a wasted math.Exp per symbol
+	// with a bit-identical rotor.
+	sin, cos := math.Sincos(-theta)
+	rot := complex(cos, sin)
 	for i := range pts {
 		pts[i] *= rot
 	}
-	return pts
 }
 
 // derotate removes a frequency offset of cfo Hz from samples in place,

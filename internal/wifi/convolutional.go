@@ -44,13 +44,23 @@ func convEncodeInto(dst, in []byte) []byte {
 }
 
 // puncture patterns: for each period position, whether the A and B bits are
-// kept. 802.11 §17.3.5.6.
-var punctureKeep = map[CodingRate][][2]bool{
+// kept. 802.11 §17.3.5.6. Indexed by the CodingRate constants (an array,
+// not a map — puncturing runs per coded bit on the hot path).
+var punctureKeep = [3][][2]bool{
 	Rate1_2: {{true, true}},
 	// 2/3: period 2 input bits -> keep A0 B0 A1 (drop B1).
 	Rate2_3: {{true, true}, {true, false}},
 	// 3/4: period 3 input bits -> keep A0 B0 A1 B2 (drop B1, A2).
 	Rate3_4: {{true, true}, {true, false}, {false, true}},
+}
+
+// puncturePattern returns the keep pattern for a coding rate, nil when the
+// rate is unknown (preserving the old map-lookup miss behaviour).
+func puncturePattern(r CodingRate) [][2]bool {
+	if r < 0 || int(r) >= len(punctureKeep) {
+		return nil
+	}
+	return punctureKeep[r]
 }
 
 // Puncture removes coded bits from the rate-1/2 stream (pairs A,B per input
@@ -64,7 +74,7 @@ func punctureInto(dst, coded []byte, r CodingRate) ([]byte, error) {
 	if len(coded)%2 != 0 {
 		return nil, fmt.Errorf("wifi: coded stream length %d is odd", len(coded))
 	}
-	pattern := punctureKeep[r]
+	pattern := puncturePattern(r)
 	if pattern == nil {
 		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
 	}
@@ -85,7 +95,7 @@ func punctureInto(dst, coded []byte, r CodingRate) ([]byte, error) {
 // erasure markers where bits were dropped. nInfoBits is the number of
 // information bits the stream encodes (including tail).
 func Depuncture(punctured []byte, r CodingRate, nInfoBits int) ([]byte, error) {
-	pattern := punctureKeep[r]
+	pattern := puncturePattern(r)
 	if pattern == nil {
 		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
 	}
@@ -173,6 +183,16 @@ func ViterbiDecodeInto(dst, coded []byte) ([]byte, error) {
 	return viterbiDecodeInto(dst[:n], coded), nil
 }
 
+// hardGain maps a received hard/erasure bit onto its trellis gain value:
+// bit 0 → -1, bit 1 → +1, everything else (the erasure marker and any
+// stray byte, matching the historical switch default) → 0. A flat table
+// keeps the per-bit mapping branchless.
+var hardGain = func() (t [256]int16) {
+	t[0] = -1
+	t[1] = 1
+	return t
+}()
+
 // viterbiDecodeInto maps the hard/erasure bit stream onto the shared
 // int16 max-gain trellis kernel. A received bit r becomes the gain value
 // r' ∈ {-1, 0, +1} (0 for erasures), and the per-branch Hamming cost
@@ -187,16 +207,9 @@ func ViterbiDecodeInto(dst, coded []byte) ([]byte, error) {
 func viterbiDecodeInto(out, coded []byte) []byte {
 	arena := signal.GetArena()
 	defer arena.Release()
-	q := arena.Int16(len(coded))
+	q := arena.Int16Uninit(len(coded))
 	for i, r := range coded {
-		switch r {
-		case 0:
-			q[i] = -1
-		case 1:
-			q[i] = 1
-		default:
-			q[i] = 0
-		}
+		q[i] = hardGain[r]
 	}
 	viterbiMaxKernel(out, q)
 	return out

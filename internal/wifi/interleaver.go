@@ -1,23 +1,25 @@
 package wifi
 
-import (
-	"fmt"
-	"sync"
-)
+import "fmt"
 
-// interleaverPerm caches the §17.3.5.7 permutation per (NCBPS, NBPSC):
-// perm[k] is the output position of input bit k. The table is pure index
-// arithmetic, so precomputing it cannot change a single bit of the
-// interleaved stream.
-var interleaverPerm sync.Map // [2]int{NCBPS, NBPSC} -> []int32
+// standardPerms holds the §17.3.5.7 permutation for the four standard
+// modulation orders (NBPSC 1, 2, 4, 6; NCBPS is always 48×NBPSC),
+// indexed by NBPSC and built at package init. perm[k] is the output
+// position of input bit k. The table is pure index arithmetic, so
+// precomputing it cannot change a single bit of the interleaved stream;
+// serving it from a fixed array keeps the per-symbol lookup a bounds
+// check instead of a map load with interface-key hashing, which showed
+// up at ~3% of the batch WiFi packet profile.
+var standardPerms [7][]int32
 
-func permFor(r Rate) []int32 {
-	key := [2]int{r.NCBPS, r.NBPSC}
-	if p, ok := interleaverPerm.Load(key); ok {
-		return p.([]int32)
+func init() {
+	for _, nbpsc := range []int{1, 2, 4, 6} {
+		standardPerms[nbpsc] = computePerm(48*nbpsc, nbpsc)
 	}
-	n := r.NCBPS
-	s := r.NBPSC / 2
+}
+
+func computePerm(n, nbpsc int) []int32 {
+	s := nbpsc / 2
 	if s < 1 {
 		s = 1
 	}
@@ -27,8 +29,17 @@ func permFor(r Rate) []int32 {
 		j := s*(i/s) + (i+n-16*i/n)%s
 		perm[k] = int32(j)
 	}
-	actual, _ := interleaverPerm.LoadOrStore(key, perm)
-	return actual.([]int32)
+	return perm
+}
+
+func permFor(r Rate) []int32 {
+	if r.NBPSC >= 1 && r.NBPSC <= 6 && r.NCBPS == 48*r.NBPSC {
+		if p := standardPerms[r.NBPSC]; p != nil {
+			return p
+		}
+	}
+	// Non-standard shapes (none among Rates) compute fresh per call.
+	return computePerm(r.NCBPS, r.NBPSC)
 }
 
 // Interleave applies the 802.11a/g per-symbol block interleaver

@@ -6,8 +6,10 @@ import (
 )
 
 // Constellation normalisation factors (§17.3.5.8): scale so every
-// constellation has unit average power.
-var kmod = map[Modulation]float64{
+// constellation has unit average power. Indexed by the Modulation
+// constants — an array lookup instead of the historical map, which showed
+// up as mapaccess in the per-point demap profile.
+var kmod = [4]float64{
 	BPSK:  1,
 	QPSK:  1 / math.Sqrt2,
 	QAM16: 1 / math.Sqrt(10),
@@ -21,6 +23,25 @@ var (
 	pam4 = []float64{-3, -1, 3, 1}               // 2 bits: 00,01,10,11
 	pam8 = []float64{-7, -5, -1, -3, 7, 5, 1, 3} // 3 bits: 000..111
 )
+
+// Scaled level tables: levels[i]·kmod, the exact products the mapper and
+// slicer historically computed per point, hoisted to package init. The
+// products are computed with the same float64 multiply, so every decision
+// threshold is bit-identical to the on-the-fly form.
+var (
+	pam2BPSK = scaleLevels(pam2, kmod[BPSK])
+	pam2QPSK = scaleLevels(pam2, kmod[QPSK])
+	pam4K    = scaleLevels(pam4, kmod[QAM16])
+	pam8K    = scaleLevels(pam8, kmod[QAM64])
+)
+
+func scaleLevels(levels []float64, k float64) []float64 {
+	out := make([]float64, len(levels))
+	for i, l := range levels {
+		out[i] = l * k
+	}
+	return out
+}
 
 func levelsFor(m Modulation) ([]float64, int, error) {
 	switch m {
@@ -36,9 +57,25 @@ func levelsFor(m Modulation) ([]float64, int, error) {
 	return nil, 0, fmt.Errorf("wifi: unknown modulation %v", m)
 }
 
+// scaledLevelsFor returns the kmod-scaled per-axis levels and bits per
+// axis for a modulation.
+func scaledLevelsFor(m Modulation) ([]float64, int, error) {
+	switch m {
+	case BPSK:
+		return pam2BPSK, 1, nil
+	case QPSK:
+		return pam2QPSK, 1, nil
+	case QAM16:
+		return pam4K, 2, nil
+	case QAM64:
+		return pam8K, 3, nil
+	}
+	return nil, 0, fmt.Errorf("wifi: unknown modulation %v", m)
+}
+
 // Map converts NBPSC coded bits into one constellation point.
 func Map(bitsIn []byte, m Modulation) (complex128, error) {
-	levels, perAxis, err := levelsFor(m)
+	scaled, perAxis, err := scaledLevelsFor(m)
 	if err != nil {
 		return 0, err
 	}
@@ -49,20 +86,19 @@ func Map(bitsIn []byte, m Modulation) (complex128, error) {
 	if len(bitsIn) != want {
 		return 0, fmt.Errorf("wifi: %v wants %d bits, got %d", m, want, len(bitsIn))
 	}
-	idx := func(bs []byte) int {
-		v := 0
-		for _, b := range bs {
-			v = v<<1 | int(b&1)
-		}
-		return v
-	}
-	k := kmod[m]
 	if m == BPSK {
-		return complex(levels[idx(bitsIn)]*k, 0), nil
+		return complex(scaled[bitsIn[0]&1], 0), nil
 	}
-	i := levels[idx(bitsIn[:perAxis])]
-	q := levels[idx(bitsIn[perAxis:])]
-	return complex(i*k, q*k), nil
+	return complex(scaled[bitIndex(bitsIn[:perAxis])], scaled[bitIndex(bitsIn[perAxis:])]), nil
+}
+
+// bitIndex folds MSB-first bits into a level-table index.
+func bitIndex(bs []byte) int {
+	v := 0
+	for _, b := range bs {
+		v = v<<1 | int(b&1)
+	}
+	return v
 }
 
 // Demap converts a (possibly noisy) constellation point back into NBPSC
@@ -75,32 +111,58 @@ func Demap(pt complex128, m Modulation) ([]byte, error) {
 	return demapPointInto(make([]byte, 0, 2*perAxis), pt, m)
 }
 
+// nearestLevel returns the index of the scaled level closest to v. The
+// scan order and strict-< best comparison are exactly the historical
+// slicer's, so decisions — including ties, which keep the lowest index —
+// are identical.
+func nearestLevel(scaled []float64, v float64) int {
+	best, bestD := 0, math.Inf(1)
+	for idx, l := range scaled {
+		d := math.Abs(v - l)
+		if d < bestD {
+			best, bestD = idx, d
+		}
+	}
+	return best
+}
+
+// nearest2 is nearestLevel specialised to the two-level BPSK/QPSK axes.
+// Equivalence with the general scan: for finite v the comparison
+// |v-l1| < |v-l0| picks index 1 exactly when the scan's strict-< update
+// fires (ties keep index 0); for v = ±Inf both distances are +Inf and for
+// v = NaN both are NaN, so the comparison is false and index 0 wins —
+// the same index the scan's never-true strict-< leaves behind.
+func nearest2(scaled []float64, v float64) byte {
+	if math.Abs(v-scaled[1]) < math.Abs(v-scaled[0]) {
+		return 1
+	}
+	return 0
+}
+
 // demapPointInto appends pt's NBPSC hard-decision bits to dst without
-// allocating (given capacity). The nearest-level scan and strict-< best
-// comparison are exactly Demap's historical slicing, so decisions — and
-// therefore bits — are identical.
+// allocating (given capacity). The nearest-level scan over the
+// init-time-scaled levels compares exactly the values Demap historically
+// recomputed per point, so decisions — and therefore bits — are identical.
 func demapPointInto(dst []byte, pt complex128, m Modulation) ([]byte, error) {
-	levels, perAxis, err := levelsFor(m)
+	// The one-bit-per-axis constellations dominate the decode profile
+	// (the calibrated links run 6 and 12 Mbps); slice them with the
+	// specialised two-level comparison instead of the general scan.
+	switch m {
+	case BPSK:
+		return append(dst, nearest2(pam2BPSK, real(pt))), nil
+	case QPSK:
+		return append(dst, nearest2(pam2QPSK, real(pt)), nearest2(pam2QPSK, imag(pt))), nil
+	}
+	scaled, perAxis, err := scaledLevelsFor(m)
 	if err != nil {
 		return nil, err
 	}
-	k := kmod[m]
-	slice := func(v float64) int {
-		best, bestD := 0, math.Inf(1)
-		for idx, l := range levels {
-			d := math.Abs(v - l*k)
-			if d < bestD {
-				best, bestD = idx, d
-			}
-		}
-		return best
-	}
-	idx := slice(real(pt))
+	idx := nearestLevel(scaled, real(pt))
 	for i := 0; i < perAxis; i++ {
 		dst = append(dst, byte(idx>>(perAxis-1-i))&1)
 	}
 	if m != BPSK {
-		idx = slice(imag(pt))
+		idx = nearestLevel(scaled, imag(pt))
 		for i := 0; i < perAxis; i++ {
 			dst = append(dst, byte(idx>>(perAxis-1-i))&1)
 		}
@@ -127,11 +189,28 @@ func MapSymbolBits(in []byte, r Rate) ([NumData]complex128, error) {
 
 // DemapSymbol recovers NCBPS hard bits from 48 equalised data subcarriers.
 func DemapSymbol(pts [NumData]complex128, r Rate) ([]byte, error) {
-	return demapSymbolInto(make([]byte, 0, r.NCBPS), pts, r)
+	return demapSymbolInto(make([]byte, 0, r.NCBPS), &pts, r)
 }
 
-// demapSymbolInto appends one symbol's NCBPS hard bits to dst.
-func demapSymbolInto(dst []byte, pts [NumData]complex128, r Rate) ([]byte, error) {
+// demapSymbolInto appends one symbol's NCBPS hard bits to dst. The points
+// pass by pointer — per-symbol 48-element array copies were a visible
+// slice of the decode profile — and are only read.
+func demapSymbolInto(dst []byte, pts *[NumData]complex128, r Rate) ([]byte, error) {
+	// Whole-symbol loops for the one-bit-per-axis constellations: the same
+	// nearest2 slicing demapPointInto's fast path performs, without a call
+	// per point (48 per symbol, hundreds of symbols per packet).
+	switch r.Modulation {
+	case BPSK:
+		for i := range pts {
+			dst = append(dst, nearest2(pam2BPSK, real(pts[i])))
+		}
+		return dst, nil
+	case QPSK:
+		for i := range pts {
+			dst = append(dst, nearest2(pam2QPSK, real(pts[i])), nearest2(pam2QPSK, imag(pts[i])))
+		}
+		return dst, nil
+	}
 	for i := 0; i < NumData; i++ {
 		var err error
 		dst, err = demapPointInto(dst, pts[i], r.Modulation)

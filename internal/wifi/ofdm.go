@@ -48,6 +48,18 @@ func assembleSymbolInto(dst []complex128, data [NumData]complex128, symIdx int, 
 // sqrtNused normalises symbol power to the 52 used subcarriers.
 var sqrtNused = math.Sqrt(52)
 
+// fftPlan64 is the FFTSize plan every symbol transform runs on, resolved
+// once so the per-symbol hot path skips the plan-cache map lookup.
+var fftPlan64 = mustPlan(FFTSize)
+
+func mustPlan(n int) *signal.Plan {
+	p, err := signal.PlanFor(n)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
 // DisassembleSymbol strips the cyclic prefix of one received OFDM symbol,
 // FFTs it, equalises with the channel estimate h (indexed by FFT bin; nil
 // means no equalisation), and returns the 48 data points and 4 pilot points
@@ -55,21 +67,68 @@ var sqrtNused = math.Sqrt(52)
 func DisassembleSymbol(td []complex128, h []complex128) ([NumData]complex128, [NumPilots]complex128, error) {
 	a := signal.GetArena()
 	defer a.Release()
-	return disassembleSymbolBuf(td, h, a.Complex(FFTSize))
+	var data [NumData]complex128
+	var pilots [NumPilots]complex128
+	var eqp *equalizer
+	if h != nil {
+		var eq equalizer
+		eq.init(h)
+		eqp = &eq
+	}
+	err := disassembleSymbolBuf(td, eqp, a.Complex(FFTSize), &data, &pilots)
+	return data, pilots, err
+}
+
+// equalizer caches the divisor-only terms of the runtime's Smith-algorithm
+// complex division for one channel estimate: the branch selection, ratio,
+// and denom of each bin depend only on h[i], so a packet's ~hundreds of
+// data symbols can share one computation of them. The per-point work keeps
+// the exact numerator operations of the runtime division (plan.go's IFFT
+// uses the same inlining for its constant divisor), so equalised points are
+// bit-identical to the historical per-symbol `buf[i] /= h[i]`.
+type equalizer struct {
+	h     []complex128 // original estimate, for the NaN fallback
+	ratio [FFTSize]float64
+	denom [FFTSize]float64
+	mode  [FFTSize]byte // 0: h[i]==0 (skip), 1: |re|≥|im| branch, 2: other
+}
+
+func (eq *equalizer) init(h []complex128) {
+	if h == nil {
+		// No estimate (unreachable FFT failure): disable every bin, like
+		// the historical nil-h guard.
+		*eq = equalizer{}
+		return
+	}
+	h = h[:FFTSize]
+	eq.h = h
+	for i, d := range h {
+		dr, di := real(d), imag(d)
+		switch {
+		case d == 0:
+			eq.mode[i] = 0
+		case math.Abs(dr) >= math.Abs(di):
+			r := di / dr
+			eq.ratio[i], eq.denom[i], eq.mode[i] = r, dr+r*di, 1
+		default:
+			r := dr / di
+			eq.ratio[i], eq.denom[i], eq.mode[i] = r, di+r*dr, 2
+		}
+	}
 }
 
 // disassembleSymbolBuf is DisassembleSymbol with caller-provided FFT
-// scratch (FFTSize samples, fully overwritten), so per-symbol loops can
-// reuse one buffer for a whole packet.
-func disassembleSymbolBuf(td []complex128, h []complex128, buf []complex128) ([NumData]complex128, [NumPilots]complex128, error) {
-	var data [NumData]complex128
-	var pilots [NumPilots]complex128
+// scratch (FFTSize samples, fully overwritten), a prebuilt equalizer (nil
+// means no equalisation), and output arrays, so per-symbol loops can reuse
+// one buffer for a whole packet and skip the two 48/4-element array copies
+// per return.
+func disassembleSymbolBuf(td []complex128, eq *equalizer, buf []complex128, data *[NumData]complex128, pilots *[NumPilots]complex128) error {
 	if len(td) != SymbolLen {
-		return data, pilots, fmt.Errorf("wifi: symbol has %d samples, want %d", len(td), SymbolLen)
+		return fmt.Errorf("wifi: symbol has %d samples, want %d", len(td), SymbolLen)
 	}
 	copy(buf, td[CPLen:])
-	if err := signal.FFT(buf); err != nil {
-		return data, pilots, err
+	if err := fftPlan64.FFT(buf); err != nil {
+		return err
 	}
 	// Undo the TX scaling: TX multiplied by N/sqrt(52); FFT multiplies by N
 	// relative to the data points, so divide by N·(N/sqrt(52))... combined:
@@ -77,19 +136,90 @@ func disassembleSymbolBuf(td []complex128, h []complex128, buf []complex128) ([N
 	// FFT of IFFT output returns original × 1). The IFFT divides by N, the
 	// FFT multiplies by N, so only the TX scale remains.
 	inv := complex(sqrtNused/float64(FFTSize), 0)
-	for i := range buf {
-		buf[i] *= inv
-		if h != nil && h[i] != 0 {
-			buf[i] /= h[i]
+	// Equalisation fuses into the extraction loops: only the 52 used bins
+	// ever escape this function (buf is scratch, fully overwritten next
+	// symbol), so scaling and dividing the 12 unused bins — and the store/
+	// reload round-trip through buf — was pure waste. Every extracted value
+	// goes through the exact historical operation sequence per bin.
+	if eq == nil {
+		for i, bin := range dataBins {
+			data[i] = buf[bin] * inv
 		}
+		for i, bin := range pilotBins {
+			pilots[i] = buf[bin] * inv
+		}
+		return nil
 	}
+	for i, bin := range dataBins {
+		v := buf[bin] * inv
+		switch eq.mode[bin] {
+		case 1:
+			re, im := real(v), imag(v)
+			e := (re + im*eq.ratio[bin]) / eq.denom[bin]
+			f := (im - re*eq.ratio[bin]) / eq.denom[bin]
+			if math.IsNaN(e) && math.IsNaN(f) {
+				v /= eq.h[bin]
+			} else {
+				v = complex(e, f)
+			}
+		case 2:
+			re, im := real(v), imag(v)
+			e := (re*eq.ratio[bin] + im) / eq.denom[bin]
+			f := (im*eq.ratio[bin] - re) / eq.denom[bin]
+			if math.IsNaN(e) && math.IsNaN(f) {
+				v /= eq.h[bin]
+			} else {
+				v = complex(e, f)
+			}
+		}
+		data[i] = v
+	}
+	for i, bin := range pilotBins {
+		v := buf[bin] * inv
+		switch eq.mode[bin] {
+		case 1:
+			re, im := real(v), imag(v)
+			e := (re + im*eq.ratio[bin]) / eq.denom[bin]
+			f := (im - re*eq.ratio[bin]) / eq.denom[bin]
+			if math.IsNaN(e) && math.IsNaN(f) {
+				v /= eq.h[bin]
+			} else {
+				v = complex(e, f)
+			}
+		case 2:
+			re, im := real(v), imag(v)
+			e := (re*eq.ratio[bin] + im) / eq.denom[bin]
+			f := (im*eq.ratio[bin] - re) / eq.denom[bin]
+			if math.IsNaN(e) && math.IsNaN(f) {
+				v /= eq.h[bin]
+			} else {
+				v = complex(e, f)
+			}
+		}
+		pilots[i] = v
+	}
+	return nil
+}
+
+// dataBins and pilotBins cache the binFor mapping of the data and pilot
+// subcarriers for the per-symbol extraction loops.
+var (
+	dataBins  = buildDataBins()
+	pilotBins = buildPilotBins()
+)
+
+func buildDataBins() (t [NumData]int) {
 	for i, k := range DataSubcarriers {
-		data[i] = buf[binFor(k)]
+		t[i] = binFor(k)
 	}
+	return t
+}
+
+func buildPilotBins() (t [NumPilots]int) {
 	for i, pl := range PilotSubcarriers {
-		pilots[i] = buf[binFor(pl.Index)]
+		t[i] = binFor(pl.Index)
 	}
-	return data, pilots, nil
+	return t
 }
 
 // binFor maps a subcarrier index (-26..26) to its FFT bin.

@@ -73,6 +73,12 @@ type Receiver struct {
 	// allocation-identical. Unlike PilotPhaseTracking this only observes
 	// the pilots — the data subcarriers are never corrected.
 	CollectPilotPhases bool
+	// SkipRSSI leaves RxPacket.RSSI at zero instead of measuring the mean
+	// packet power. Strictly opt-in: callers that derive their own power
+	// figure (the backscatter session reports the link budget's RSSI, not
+	// the capture's) set it to drop a full-packet power pass per decode.
+	// Every other field of the packet is unaffected.
+	SkipRSSI bool
 }
 
 // NewReceiver returns a receiver with the default detection threshold and
@@ -306,7 +312,10 @@ func (sc *ltfScreener) init(s []complex128, p0, count int, a *signal.Arena) {
 	sc.pass = a.Bytes(count) // zeroed: offsets default to screened-out
 	sc.done = 0
 	region := s[p0 : p0+count+FFTSize-1]
-	sc.pre = a.Float(len(region) + 1)
+	// The prefix loop assigns pre[1..len]; only pre[0] needs an explicit
+	// zero, so the buffer skips the arena's zeroing pass.
+	sc.pre = a.FloatUninit(len(region) + 1)
+	sc.pre[0] = 0
 	sum := 0.0
 	for i, v := range region {
 		sum += real(v)*real(v) + imag(v)*imag(v)
@@ -408,8 +417,11 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	if rx.CFOCorrection {
 		// Work on a corrected copy of the packet region: coarse estimate
 		// from the LTF copies, then (after SIGNAL tells us the length) a
-		// cyclic-prefix refinement over the whole data region.
-		buf := arena.Complex(len(s))
+		// cyclic-prefix refinement over the whole data region. Every read of
+		// the copy below is at an index ≥ start (preamble, SIGNAL, data
+		// symbols, and the RSSI window all begin there), so the [0, start)
+		// prefix can stay uninitialised.
+		buf := arena.ComplexUninit(len(s))
 		copy(buf[start:], s[start:])
 		cfo := estimateCFOFromLTF(buf[start+160 : start+320])
 		derotate(buf[start:], cfo)
@@ -417,16 +429,20 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	}
 
 	h, snr := estimateChannel(s[start+160:start+320], arena)
+	var eq equalizer
+	eq.init(h)
 
-	// SIGNAL symbol.
+	// SIGNAL symbol. The per-symbol outputs live in two stack arrays that
+	// every disassemble/demap call reuses by pointer.
 	fftBuf := arena.Complex(FFTSize)
+	var pts [NumData]complex128
+	var pilots [NumPilots]complex128
 	sigStart := start + PreambleLen
-	data, _, err := disassembleSymbolBuf(s[sigStart:sigStart+SymbolLen], h, fftBuf)
-	if err != nil {
+	if err := disassembleSymbolBuf(s[sigStart:sigStart+SymbolLen], &eq, fftBuf, &pts, &pilots); err != nil {
 		return nil, err
 	}
 	r6 := Rates[6]
-	sigBits, err := demapSymbolInto(arena.Bytes(r6.NCBPS)[:0], data, r6)
+	sigBits, err := demapSymbolInto(arena.Bytes(r6.NCBPS)[:0], &pts, r6)
 	if err != nil {
 		return nil, err
 	}
@@ -454,12 +470,13 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		// then re-estimate the channel on the re-corrected samples.
 		residual := refineCFOFromCP(s[dataStart:], nSym)
 		if residual != 0 {
+			// s is already this decode's private arena copy (the coarse
+			// correction above always runs first), so the residual can
+			// derotate it in place instead of copying to a second buffer.
 			end := dataStart + nSym*SymbolLen
-			buf := arena.Complex(end)
-			copy(buf[start:], s[start:end])
-			derotate(buf[start:], residual)
-			s = buf
+			derotate(s[start:end], residual)
 			h, snr = estimateChannel(s[start+160:start+320], arena)
+			eq.init(h)
 		}
 	}
 
@@ -467,7 +484,10 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	// allocation; the deinterleaved coded stream stays on the arena.
 	var tracker phaseTracker
 	demapped := make([]byte, 0, nSym*rate.NCBPS)
-	coded := arena.Bytes(nSym * rate.NCBPS)
+	// Every byte of coded is assigned by deinterleaveInto (the permutation
+	// covers all NCBPS positions per symbol) before the decoder reads it,
+	// so the scratch skips the arena's zeroing pass.
+	coded := arena.BytesUninit(nSym * rate.NCBPS)
 	var soft []float64
 	if rx.SoftDecision {
 		soft = make([]float64, 0, nSym*rate.NCBPS)
@@ -478,20 +498,20 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 	}
 	for i := 0; i < nSym; i++ {
 		off := dataStart + i*SymbolLen
-		pts, pilots, err := disassembleSymbolBuf(s[off:off+SymbolLen], h, fftBuf)
-		if err != nil {
+		if err := disassembleSymbolBuf(s[off:off+SymbolLen], &eq, fftBuf, &pts, &pilots); err != nil {
 			return nil, err
 		}
 		if rx.CollectPilotPhases {
 			pilotPhases = append(pilotPhases, pilotPhase(pilots, i+1))
 		}
 		if rx.PilotPhaseTracking {
-			pts = correctPhase(pts, pilots, i+1)
+			correctPhase(&pts, pilots, i+1)
 		}
 		if rx.CFOCorrection {
-			pts = tracker.correct(pts, rate.Modulation)
+			tracker.correct(&pts, rate.Modulation)
 		}
-		demapped, err = demapSymbolInto(demapped, pts, rate)
+		var err error
+		demapped, err = demapSymbolInto(demapped, &pts, rate)
 		if err != nil {
 			return nil, err
 		}
@@ -531,11 +551,25 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 			return nil, err
 		}
 	} else {
-		depunct, err := Depuncture(coded, rate.Coding, nInfo)
-		if err != nil {
-			return nil, err
+		// Rate 1/2 keeps every coded bit ({{true,true}} pattern), so
+		// depuncturing is the identity: reuse the coded stream directly
+		// instead of copying it. The short-stream guard mirrors
+		// Depuncture's error condition; aliasing is safe because
+		// ViterbiDecodeInto writes into a separate arena buffer.
+		depunct := coded
+		if rate.Coding != Rate1_2 || len(coded) < nInfo*2 {
+			var err error
+			depunct, err = Depuncture(coded, rate.Coding, nInfo)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			depunct = coded[:nInfo*2]
 		}
-		scrambled, err = ViterbiDecodeInto(arena.Bytes(nInfo), depunct)
+		var err error
+		// The traceback assigns every output bit, so the destination can
+		// skip the arena's zeroing pass too.
+		scrambled, err = ViterbiDecodeInto(arena.BytesUninit(nInfo), depunct)
 		if err != nil {
 			return nil, err
 		}
@@ -551,13 +585,17 @@ func (rx *Receiver) decodeFrom(cap *signal.Signal, start int) (*RxPacket, error)
 		return nil, err
 	}
 
-	pktSamples := &signal.Signal{Rate: cap.Rate, Samples: s[start : dataStart+nSym*SymbolLen]}
+	var rssi float64
+	if !rx.SkipRSSI {
+		pktSamples := &signal.Signal{Rate: cap.Rate, Samples: s[start : dataStart+nSym*SymbolLen]}
+		rssi = pktSamples.MeanPowerDBm()
+	}
 	pkt := &RxPacket{
 		Rate:         rate,
 		PSDU:         psdu,
 		RawBits:      descrambled,
 		StartIdx:     start,
-		RSSI:         pktSamples.MeanPowerDBm(),
+		RSSI:         rssi,
 		SNRdB:        snr,
 		FCSOK:        checkFCS(psdu),
 		DemappedBits: demapped,
@@ -594,7 +632,7 @@ func estimateChannel(ltf []complex128, a *signal.Arena) ([]complex128, float64) 
 	buf := a.Complex(FFTSize)
 	for rep := 0; rep < 2; rep++ {
 		copy(buf, ltf[32+rep*FFTSize:32+(rep+1)*FFTSize])
-		if err := signal.FFT(buf); err != nil {
+		if err := fftPlan64.FFT(buf); err != nil {
 			return nil, 0
 		}
 		inv := complex(sqrtNused/float64(FFTSize), 0)
@@ -628,7 +666,7 @@ func estimateChannel(ltf []complex128, a *signal.Arena) ([]complex128, float64) 
 
 // correctPhase applies pilot-based common phase error correction (the
 // behaviour FreeRider needs receivers NOT to have).
-func correctPhase(pts [NumData]complex128, pilots [NumPilots]complex128, symIdx int) [NumData]complex128 {
+func correctPhase(pts *[NumData]complex128, pilots [NumPilots]complex128, symIdx int) {
 	p := PilotPolarity(symIdx)
 	var acc complex128
 	for i, pl := range PilotSubcarriers {
@@ -636,13 +674,12 @@ func correctPhase(pts [NumData]complex128, pilots [NumPilots]complex128, symIdx 
 		acc += pilots[i] * cmplx.Conj(expected)
 	}
 	if acc == 0 {
-		return pts
+		return
 	}
 	rot := cmplx.Conj(acc / complex(cmplx.Abs(acc), 0))
 	for i := range pts {
 		pts[i] *= rot
 	}
-	return pts
 }
 
 func parseSignal(b []byte) (Rate, int, error) {

@@ -76,7 +76,7 @@ func DeinterleaveSoft(in []float64, r Rate) ([]float64, error) {
 // DepunctureSoft restores a punctured LLR stream to rate-1/2 layout with
 // zero LLRs (erasures) at the punctured positions.
 func DepunctureSoft(punctured []float64, r CodingRate, nInfoBits int) ([]float64, error) {
-	pattern := punctureKeep[r]
+	pattern := puncturePattern(r)
 	if pattern == nil {
 		return nil, fmt.Errorf("wifi: unknown coding rate %v", r)
 	}

@@ -118,13 +118,15 @@ func viterbiMaxKernel(out []byte, q []int16) {
 	arena := signal.GetArena()
 	defer arena.Release()
 	// tb[t] holds one survivor-selector bit per next state: bit ns set
-	// means state ns chose the higher predecessor 2·(ns mod 32)+1.
-	tb := arena.Uint64(n)
+	// means state ns chose the higher predecessor 2·(ns mod 32)+1. Every
+	// step assigns its word before the traceback reads it, so the scratch
+	// can skip the arena's zeroing pass.
+	tb := arena.Uint64Uninit(n)
 
 	for t := 0; t < n; t++ {
-		qa, qb := q[2*t], q[2*t+1]
+		qa, qb := int(q[2*t]), int(q[2*t+1])
 		// gainT[eab] = (2A-1)·qa + (2B-1)·qb for the expected pair A<<1|B.
-		var gainT [4]int16
+		var gainT [4]int
 		gainT[0] = -qa - qb
 		gainT[1] = -qa + qb
 		gainT[2] = qa - qb
@@ -146,65 +148,99 @@ func viterbiMaxKernel(out []byte, q []int16) {
 					metric[i] -= max
 				}
 			}
-			for k := 0; k < 32; k++ {
-				s0 := 2 * k
-				m0, m1 := metric[s0], metric[s0+1]
-				g := gainT[bfExpect[k]&3]
-				// da < 0 iff a1 > a0: sign-bit extraction plus conditional
-				// move keep the pipeline full and feed the selector bit.
+			// The ACS runs in plain int: every finite metric is within
+			// ±(6·2+64)·126 < 1<<14 (the renorm bound above), so the int16
+			// adds of the historical form never wrapped and widening them
+			// is value-identical — while sparing the compiler the
+			// sign-extension shuffle that spilled half the loop to the
+			// stack. Selector bits accumulate with constant shifts (k runs
+			// high to low, two butterflies per iteration so the serial
+			// shift-or chain is half as long); iteration order is free, the
+			// butterflies are independent.
+			var wa, wb uint64
+			for k := 30; k >= 0; k -= 2 {
+				// a1 > a0 iff the historical da = a0-a1 sign bit was set, so
+				// survivor choice and selector bit are unchanged, ties
+				// (a1 == a0) still keeping the lower predecessor. Two
+				// butterflies per iteration halve the serial selector
+				// shift-or chain; wider unrolls measured slower (register
+				// pressure).
+				m0, m1 := int(metric[2*k+2]), int(metric[2*k+3])
+				g := gainT[bfExpect[k+1]&3]
 				a0, a1 := m0+g, m1-g
-				da := int32(a0) - int32(a1)
 				ma := a0
-				if da < 0 {
-					ma = a1
+				var sa1 uint64
+				if a1 > a0 {
+					ma, sa1 = a1, 1
 				}
-				next[k] = ma
 				b0, b1 := m0-g, m1+g
-				db := int32(b0) - int32(b1)
 				mb := b0
-				if db < 0 {
-					mb = b1
+				var sb1 uint64
+				if b1 > b0 {
+					mb, sb1 = b1, 1
 				}
-				next[k+32] = mb
-				word |= uint64(uint32(da)>>31)<<k | uint64(uint32(db)>>31)<<(k+32)
+				next[k+1] = int16(ma)
+				next[k+33] = int16(mb)
+
+				m0, m1 = int(metric[2*k]), int(metric[2*k+1])
+				g = gainT[bfExpect[k]&3]
+				a0, a1 = m0+g, m1-g
+				ma = a0
+				var sa0 uint64
+				if a1 > a0 {
+					ma, sa0 = a1, 1
+				}
+				b0, b1 = m0-g, m1+g
+				mb = b0
+				var sb0 uint64
+				if b1 > b0 {
+					mb, sb0 = b1, 1
+				}
+				next[k] = int16(ma)
+				next[k+32] = int16(mb)
+
+				wa = wa<<2 | sa1<<1 | sa0
+				wb = wb<<2 | sb1<<1 | sb0
 			}
+			word = wb<<32 | wa
 			tb[t] = word
 			metric, next = next, metric
 			continue
 		}
+		const ninf = int(softQNinf)
 		for k := 0; k < 32; k++ {
 			s0 := 2 * k
-			m0, m1 := metric[s0], metric[s0+1]
+			m0, m1 := int(metric[s0]), int(metric[s0+1])
 			g := gainT[bfExpect[k]&3]
-			a0, a1 := softQNinf, softQNinf
-			if m0 > softQNinf {
+			a0, a1 := ninf, ninf
+			if m0 > ninf {
 				a0 = m0 + g
 			}
-			if m1 > softQNinf {
+			if m1 > ninf {
 				a1 = m1 - g
 			}
 			switch {
 			case a1 > a0:
-				next[k] = a1
+				next[k] = int16(a1)
 				word |= 1 << k
-			case a0 > softQNinf:
-				next[k] = a0
+			case a0 > ninf:
+				next[k] = int16(a0)
 			default:
 				next[k] = softQNinf
 			}
-			b0, b1 := softQNinf, softQNinf
-			if m0 > softQNinf {
+			b0, b1 := ninf, ninf
+			if m0 > ninf {
 				b0 = m0 - g
 			}
-			if m1 > softQNinf {
+			if m1 > ninf {
 				b1 = m1 + g
 			}
 			switch {
 			case b1 > b0:
-				next[k+32] = b1
+				next[k+32] = int16(b1)
 				word |= 1 << (k + 32)
-			case b0 > softQNinf:
-				next[k+32] = b0
+			case b0 > ninf:
+				next[k+32] = int16(b0)
 			default:
 				next[k+32] = softQNinf
 			}
