@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet staticcheck govulncheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-quick bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults fuzz-fec fuzz-decoder ci
+.PHONY: build test test-noasm cross-arm64 race vet staticcheck govulncheck bench bench-serve bench-serve-baseline bench-dsp bench-dsp-quick bench-dsp-baseline bench-compare golden loadtest-quick soak soak-quick fuzz-faults fuzz-fec fuzz-decoder fuzz-simd ci
 
 build:
 	$(GO) build ./...
@@ -13,6 +13,21 @@ test:
 
 vet:
 	$(GO) vet ./...
+
+# test-noasm runs the whole suite with the SIMD assembly kernels compiled
+# out (build tag noasm), proving the pure-Go fallback stands on its own:
+# golden vectors, alloc pins and decoder conformance must all hold with
+# internal/simd reduced to its dispatch shell.
+test-noasm:
+	$(GO) test -tags noasm -shuffle=on ./...
+
+# cross-arm64 cross-compiles the full tree (NEON kernels included) and
+# vets it for arm64, so the asm that CI's amd64 host cannot execute at
+# least always assembles, typechecks against its Go declarations
+# (asmdecl), and links.
+cross-arm64:
+	GOOS=linux GOARCH=arm64 $(GO) build ./...
+	GOOS=linux GOARCH=arm64 $(GO) vet ./...
 
 # race runs the full suite under the race detector; the parallel run
 # engine (internal/runner, core.RunParallel, the experiment sweeps) is the
@@ -156,10 +171,22 @@ fuzz-decoder:
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeWindows$$ -fuzztime=10s ./internal/decoder
 	$(GO) test -run=^$$ -fuzz=FuzzDecodeDifferentialWindows -fuzztime=10s ./internal/decoder
 
-# ci is the gate: everything must build, pass vet (and staticcheck and
-# govulncheck where installed), pass the suite with the race detector on
-# (in shuffled order), hold the service layer bit-identical under
-# concurrent load, survive the quick chaos soak, keep the fault-spec,
-# RS-codec and window decoder fuzzers clean, and stay within the DSP and
-# serve benchmark budgets.
-ci: build vet staticcheck govulncheck race loadtest-quick soak-quick fuzz-faults fuzz-fec fuzz-decoder bench-dsp bench-serve
+# fuzz-simd smoke-fuzzes the SIMD kernels differentially against their
+# pure-Go twins: the Viterbi ACS fuzzer demands strict byte equality of
+# metrics and traceback words (saturation boundaries ±32767 included);
+# the FFT fuzzer feeds raw float bits (NaN, Inf, subnormals) and demands
+# bitwise identity on every non-NaN bin. Both skip cleanly on builds
+# without asm kernels.
+fuzz-simd:
+	$(GO) test -run=^$$ -fuzz=FuzzViterbiACS -fuzztime=10s ./internal/wifi
+	$(GO) test -run=^$$ -fuzz=FuzzFFTSIMD -fuzztime=10s ./internal/signal
+
+# ci is the gate: everything must build (natively and cross-compiled for
+# arm64, so the NEON kernels always assemble), pass vet (and staticcheck
+# and govulncheck where installed), pass the suite with the race detector
+# on (in shuffled order) and again with the asm kernels compiled out,
+# hold the service layer bit-identical under concurrent load, survive the
+# quick chaos soak, keep the fault-spec, RS-codec, window decoder and
+# SIMD differential fuzzers clean, and stay within the DSP and serve
+# benchmark budgets.
+ci: build cross-arm64 vet staticcheck govulncheck race test-noasm loadtest-quick soak-quick fuzz-faults fuzz-fec fuzz-decoder fuzz-simd bench-dsp bench-serve

@@ -1,0 +1,58 @@
+package freerider_test
+
+// Golden vectors under both SIMD dispatch modes. TestGoldenVectors runs
+// under whatever mode init selected; this test removes the ambiguity by
+// computing every radio's full vector with the asm kernels forced off
+// and (when the build has them) forced on, and requiring both to equal
+// the checked-in files byte for byte. This is the end-to-end half of
+// the exactness contract in internal/simd: if a kernel ever diverges
+// from its scalar twin — even in a corner the unit differentials
+// missed — the drift surfaces here as a golden mismatch naming the
+// dispatch mode that produced it.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"testing"
+
+	freerider "repro"
+	"repro/internal/simd"
+)
+
+func TestGoldenVectorsDispatchIdentity(t *testing.T) {
+	if *updateGolden {
+		t.Skip("golden files are being rewritten by TestGoldenVectors")
+	}
+	prev := simd.Enabled()
+	defer simd.SetEnabled(prev)
+
+	modes := []bool{false}
+	if simd.HWMode() != "" {
+		modes = append(modes, true)
+	}
+	for _, on := range modes {
+		simd.SetEnabled(on)
+		t.Run("dispatch="+simd.Mode(), func(t *testing.T) {
+			for _, r := range []freerider.Radio{freerider.WiFi, freerider.ZigBee, freerider.Bluetooth} {
+				r := r
+				t.Run(freerider.RadioKey(r), func(t *testing.T) {
+					got := computeGolden(t, r)
+					raw, err := json.MarshalIndent(got, "", "  ")
+					if err != nil {
+						t.Fatal(err)
+					}
+					raw = append(raw, '\n')
+					want, err := os.ReadFile(goldenPath(freerider.RadioKey(r)))
+					if err != nil {
+						t.Fatalf("missing golden vector (run `go test -run TestGoldenVectors -update .`): %v", err)
+					}
+					if !bytes.Equal(raw, want) {
+						t.Fatalf("golden vector diverges under dispatch mode %q\n--- got ---\n%s\n--- want ---\n%s",
+							simd.Mode(), raw, want)
+					}
+				})
+			}
+		})
+	}
+}

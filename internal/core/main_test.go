@@ -1,0 +1,20 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// TestMain announces which SIMD dispatch path this process runs under.
+// benchgate parses the "simd-dispatch:" line out of `go test -bench`
+// output and records it with every trajectory point, so a benchmark
+// number can always be traced to the kernel set that produced it — a
+// baseline taken with the asm kernels is not comparable to a pure-Go
+// run, and the gate warns when the paths differ.
+func TestMain(m *testing.M) {
+	fmt.Printf("simd-dispatch: %s\n", simd.Mode())
+	os.Exit(m.Run())
+}

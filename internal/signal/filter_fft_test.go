@@ -134,9 +134,19 @@ func TestFirPlanCacheDistinguishesFilters(t *testing.T) {
 	assertWithinFFTTolerance(t, x, h1, ConvolveFFT(x, h1), Convolve(x, h1))
 }
 
+// TestConvolveUseFFTCrossover pins the measured crossover (see
+// convolveFFTOpCost for the sweep): direct through 64 taps at every
+// capture length, FFT from ~128 taps on captures long enough to
+// amortise the blocks.
 func TestConvolveUseFFTCrossover(t *testing.T) {
 	if ConvolveUseFFT(100000, 3) {
 		t.Fatal("3 taps should stay on the direct form")
+	}
+	if ConvolveUseFFT(16384, 64) {
+		t.Fatal("64 taps measured faster on the direct form even at 16k samples")
+	}
+	if !ConvolveUseFFT(16384, 129) {
+		t.Fatal("129 taps on a 16k capture should take the FFT path")
 	}
 	if !ConvolveUseFFT(100000, 129) {
 		t.Fatal("129 taps on a long capture should take the FFT path")

@@ -1,0 +1,17 @@
+package signal
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// TestMain announces which SIMD dispatch path this process runs under;
+// see the twin in internal/core — benchgate records the line with every
+// trajectory point.
+func TestMain(m *testing.M) {
+	fmt.Printf("simd-dispatch: %s\n", simd.Mode())
+	os.Exit(m.Run())
+}

@@ -1,0 +1,46 @@
+//go:build !noasm
+
+package simd
+
+// hwDetect reports "avx2" when the CPU and OS support the AVX2 kernels:
+// CPUID leaf 1 must show AVX+OSXSAVE, XGETBV must show the OS saves
+// ymm state, and leaf 7 must show AVX2. Anything less falls back to
+// the pure-Go kernels.
+func hwDetect() string {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return ""
+	}
+	_, _, ecx1, _ := cpuid(1, 0)
+	const osxsaveBit = 1 << 27
+	const avxBit = 1 << 28
+	if ecx1&osxsaveBit == 0 || ecx1&avxBit == 0 {
+		return ""
+	}
+	// xcr0 bits 1 (SSE) and 2 (AVX) must both be OS-enabled.
+	if xgetbv0()&0x6 != 0x6 {
+		return ""
+	}
+	_, ebx7, _, _ := cpuid(7, 0)
+	const avx2Bit = 1 << 5
+	if ebx7&avx2Bit == 0 {
+		return ""
+	}
+	return "avx2"
+}
+
+// cpuid executes CPUID with the given leaf/subleaf.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+
+// xgetbv0 reads extended control register 0 (requires OSXSAVE).
+func xgetbv0() uint64
+
+// viterbiACS is the AVX2 ACS kernel (viterbi_amd64.s).
+//
+//go:noescape
+func viterbiACS(metric *[64]int16, signs *[64]int32, q *int16, tb *uint64, steps int)
+
+// fftPass is the AVX2 radix-2 butterfly pass (fft_amd64.s).
+//
+//go:noescape
+func fftPass(x *complex128, n int, tw *complex128, size int)

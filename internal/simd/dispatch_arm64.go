@@ -1,0 +1,17 @@
+//go:build !noasm
+
+package simd
+
+// hwDetect: NEON (AdvSIMD) is architecturally mandatory on AArch64, so
+// the arm64 kernels need no feature probe.
+func hwDetect() string { return "neon" }
+
+// viterbiACS is the NEON ACS kernel (viterbi_arm64.s).
+//
+//go:noescape
+func viterbiACS(metric *[64]int16, signs *[64]int32, q *int16, tb *uint64, steps int)
+
+// fftPass is the NEON radix-2 butterfly pass (fft_arm64.s).
+//
+//go:noescape
+func fftPass(x *complex128, n int, tw *complex128, size int)

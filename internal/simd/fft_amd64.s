@@ -1,0 +1,123 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func fftPass(x *complex128, n int, tw *complex128, size int)
+//
+// One radix-2 DIT stage over x, bit-identical to the scalar loop in
+// signal.(*Plan).transform. Vectorization is across independent
+// butterflies only; each butterfly performs exactly the scalar
+// operation sequence:
+//
+//   prod.re = br·wr − bi·wi      (VMULPD, VMULPD, VADDSUBPD)
+//   prod.im = br·wi + bi·wr
+//   lo' = a + prod               (VADDPD)
+//   hi' = a − prod               (VSUBPD)
+//
+// with no reassociation, no FMA, and the same first-operand order as
+// the compiled Go code, so finite results match bit-for-bit (NaN
+// payloads through multiplies are the one compiler-order-dependent
+// case; see the package fuzzer).
+//
+// General path (size >= 4): one ymm holds two adjacent complex128
+// butterflies of the same block; half is a multiple of 2 so the inner
+// loop needs no tail. Stage-2 path (size == 2): lo/hi are adjacent, so
+// two whole blocks are loaded per ymm pair and split with VPERM2F128;
+// an xmm tail handles n == 2.
+TEXT ·fftPass(SB), NOSPLIT, $0-32
+	MOVQ x+0(FP), DI
+	MOVQ n+8(FP), CX
+	MOVQ tw+16(FP), SI
+	MOVQ size+24(FP), DX
+
+	MOVQ CX, R11
+	SHLQ $4, R11
+	ADDQ DI, R11                 // end of x
+
+	CMPQ DX, $2
+	JE   stage2
+
+	// blockBytes = size·16, halfBytes = size·8
+	MOVQ DX, R9
+	SHLQ $4, R9
+	MOVQ DX, R10
+	SHLQ $3, R10
+
+block:
+	XORQ R12, R12                // k byte offset within the half
+
+kloop:
+	VMOVUPD (SI)(R12*1), Y0      // w pair
+	LEAQ    (DI)(R12*1), R13
+	VMOVUPD (R13), Y1            // a pair (lo)
+	VMOVUPD (R13)(R10*1), Y2     // b pair (hi)
+	VPERMILPD $0x0, Y2, Y3       // br duplicated
+	VPERMILPD $0xF, Y2, Y4       // bi duplicated
+	VPERMILPD $0x5, Y0, Y5       // w swapped: [wi, wr]
+	VMULPD  Y0, Y3, Y6           // t1 = [br·wr, br·wi]
+	VMULPD  Y5, Y4, Y7           // t2 = [bi·wi, bi·wr]
+	VADDSUBPD Y7, Y6, Y8         // prod = [t1−t2, t1+t2]
+	VADDPD  Y8, Y1, Y9           // lo' = a + prod
+	VSUBPD  Y8, Y1, Y10          // hi' = a − prod
+	VMOVUPD Y9, (R13)
+	VMOVUPD Y10, (R13)(R10*1)
+	ADDQ    $32, R12
+	CMPQ    R12, R10
+	JB      kloop
+
+	ADDQ R9, DI
+	CMPQ DI, R11
+	JB   block
+	VZEROUPPER
+	RET
+
+stage2:
+	// w = tw[0] broadcast to both lanes, pre-swapped copy alongside.
+	VBROADCASTF128 (SI), Y0
+	VPERMILPD $0x5, Y0, Y5
+	CMPQ CX, $4
+	JB   tail2
+
+pair2:
+	VMOVUPD (DI), Y1             // [a0, b0]
+	VMOVUPD 32(DI), Y2           // [a1, b1]
+	VPERM2F128 $0x20, Y2, Y1, Y3 // [a0, a1]
+	VPERM2F128 $0x31, Y2, Y1, Y4 // [b0, b1]
+	VPERMILPD $0x0, Y4, Y6       // br
+	VPERMILPD $0xF, Y4, Y7       // bi
+	VMULPD  Y0, Y6, Y8           // t1
+	VMULPD  Y5, Y7, Y9           // t2
+	VADDSUBPD Y9, Y8, Y10        // prod
+	VADDPD  Y10, Y3, Y8          // lo'
+	VSUBPD  Y10, Y3, Y9          // hi'
+	VPERM2F128 $0x20, Y9, Y8, Y1 // [lo0', hi0']
+	VPERM2F128 $0x31, Y9, Y8, Y2 // [lo1', hi1']
+	VMOVUPD Y1, (DI)
+	VMOVUPD Y2, 32(DI)
+	ADDQ    $64, DI
+	MOVQ    R11, AX
+	SUBQ    DI, AX
+	CMPQ    AX, $64
+	JAE     pair2
+	TESTQ   AX, AX
+	JZ      done2
+
+tail2:
+	// Single remaining block of two complexes (n == 2).
+	VMOVUPD (SI), X0
+	VPERMILPD $0x1, X0, X5
+	VMOVUPD (DI), X1             // a
+	VMOVUPD 16(DI), X2           // b
+	VPERMILPD $0x0, X2, X3       // br
+	VPERMILPD $0x3, X2, X4       // bi
+	VMULPD  X0, X3, X6
+	VMULPD  X5, X4, X7
+	VADDSUBPD X7, X6, X8
+	VADDPD  X8, X1, X9
+	VSUBPD  X8, X1, X10
+	VMOVUPD X9, (DI)
+	VMOVUPD X10, 16(DI)
+
+done2:
+	VZEROUPPER
+	RET

@@ -1,0 +1,69 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func fftPass(x *complex128, n int, tw *complex128, size int)
+//
+// One radix-2 DIT stage, bit-identical to the scalar loop in
+// signal.(*Plan).transform (see fft_amd64.s for the exactness
+// argument). Each complex128 is one q-register ([re, im] = [D0, D1]);
+// one butterfly per iteration, scalar operation order preserved:
+//
+//   t1 = [br·wr, br·wi]          FMUL V6.2D, V3.2D, V2.2D
+//   t2 = [bi·wi, bi·wr]          FMUL V7.2D, V4.2D, V5.2D
+//   prod = [t1.re−t2.re, t1.im+t2.im]   (FSUB/FADD + lane move)
+//   lo' = a + prod               FADD V10.2D, V0.2D, V8.2D
+//   hi' = a − prod               FSUB V11.2D, V0.2D, V8.2D
+//
+// The Go arm64 assembler has no vector FADD/FSUB/FMUL mnemonics; the
+// WORD forms are:
+//
+//   FMUL V6.2D, V3.2D, V2.2D    0x6E62DC66
+//   FMUL V7.2D, V4.2D, V5.2D    0x6E65DC87
+//   FSUB V8.2D, V6.2D, V7.2D    0x4EE7D4C8
+//   FADD V9.2D, V6.2D, V7.2D    0x4E67D4C9
+//   FADD V10.2D, V0.2D, V8.2D   0x4E68D40A
+//   FSUB V11.2D, V0.2D, V8.2D   0x4EE8D40B
+//
+// Register map: R0 block cursor, R1 n, R2 twiddle base, R3 size,
+// R4 end of x, R5 halfBytes, R6 twiddle walker, R7 lo walker,
+// R8 hi walker, R9 butterfly countdown, R10 butterflies per block.
+TEXT ·fftPass(SB), NOSPLIT, $0-32
+	MOVD	x+0(FP), R0
+	MOVD	n+8(FP), R1
+	MOVD	tw+16(FP), R2
+	MOVD	size+24(FP), R3
+
+	ADD	R1<<4, R0, R4          // end = x + n·16
+	LSL	$3, R3, R5             // halfBytes = size·8
+	LSR	$1, R3, R10            // butterflies per block
+
+block:
+	MOVD	R2, R6
+	MOVD	R0, R7
+	ADD	R5, R0, R8
+	MOVD	R10, R9
+
+butterfly:
+	VLD1.P	16(R6), [V2.D2]        // w
+	VLD1	(R7), [V0.D2]          // a = lo[k]
+	VLD1	(R8), [V1.D2]          // b = hi[k]
+	VDUP	V1.D[0], V3.D2         // br duplicated
+	VDUP	V1.D[1], V4.D2         // bi duplicated
+	VEXT	$8, V2.B16, V2.B16, V5.B16 // w swapped: [wi, wr]
+	WORD	$0x6E62DC66            // t1 = br·w
+	WORD	$0x6E65DC87            // t2 = bi·w_swapped
+	WORD	$0x4EE7D4C8            // t1 − t2 (re lane wanted)
+	WORD	$0x4E67D4C9            // t1 + t2 (im lane wanted)
+	VMOV	V9.D[1], V8.D[1]       // prod = [sub.re, add.im]
+	WORD	$0x4E68D40A            // lo' = a + prod
+	WORD	$0x4EE8D40B            // hi' = a − prod
+	VST1.P	[V10.D2], 16(R7)
+	VST1.P	[V11.D2], 16(R8)
+	SUBS	$1, R9
+	BNE	butterfly
+
+	MOVD	R8, R0                 // hi walker ended at the next block
+	CMP	R4, R0
+	BNE	block
+	RET

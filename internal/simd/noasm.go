@@ -1,0 +1,21 @@
+//go:build noasm || (!amd64 && !arm64)
+
+package simd
+
+// hwDetect: this build carries no asm kernels (the noasm tag or an
+// architecture without one), so dispatch stays permanently off and
+// every caller takes its pure-Go path.
+func hwDetect() string { return "" }
+
+// The kernel stubs exist so the package API is build-tag independent.
+// They are unreachable: Enabled() is always false on these builds and
+// SetEnabled(true) refuses to turn it on, so a call here is a caller
+// bug (dispatching without checking Enabled).
+
+func viterbiACS(metric *[64]int16, signs *[64]int32, q *int16, tb *uint64, steps int) {
+	panic("simd: viterbiACS called on a build without asm kernels")
+}
+
+func fftPass(x *complex128, n int, tw *complex128, size int) {
+	panic("simd: fftPass called on a build without asm kernels")
+}

@@ -1,0 +1,190 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func viterbiACS(metric *[64]int16, signs *[64]int32, q *int16, tb *uint64, steps int)
+//
+// AVX2 add-compare-select over the 64-state butterfly trellis,
+// bit-identical to wifi.viterbiACSChunkGo: arithmetic runs in int32
+// lanes (the Go kernel's plain-int arithmetic), survivor selection is a
+// strict a1 > a0 compare (ties keep the lower predecessor), and stores
+// truncate to int16 exactly like the Go int16() conversion. Layout per
+// step: 4 groups of 8 butterflies; group g loads the 16 metrics of
+// states 16g..16g+15, deinterleaves even/odd into two int32 vectors,
+// forms the gain vector from the ±1 sign table and the broadcast
+// symbol pair, and produces 8 a-side and 8 b-side survivors plus their
+// selector bits (VMOVMSKPS on the compare masks). Survivors from
+// adjacent groups pack back to int16 pairwise (mask + VPACKUSDW +
+// VPERMQ to undo the lane interleave). The kernel double-buffers
+// between the caller's metric array and a 128-byte stack scratch,
+// copying back once if the step count is odd.
+//
+// Register map (inside the step loop):
+//   DI cur metrics     SI sign table      DX q cursor   BX tb cursor
+//   CX steps left      R11 next metrics   R12 caller's metric array
+//   R10 selector word  AX/R9 scratch
+//   Y13 0x0000FFFF dword mask   Y14 qa broadcast   Y15 qb broadcast
+TEXT ·viterbiACS(SB), NOSPLIT, $128-40
+	MOVQ metric+0(FP), DI
+	MOVQ DI, R12
+	MOVQ signs+8(FP), SI
+	MOVQ q+16(FP), DX
+	MOVQ tb+24(FP), BX
+	MOVQ steps+32(FP), CX
+	LEAQ scratch-128(SP), R11
+
+	// Y13 = 0x0000FFFF in every dword (int16 truncation mask).
+	VPCMPEQD Y13, Y13, Y13
+	VPSRLD   $16, Y13, Y13
+
+step:
+	// Broadcast the sign-extended symbol pair for this step.
+	MOVWLSX (DX), AX
+	VMOVQ   AX, X14
+	VPBROADCASTD X14, Y14
+	MOVWLSX 2(DX), AX
+	VMOVQ   AX, X15
+	VPBROADCASTD X15, Y15
+	XORQ    R10, R10
+
+	// ---- group 0 (butterflies 0..7) ----
+	VPSIGND (SI), Y14, Y0        // qa·signA
+	VPSIGND 128(SI), Y15, Y1     // qb·signB
+	VPADDD  Y1, Y0, Y0           // g
+	VMOVDQU (DI), Y2             // metrics, states 0..15
+	VPSLLD  $16, Y2, Y3
+	VPSRAD  $16, Y3, Y3          // m0 (even states, int32)
+	VPSRAD  $16, Y2, Y4          // m1 (odd states)
+	VPADDD  Y0, Y3, Y5           // a0 = m0 + g
+	VPSUBD  Y0, Y4, Y6           // a1 = m1 - g
+	VPCMPGTD Y5, Y6, Y7          // selA = a1 > a0
+	VPMAXSD Y6, Y5, Y8           // ma
+	VMOVMSKPS Y7, AX
+	ORQ     AX, R10
+	VPSUBD  Y0, Y3, Y9           // b0 = m0 - g
+	VPADDD  Y0, Y4, Y10          // b1 = m1 + g
+	VPCMPGTD Y9, Y10, Y11        // selB = b1 > b0
+	VPMAXSD Y10, Y9, Y12         // mb
+	VMOVMSKPS Y11, AX
+	SHLQ    $32, AX
+	ORQ     AX, R10
+	VMOVDQA Y8, Y1               // hold maE
+	VMOVDQA Y12, Y2              // hold mbE
+
+	// ---- group 1 (butterflies 8..15) ----
+	VPSIGND 32(SI), Y14, Y0
+	VPSIGND 160(SI), Y15, Y3
+	VPADDD  Y3, Y0, Y0
+	VMOVDQU 32(DI), Y4           // states 16..31
+	VPSLLD  $16, Y4, Y5
+	VPSRAD  $16, Y5, Y5
+	VPSRAD  $16, Y4, Y6
+	VPADDD  Y0, Y5, Y7
+	VPSUBD  Y0, Y6, Y8
+	VPCMPGTD Y7, Y8, Y9
+	VPMAXSD Y8, Y7, Y10          // maO
+	VMOVMSKPS Y9, AX
+	SHLQ    $8, AX
+	ORQ     AX, R10
+	VPSUBD  Y0, Y5, Y11
+	VPADDD  Y0, Y6, Y12
+	VPCMPGTD Y11, Y12, Y3
+	VPMAXSD Y12, Y11, Y4         // mbO
+	VMOVMSKPS Y3, AX
+	SHLQ    $40, AX
+	ORQ     AX, R10
+	// pack pair 0: butterflies 0..15
+	VPAND   Y13, Y1, Y1
+	VPAND   Y13, Y10, Y10
+	VPACKUSDW Y10, Y1, Y1
+	VPERMQ  $0xD8, Y1, Y1
+	VMOVDQU Y1, (R11)            // next[0..15]
+	VPAND   Y13, Y2, Y2
+	VPAND   Y13, Y4, Y4
+	VPACKUSDW Y4, Y2, Y2
+	VPERMQ  $0xD8, Y2, Y2
+	VMOVDQU Y2, 64(R11)          // next[32..47]
+
+	// ---- group 2 (butterflies 16..23) ----
+	VPSIGND 64(SI), Y14, Y0
+	VPSIGND 192(SI), Y15, Y1
+	VPADDD  Y1, Y0, Y0
+	VMOVDQU 64(DI), Y2           // states 32..47
+	VPSLLD  $16, Y2, Y3
+	VPSRAD  $16, Y3, Y3
+	VPSRAD  $16, Y2, Y4
+	VPADDD  Y0, Y3, Y5
+	VPSUBD  Y0, Y4, Y6
+	VPCMPGTD Y5, Y6, Y7
+	VPMAXSD Y6, Y5, Y8
+	VMOVMSKPS Y7, AX
+	SHLQ    $16, AX
+	ORQ     AX, R10
+	VPSUBD  Y0, Y3, Y9
+	VPADDD  Y0, Y4, Y10
+	VPCMPGTD Y9, Y10, Y11
+	VPMAXSD Y10, Y9, Y12
+	VMOVMSKPS Y11, AX
+	SHLQ    $48, AX
+	ORQ     AX, R10
+	VMOVDQA Y8, Y1               // hold maE
+	VMOVDQA Y12, Y2              // hold mbE
+
+	// ---- group 3 (butterflies 24..31) ----
+	VPSIGND 96(SI), Y14, Y0
+	VPSIGND 224(SI), Y15, Y3
+	VPADDD  Y3, Y0, Y0
+	VMOVDQU 96(DI), Y4           // states 48..63
+	VPSLLD  $16, Y4, Y5
+	VPSRAD  $16, Y5, Y5
+	VPSRAD  $16, Y4, Y6
+	VPADDD  Y0, Y5, Y7
+	VPSUBD  Y0, Y6, Y8
+	VPCMPGTD Y7, Y8, Y9
+	VPMAXSD Y8, Y7, Y10
+	VMOVMSKPS Y9, AX
+	SHLQ    $24, AX
+	ORQ     AX, R10
+	VPSUBD  Y0, Y5, Y11
+	VPADDD  Y0, Y6, Y12
+	VPCMPGTD Y11, Y12, Y3
+	VPMAXSD Y12, Y11, Y4
+	VMOVMSKPS Y3, AX
+	SHLQ    $56, AX
+	ORQ     AX, R10
+	// pack pair 1: butterflies 16..31
+	VPAND   Y13, Y1, Y1
+	VPAND   Y13, Y10, Y10
+	VPACKUSDW Y10, Y1, Y1
+	VPERMQ  $0xD8, Y1, Y1
+	VMOVDQU Y1, 32(R11)          // next[16..31]
+	VPAND   Y13, Y2, Y2
+	VPAND   Y13, Y4, Y4
+	VPACKUSDW Y4, Y2, Y2
+	VPERMQ  $0xD8, Y2, Y2
+	VMOVDQU Y2, 96(R11)          // next[48..63]
+
+	MOVQ R10, (BX)               // tb[t]
+	ADDQ $8, BX
+	ADDQ $4, DX
+	MOVQ DI, AX                  // swap cur/next
+	MOVQ R11, DI
+	MOVQ AX, R11
+	DECQ CX
+	JNZ  step
+
+	// Final metrics must land in the caller's array.
+	CMPQ DI, R12
+	JE   done
+	VMOVDQU (DI), Y0
+	VMOVDQU 32(DI), Y1
+	VMOVDQU 64(DI), Y2
+	VMOVDQU 96(DI), Y3
+	VMOVDQU Y0, (R12)
+	VMOVDQU Y1, 32(R12)
+	VMOVDQU Y2, 64(R12)
+	VMOVDQU Y3, 96(R12)
+
+done:
+	VZEROUPPER
+	RET

@@ -1,0 +1,165 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// acsBitTab holds 1<<0 .. 1<<31 as uint32: chunk c of a step (4
+// butterflies) ANDs its compare mask with lanes {1<<(4c), 1<<(4c+1),
+// 1<<(4c+2), 1<<(4c+3)} to turn all-ones lanes into selector bits,
+// which OR-accumulate across chunks (disjoint bits, so the final
+// cross-lane ADDV equals the OR).
+DATA acsBitTab<>+0x00(SB)/8, $0x0000000200000001
+DATA acsBitTab<>+0x08(SB)/8, $0x0000000800000004
+DATA acsBitTab<>+0x10(SB)/8, $0x0000002000000010
+DATA acsBitTab<>+0x18(SB)/8, $0x0000008000000040
+DATA acsBitTab<>+0x20(SB)/8, $0x0000020000000100
+DATA acsBitTab<>+0x28(SB)/8, $0x0000080000000400
+DATA acsBitTab<>+0x30(SB)/8, $0x0000200000001000
+DATA acsBitTab<>+0x38(SB)/8, $0x0000800000004000
+DATA acsBitTab<>+0x40(SB)/8, $0x0002000000010000
+DATA acsBitTab<>+0x48(SB)/8, $0x0008000000040000
+DATA acsBitTab<>+0x50(SB)/8, $0x0020000000100000
+DATA acsBitTab<>+0x58(SB)/8, $0x0080000000400000
+DATA acsBitTab<>+0x60(SB)/8, $0x0200000001000000
+DATA acsBitTab<>+0x68(SB)/8, $0x0800000004000000
+DATA acsBitTab<>+0x70(SB)/8, $0x2000000010000000
+DATA acsBitTab<>+0x78(SB)/8, $0x8000000040000000
+GLOBL acsBitTab<>(SB), RODATA, $128
+
+// ACS_GROUP processes one group of 8 butterflies (16 states) with the
+// bit-constant vectors CL (butterflies 8g..8g+3) and CH (8g+4..8g+7).
+// The Go arm64 assembler lacks several AdvSIMD mnemonics; the WORD
+// forms below are, in order:
+//
+//   SSHLL  V2.4S, V0.4H, #0    0x0F10A402   sign-extend m0 low
+//   SSHLL2 V3.4S, V0.8H, #0    0x4F10A403   sign-extend m0 high
+//   SSHLL  V4.4S, V1.4H, #0    0x0F10A424   sign-extend m1 low
+//   SSHLL2 V5.4S, V1.8H, #0    0x4F10A425   sign-extend m1 high
+//   MUL    V16.4S, V6.4S, V22.4S  0x4EB69CD0   g.lo  = signA·qa
+//   MLA    V16.4S, V8.4S, V23.4S  0x4EB79510   g.lo += signB·qb
+//   MUL    V17.4S, V7.4S, V22.4S  0x4EB69CF1   g.hi  = signA·qa
+//   MLA    V17.4S, V9.4S, V23.4S  0x4EB79531   g.hi += signB·qb
+//   CMGT   V12.4S, V11.4S, V10.4S 0x4EAA356C   sel = V11 > V10 (×4)
+//   XTN    V0.4H, V13.4S       0x0E6129A0   narrow ma low
+//   XTN2   V0.8H, V18.4S       0x4E612A40   narrow ma high
+//   XTN    V1.4H, V14.4S       0x0E6129C1   narrow mb low
+//   XTN2   V1.8H, V19.4S       0x4E612A61   narrow mb high
+//
+// Per chunk: a0 = m0+g, a1 = m1−g, sel = a1 > a0 (strict: ties keep
+// the lower predecessor, the scalar tie rule), survivor = sel?a1:a0
+// via VBSL on a copy of the mask; then the XOR-3 image b0 = m0−g,
+// b1 = m1+g the same way. All arithmetic is int32, identical in value
+// to the Go kernel's plain-int arithmetic; XTN truncates to int16
+// exactly like Go's int16() conversion.
+#define ACS_GROUP(CL, CH) \
+	VLD2.P	32(R13), [V0.H8, V1.H8]           \
+	WORD	$0x0F10A402                       \
+	WORD	$0x4F10A403                       \
+	WORD	$0x0F10A424                       \
+	WORD	$0x4F10A425                       \
+	VLD1.P	32(R11), [V6.S4, V7.S4]           \
+	VLD1.P	32(R12), [V8.S4, V9.S4]           \
+	WORD	$0x4EB69CD0                       \
+	WORD	$0x4EB79510                       \
+	WORD	$0x4EB69CF1                       \
+	WORD	$0x4EB79531                       \
+	VADD	V16.S4, V2.S4, V10.S4             \
+	VSUB	V16.S4, V4.S4, V11.S4             \
+	WORD	$0x4EAA356C                       \
+	VMOV	V12.B16, V13.B16                  \
+	VBSL	V10.B16, V11.B16, V13.B16         \
+	VAND	CL.B16, V12.B16, V12.B16          \
+	VORR	V12.B16, V20.B16, V20.B16         \
+	VSUB	V16.S4, V2.S4, V10.S4             \
+	VADD	V16.S4, V4.S4, V11.S4             \
+	WORD	$0x4EAA356C                       \
+	VMOV	V12.B16, V14.B16                  \
+	VBSL	V10.B16, V11.B16, V14.B16         \
+	VAND	CL.B16, V12.B16, V12.B16          \
+	VORR	V12.B16, V21.B16, V21.B16         \
+	VADD	V17.S4, V3.S4, V10.S4             \
+	VSUB	V17.S4, V5.S4, V11.S4             \
+	WORD	$0x4EAA356C                       \
+	VMOV	V12.B16, V18.B16                  \
+	VBSL	V10.B16, V11.B16, V18.B16         \
+	VAND	CH.B16, V12.B16, V12.B16          \
+	VORR	V12.B16, V20.B16, V20.B16         \
+	VSUB	V17.S4, V3.S4, V10.S4             \
+	VADD	V17.S4, V5.S4, V11.S4             \
+	WORD	$0x4EAA356C                       \
+	VMOV	V12.B16, V19.B16                  \
+	VBSL	V10.B16, V11.B16, V19.B16         \
+	VAND	CH.B16, V12.B16, V12.B16          \
+	VORR	V12.B16, V21.B16, V21.B16         \
+	WORD	$0x0E6129A0                       \
+	WORD	$0x4E612A40                       \
+	VST1.P	[V0.H8], 16(R14)                  \
+	WORD	$0x0E6129C1                       \
+	WORD	$0x4E612A61                       \
+	VST1.P	[V1.H8], 16(R15)
+
+// func viterbiACS(metric *[64]int16, signs *[64]int32, q *int16, tb *uint64, steps int)
+//
+// NEON counterpart of the amd64 kernel; see viterbi_amd64.s and
+// wifi.viterbiACSChunkGo for the contract. Double-buffers between the
+// caller's metric array and a 128-byte stack scratch, copying back
+// once if the step count is odd.
+//
+// Register map: R0 caller's metrics, R1 signs, R2 q cursor, R3 tb
+// cursor, R4 steps left, R5 cur, R6 next, R8 scratch, R9/R10 selector
+// words, R11/R12 sign-table walkers, R13 cur walker, R14/R15 next
+// ma/mb store walkers. V20/V21 selector accumulators, V22/V23 qa/qb
+// broadcast, V24-V31 the bit-constant table.
+TEXT ·viterbiACS(SB), NOSPLIT, $128-40
+	MOVD	metric+0(FP), R0
+	MOVD	signs+8(FP), R1
+	MOVD	q+16(FP), R2
+	MOVD	tb+24(FP), R3
+	MOVD	steps+32(FP), R4
+	MOVD	R0, R5
+	MOVD	$scratch-128(SP), R6
+	MOVD	$acsBitTab<>(SB), R8
+	VLD1.P	64(R8), [V24.S4, V25.S4, V26.S4, V27.S4]
+	VLD1	(R8), [V28.S4, V29.S4, V30.S4, V31.S4]
+
+step:
+	MOVH	(R2), R8
+	VDUP	R8, V22.S4             // qa (sign-extended)
+	MOVH	2(R2), R8
+	VDUP	R8, V23.S4             // qb
+	ADD	$4, R2
+	MOVD	R1, R11                // signA walker
+	ADD	$128, R1, R12          // signB walker
+	MOVD	R5, R13                // cur walker
+	MOVD	R6, R14                // next[0..31] walker (ma)
+	ADD	$64, R6, R15           // next[32..63] walker (mb)
+	VMOVI	$0, V20.B16
+	VMOVI	$0, V21.B16
+
+	ACS_GROUP(V24, V25)            // butterflies 0..7
+	ACS_GROUP(V26, V27)            // butterflies 8..15
+	ACS_GROUP(V28, V29)            // butterflies 16..23
+	ACS_GROUP(V30, V31)            // butterflies 24..31
+
+	VADDV	V20.S4, V20            // disjoint bits: sum == OR
+	VMOV	V20.S[0], R9
+	VADDV	V21.S4, V21
+	VMOV	V21.S[0], R10
+	ORR	R10<<32, R9, R9        // tb word = wb<<32 | wa
+	MOVD.P	R9, 8(R3)
+
+	MOVD	R5, R8                 // swap cur/next
+	MOVD	R6, R5
+	MOVD	R8, R6
+	SUBS	$1, R4
+	BNE	step
+
+	// Final metrics must land in the caller's array.
+	CMP	R0, R5
+	BEQ	done
+	VLD1.P	64(R5), [V0.B16, V1.B16, V2.B16, V3.B16]
+	VLD1	(R5), [V4.B16, V5.B16, V6.B16, V7.B16]
+	VST1.P	[V0.B16, V1.B16, V2.B16, V3.B16], 64(R0)
+	VST1	[V4.B16, V5.B16, V6.B16, V7.B16], (R0)
+
+done:
+	RET

@@ -1,0 +1,17 @@
+package waveform
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/simd"
+)
+
+// TestMain announces which SIMD dispatch path this process runs under;
+// benchgate records the line with every BENCH_SERVE trajectory point
+// (waveform synthesis runs the SIMD-dispatched FFTs).
+func TestMain(m *testing.M) {
+	fmt.Printf("simd-dispatch: %s\n", simd.Mode())
+	os.Exit(m.Run())
+}

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/signal"
+	"repro/internal/simd"
 )
 
 // Quantized soft decoding: the receiver's data path quantizes the per-bit
@@ -123,7 +124,11 @@ func viterbiMaxKernel(out []byte, q []int16) {
 	// can skip the arena's zeroing pass.
 	tb := arena.Uint64Uninit(n)
 
-	for t := 0; t < n; t++ {
+	// Startup: the trellis is a de Bruijn graph on 6-bit states — every
+	// state is reachable from state 0 in exactly 6 steps, so the first 6
+	// steps need the sentinel guards and everything after does not.
+	t := 0
+	for ; t < 6 && t < n; t++ {
 		qa, qb := int(q[2*t]), int(q[2*t+1])
 		// gainT[eab] = (2A-1)·qa + (2B-1)·qb for the expected pair A<<1|B.
 		var gainT [4]int
@@ -132,81 +137,6 @@ func viterbiMaxKernel(out []byte, q []int16) {
 		gainT[2] = qa - qb
 		gainT[3] = qa + qb
 		var word uint64
-		// The trellis is a de Bruijn graph on 6-bit states: every state is
-		// reachable from state 0 in exactly 6 steps, so from step 6 onward
-		// all 64 metrics are finite and the sentinel guards of the startup
-		// loop can be dropped.
-		if t >= 6 {
-			if t%softQRenorm == 0 {
-				max := metric[0]
-				for _, m := range metric[1:] {
-					if m > max {
-						max = m
-					}
-				}
-				for i := range metric {
-					metric[i] -= max
-				}
-			}
-			// The ACS runs in plain int: every finite metric is within
-			// ±(6·2+64)·126 < 1<<14 (the renorm bound above), so the int16
-			// adds of the historical form never wrapped and widening them
-			// is value-identical — while sparing the compiler the
-			// sign-extension shuffle that spilled half the loop to the
-			// stack. Selector bits accumulate with constant shifts (k runs
-			// high to low, two butterflies per iteration so the serial
-			// shift-or chain is half as long); iteration order is free, the
-			// butterflies are independent.
-			var wa, wb uint64
-			for k := 30; k >= 0; k -= 2 {
-				// a1 > a0 iff the historical da = a0-a1 sign bit was set, so
-				// survivor choice and selector bit are unchanged, ties
-				// (a1 == a0) still keeping the lower predecessor. Two
-				// butterflies per iteration halve the serial selector
-				// shift-or chain; wider unrolls measured slower (register
-				// pressure).
-				m0, m1 := int(metric[2*k+2]), int(metric[2*k+3])
-				g := gainT[bfExpect[k+1]&3]
-				a0, a1 := m0+g, m1-g
-				ma := a0
-				var sa1 uint64
-				if a1 > a0 {
-					ma, sa1 = a1, 1
-				}
-				b0, b1 := m0-g, m1+g
-				mb := b0
-				var sb1 uint64
-				if b1 > b0 {
-					mb, sb1 = b1, 1
-				}
-				next[k+1] = int16(ma)
-				next[k+33] = int16(mb)
-
-				m0, m1 = int(metric[2*k]), int(metric[2*k+1])
-				g = gainT[bfExpect[k]&3]
-				a0, a1 = m0+g, m1-g
-				ma = a0
-				var sa0 uint64
-				if a1 > a0 {
-					ma, sa0 = a1, 1
-				}
-				b0, b1 = m0-g, m1+g
-				mb = b0
-				var sb0 uint64
-				if b1 > b0 {
-					mb, sb0 = b1, 1
-				}
-				next[k] = int16(ma)
-				next[k+32] = int16(mb)
-
-				wa = wa<<2 | sa1<<1 | sa0
-				wb = wb<<2 | sb1<<1 | sb0
-			}
-			word = wb<<32 | wa
-			tb[t] = word
-			metric, next = next, metric
-			continue
-		}
 		const ninf = int(softQNinf)
 		for k := 0; k < 32; k++ {
 			s0 := 2 * k
@@ -249,6 +179,31 @@ func viterbiMaxKernel(out []byte, q []int16) {
 		metric, next = next, metric
 	}
 
+	// Steady state: unguarded ACS in chunks that never cross a renorm
+	// boundary, dispatched to the SIMD kernel when available with
+	// viterbiACSChunkGo as the bit-identical scalar reference. Both leave
+	// the chunk's final metrics in *metric, so the renorm scan between
+	// chunks and the traceback below see exactly the state the historical
+	// single loop maintained. Dispatch is latched once per packet — a
+	// concurrent SetEnabled (tests, ops) must not switch kernels between
+	// chunks, even though the two are interchangeable bit-for-bit.
+	useSIMD := simd.Enabled()
+	for t < n {
+		if t%softQRenorm == 0 {
+			renormMetrics(metric)
+		}
+		end := (t/softQRenorm + 1) * softQRenorm
+		if end > n {
+			end = n
+		}
+		if useSIMD {
+			simd.ViterbiACS(metric, &acsSigns, q[2*t:2*end], tb[t:end])
+		} else {
+			viterbiACSChunkGo(metric, q[2*t:2*end], tb[t:end])
+		}
+		t = end
+	}
+
 	state := 0
 	if metric[0] <= softQNinf {
 		best := softQNinf
@@ -262,5 +217,117 @@ func viterbiMaxKernel(out []byte, q []int16) {
 		out[t] = byte(state >> 5)
 		sel := int(tb[t]>>uint(state)) & 1
 		state = (state<<1)&0x3F | sel
+	}
+}
+
+// renormMetrics subtracts the running maximum from every path metric —
+// exactly the scan the historical in-loop renormalisation performed, so
+// the post-renorm metrics (and therefore everything downstream) are
+// unchanged by the chunked restructuring.
+func renormMetrics(metric *[numStates]int16) {
+	max := metric[0]
+	for _, m := range metric[1:] {
+		if m > max {
+			max = m
+		}
+	}
+	for i := range metric {
+		metric[i] -= max
+	}
+}
+
+// acsSigns feeds simd.ViterbiACS: entry k holds the ±1 sign the first
+// symbol qa carries in butterfly k's branch gain and entry 32+k the
+// sign for qb, i.e. gainT[bfExpect[k]&3] == acsSigns[k]·qa +
+// acsSigns[32+k]·qb. Derived from the same expected-pair table the
+// scalar kernels index, so the two dispatch paths cannot disagree on
+// the trellis.
+var acsSigns = buildACSSigns()
+
+func buildACSSigns() (t [numStates]int32) {
+	for k := 0; k < 32; k++ {
+		e := bfExpect[k] & 3
+		t[k] = int32(2*int(e>>1) - 1)
+		t[32+k] = int32(2*int(e&1) - 1)
+	}
+	return
+}
+
+// viterbiACSChunkGo is the pure-Go steady-state ACS: len(tb) unguarded
+// trellis steps with no renormalisation, the scalar reference the SIMD
+// kernels must match bit-for-bit. The loop body is the historical t>=6
+// fast path verbatim; only the buffering changed (an internal scratch
+// array with a copy-back when the step count is odd, so the final
+// metrics always land back in *metric).
+//
+// The ACS runs in plain int: every finite metric is within
+// ±(6·2+64)·126 < 1<<14 (the renorm bound), so the int16 adds of the
+// historical form never wrapped and widening them is value-identical —
+// while sparing the compiler the sign-extension shuffle that spilled
+// half the loop to the stack. For out-of-contract metrics (the
+// differential fuzzer drives ±32767) the int arithmetic still cannot
+// wrap and the int16() stores truncate, which is exactly what the SIMD
+// kernels' int32 lanes and truncating narrows compute — so bit-identity
+// holds unconditionally, not just for reachable metric states.
+func viterbiACSChunkGo(metric *[numStates]int16, q []int16, tb []uint64) {
+	var scratch [numStates]int16
+	cur, next := metric, &scratch
+	for t := range tb {
+		qa, qb := int(q[2*t]), int(q[2*t+1])
+		// gainT[eab] = (2A-1)·qa + (2B-1)·qb for the expected pair A<<1|B.
+		var gainT [4]int
+		gainT[0] = -qa - qb
+		gainT[1] = -qa + qb
+		gainT[2] = qa - qb
+		gainT[3] = qa + qb
+		// a1 > a0 iff the historical da = a0-a1 sign bit was set, so
+		// survivor choice and selector bit are unchanged, ties (a1 == a0)
+		// still keeping the lower predecessor. Two butterflies per
+		// iteration halve the serial selector shift-or chain; wider unrolls
+		// measured slower (register pressure).
+		var wa, wb uint64
+		for k := 30; k >= 0; k -= 2 {
+			m0, m1 := int(cur[2*k+2]), int(cur[2*k+3])
+			g := gainT[bfExpect[k+1]&3]
+			a0, a1 := m0+g, m1-g
+			ma := a0
+			var sa1 uint64
+			if a1 > a0 {
+				ma, sa1 = a1, 1
+			}
+			b0, b1 := m0-g, m1+g
+			mb := b0
+			var sb1 uint64
+			if b1 > b0 {
+				mb, sb1 = b1, 1
+			}
+			next[k+1] = int16(ma)
+			next[k+33] = int16(mb)
+
+			m0, m1 = int(cur[2*k]), int(cur[2*k+1])
+			g = gainT[bfExpect[k]&3]
+			a0, a1 = m0+g, m1-g
+			ma = a0
+			var sa0 uint64
+			if a1 > a0 {
+				ma, sa0 = a1, 1
+			}
+			b0, b1 = m0-g, m1+g
+			mb = b0
+			var sb0 uint64
+			if b1 > b0 {
+				mb, sb0 = b1, 1
+			}
+			next[k] = int16(ma)
+			next[k+32] = int16(mb)
+
+			wa = wa<<2 | sa1<<1 | sa0
+			wb = wb<<2 | sb1<<1 | sb0
+		}
+		tb[t] = wb<<32 | wa
+		cur, next = next, cur
+	}
+	if cur != metric {
+		*metric = *cur
 	}
 }

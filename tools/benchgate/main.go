@@ -69,11 +69,14 @@ type point struct {
 }
 
 // baseline is the checked-in gate reference. ProbeNsOp records how fast
-// the machine ran the calibration probe when the baseline was taken.
+// the machine ran the calibration probe when the baseline was taken;
+// Dispatch records which SIMD kernel path (avx2/neon/go, or a "+"
+// join if packages disagreed) produced the numbers.
 type baseline struct {
 	Recorded   string           `json:"recorded"`
 	Note       string           `json:"note,omitempty"`
 	ProbeNsOp  float64          `json:"probe_ns_op,omitempty"`
+	Dispatch   string           `json:"dispatch,omitempty"`
 	Benchmarks map[string]point `json:"benchmarks"`
 }
 
@@ -92,7 +95,7 @@ func main() {
 		return
 	}
 
-	cur, extras, err := parseBench(os.Stdin)
+	cur, extras, dispatch, err := parseBench(os.Stdin)
 	if err != nil {
 		fatal("parse bench output: %v", err)
 	}
@@ -109,12 +112,12 @@ func main() {
 	}
 	sort.Strings(names)
 
-	if err := appendTrajectory(*outPath, names, cur, extras, probe.NsOp); err != nil {
+	if err := appendTrajectory(*outPath, names, cur, extras, probe.NsOp, dispatch); err != nil {
 		fatal("append %s: %v", *outPath, err)
 	}
 
 	if *update {
-		if err := writeBaseline(*basePath, names, cur, probe.NsOp); err != nil {
+		if err := writeBaseline(*basePath, names, cur, probe.NsOp, dispatch); err != nil {
 			fatal("write %s: %v", *basePath, err)
 		}
 		fmt.Printf("benchgate: recorded baseline with %d benchmarks to %s\n", len(cur), *basePath)
@@ -134,6 +137,11 @@ func main() {
 		fmt.Printf("benchgate: machine-speed scale %.3f (probe %.0f ns/op now vs %.0f at baseline)\n",
 			scale, probe.NsOp, base.ProbeNsOp)
 	}
+	if base.Dispatch != "" && dispatch != "" && base.Dispatch != dispatch {
+		fmt.Printf("benchgate: WARNING: this run used SIMD dispatch %q but the baseline was recorded under %q — "+
+			"ns/op comparisons mix kernel sets; re-record with `make bench-dsp-baseline` on matching hardware\n",
+			dispatch, base.Dispatch)
+	}
 	if gate(base, names, cur, scale) {
 		os.Exit(1)
 	}
@@ -150,14 +158,27 @@ func main() {
 // per benchmark in the extras map, keyed by the unit with "/" flattened
 // to "_per_". Cost-like extras fold to the minimum across -count runs
 // like ns/op; rate-like extras (unit ends in "/s") fold to the maximum.
-func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, error) {
+//
+// "simd-dispatch: <mode>" banner lines (printed by the TestMains of the
+// benchmarked packages) are folded into the dispatch return: the single
+// mode when every package agrees, or a "+"-joined sorted set when a run
+// somehow mixes kernel paths — a mixed value in the trajectory is
+// itself a signal worth seeing.
+func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, string, error) {
 	out := map[string]point{}
 	extras := map[string]map[string]float64{}
+	modes := map[string]bool{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line) // tee: keep the raw output visible in logs
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "simd-dispatch:"); ok {
+			if mode := strings.TrimSpace(rest); mode != "" {
+				modes[mode] = true
+			}
+			continue
+		}
 		f := strings.Fields(line)
 		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
 			continue
@@ -217,14 +238,22 @@ func parseBench(r *os.File) (map[string]point, map[string]map[string]float64, er
 		}
 		out[name] = p
 	}
-	return out, extras, sc.Err()
+	modeList := make([]string, 0, len(modes))
+	for m := range modes {
+		modeList = append(modeList, m)
+	}
+	sort.Strings(modeList)
+	return out, extras, strings.Join(modeList, "+"), sc.Err()
 }
 
-func appendTrajectory(path string, names []string, cur map[string]point, extras map[string]map[string]float64, probeNs float64) error {
+func appendTrajectory(path string, names []string, cur map[string]point, extras map[string]map[string]float64, probeNs float64, dispatch string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "{\"date\":%q", time.Now().Format("2006-01-02"))
 	if probeNs > 0 {
 		fmt.Fprintf(&b, ",\"probe_ns_op\":%g", probeNs)
+	}
+	if dispatch != "" {
+		fmt.Fprintf(&b, ",\"dispatch\":%q", dispatch)
 	}
 	for _, name := range names {
 		p := cur[name]
@@ -265,11 +294,12 @@ func readBaseline(path string) (*baseline, error) {
 	return &b, nil
 }
 
-func writeBaseline(path string, names []string, cur map[string]point, probeNs float64) error {
+func writeBaseline(path string, names []string, cur map[string]point, probeNs float64, dispatch string) error {
 	b := baseline{
 		Recorded:   time.Now().Format("2006-01-02"),
 		Note:       "min ns/op and allocs/op across -count runs; gate: ns/op <= old*scale*1.15 (scale = probe now / probe at baseline), allocs/op <= max(old*1.05, old+2)",
 		ProbeNsOp:  probeNs,
+		Dispatch:   dispatch,
 		Benchmarks: map[string]point{},
 	}
 	for _, name := range names {
@@ -374,10 +404,23 @@ func comparePoints(path string) error {
 		b, bok := last[k].(float64)
 		switch {
 		case !aok && !bok:
-			// Present in a point but not as a number (renamed benchmark
-			// whose old key held a string, malformed line): still worth a
-			// line — nothing may vanish from the diff silently.
-			fmt.Printf("  %-55s not numeric in either point\n", k)
+			// String-valued metadata (the SIMD dispatch mode) diffs as
+			// text; anything else non-numeric still gets a line — nothing
+			// may vanish from the diff silently.
+			as, asok := prev[k].(string)
+			bs, bsok := last[k].(string)
+			switch {
+			case asok && bsok && as == bs:
+				fmt.Printf("  %-55s %s (unchanged)\n", k, as)
+			case asok && bsok:
+				fmt.Printf("  %-55s %s -> %s\n", k, as, bs)
+			case asok:
+				fmt.Printf("  removed %-47s %s\n", k, as)
+			case bsok:
+				fmt.Printf("  added   %-47s %s\n", k, bs)
+			default:
+				fmt.Printf("  %-55s not numeric in either point\n", k)
+			}
 		case !aok:
 			fmt.Printf("  added   %-47s %g\n", k, b)
 		case !bok:
